@@ -1,0 +1,331 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// experiment, reporting the key quantity of the artifact via
+// b.ReportMetric), plus micro-benchmarks of the substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benches run the experiments at a reduced scale so `go test
+// -bench` stays interactive; `cmd/ttbench` regenerates them at the full
+// EXPERIMENTS.md scale.
+package toltiers_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers"
+	"github.com/toltiers/toltiers/internal/asr"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/experiments"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/speech"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// ---- shared fixtures ----------------------------------------------------
+
+var benchEnvOnce sync.Once
+var benchEnv *experiments.Env
+
+func getBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		s := experiments.QuickScale()
+		s.SpeechN = 600
+		s.VisionN = 1500
+		s.KFolds = 3
+		benchEnv = experiments.NewEnv(s)
+	})
+	return benchEnv
+}
+
+var speechFixtureOnce sync.Once
+var speechLM *speech.LanguageModel
+var speechAM *speech.AcousticModel
+var speechCorpus []*speech.Utterance
+
+func getSpeechFixture(b *testing.B) (*speech.LanguageModel, *speech.AcousticModel, []*speech.Utterance) {
+	b.Helper()
+	speechFixtureOnce.Do(func() {
+		speechLM = speech.NewLanguageModel(speech.DefaultLMConfig())
+		speechAM = speech.NewAcousticModel(speechLM.VocabSize(), speech.DefaultAcousticConfig())
+		syn := speech.NewSynthesizer(speechLM, speechAM, 1)
+		speechCorpus = syn.Corpus(0, 256)
+	})
+	return speechLM, speechAM, speechCorpus
+}
+
+// ---- experiment benches (one per table/figure) ---------------------------
+
+// BenchmarkE1ASRVersions regenerates Table I and reports the measured
+// v7/v1 latency span (paper: ~2.6x).
+func BenchmarkE1ASRVersions(b *testing.B) {
+	env := getBenchEnv(b)
+	var span float64
+	for i := 0; i < b.N; i++ {
+		_, m := env.Speech()
+		sums := m.Summaries(nil)
+		span = float64(sums[len(sums)-1].MeanLatency) / float64(sums[0].MeanLatency)
+	}
+	b.ReportMetric(span, "latency-span-x")
+}
+
+// BenchmarkE2ICVersions regenerates Table II and reports the error
+// reduction from the fastest to the most accurate model (paper: >65%).
+func BenchmarkE2ICVersions(b *testing.B) {
+	env := getBenchEnv(b)
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		_, m := env.VisionCPU()
+		sums := m.Summaries(nil)
+		reduction = 1 - sums[len(sums)-1].MeanErr/sums[0].MeanErr
+	}
+	b.ReportMetric(100*reduction, "err-reduction-%")
+}
+
+// BenchmarkE3Pareto regenerates the Fig.-1 frontier series.
+func BenchmarkE3Pareto(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if tables := env.E3(); len(tables) != 3 {
+			b.Fatal("unexpected table count")
+		}
+	}
+}
+
+// BenchmarkE4Categories regenerates the Fig.-2 category breakdown and
+// reports the unchanged share of the ASR service (paper: >74%).
+func BenchmarkE4Categories(b *testing.B) {
+	env := getBenchEnv(b)
+	var unchanged float64
+	for i := 0; i < b.N; i++ {
+		_, m := env.Speech()
+		bd, _ := m.Categorize()
+		unchanged = bd.Fraction(profile.Unchanged)
+	}
+	b.ReportMetric(100*unchanged, "unchanged-%")
+}
+
+// BenchmarkE5CategoryError regenerates the Fig.-3 series.
+func BenchmarkE5CategoryError(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, m := env.Speech()
+		ce := m.CategoryErrors()
+		if len(ce.All) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkE6Policies regenerates the Fig.-5 policy anatomy.
+func BenchmarkE6Policies(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if tables := env.E6(); len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkE7LatencyTiers regenerates the Fig.-6 response-time panel and
+// reports the held-out latency reduction of the ASR 10% tier.
+func BenchmarkE7LatencyTiers(b *testing.B) {
+	env := getBenchEnv(b)
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		tables := env.E7()
+		last := tables[0].Rows[len(tables[0].Rows)-1]
+		reduction = parsePct(b, last[2])
+	}
+	b.ReportMetric(reduction, "asr-10pct-latency-cut-%")
+}
+
+// BenchmarkE8CostTiers regenerates the Fig.-6 cost panel and reports the
+// held-out cost reduction of the ASR 10% tier.
+func BenchmarkE8CostTiers(b *testing.B) {
+	env := getBenchEnv(b)
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		tables := env.E8()
+		last := tables[0].Rows[len(tables[0].Rows)-1]
+		reduction = parsePct(b, last[3])
+	}
+	b.ReportMetric(reduction, "asr-10pct-cost-cut-%")
+}
+
+// BenchmarkE9Guarantees runs the cross-validated guarantee audit and
+// reports total violations (paper: 0).
+func BenchmarkE9Guarantees(b *testing.B) {
+	env := getBenchEnv(b)
+	var violations float64
+	for i := 0; i < b.N; i++ {
+		tables := env.E9()
+		violations = 0
+		for _, row := range tables[0].Rows {
+			violations += parseFloat(b, row[4])
+		}
+	}
+	b.ReportMetric(violations, "violations")
+}
+
+// BenchmarkE10Headline regenerates the headline summary.
+func BenchmarkE10Headline(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if tables := env.E10(); len(tables[0].Rows) != 9 {
+			b.Fatal("unexpected headline rows")
+		}
+	}
+}
+
+// ---- ablation benches -----------------------------------------------------
+
+// BenchmarkA1ConfidenceGate runs the confidence-gate ablation.
+func BenchmarkA1ConfidenceGate(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if tables := env.A1(); len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkA4Billing runs the FO-vs-ET billing ablation.
+func BenchmarkA4Billing(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if tables := env.A4(); len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkASRDecode measures real decode throughput per version preset.
+func BenchmarkASRDecode(b *testing.B) {
+	lm, am, corpus := getSpeechFixture(b)
+	for _, cfg := range asr.Versions() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			d := asr.NewDecoder(lm, am, cfg)
+			var work int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := d.Decode(corpus[i%len(corpus)])
+				work += res.WorkUnits
+			}
+			b.ReportMetric(float64(work)/float64(b.N), "work-units/op")
+		})
+	}
+}
+
+// BenchmarkVisionInfer measures prototype-space inference throughput.
+func BenchmarkVisionInfer(b *testing.B) {
+	w := vision.NewWorld(vision.DefaultWorldConfig())
+	imgs := w.Corpus(0, 512)
+	for _, name := range []string{"squeezenet", "resnet50", "sota"} {
+		m, _ := vision.ZooModel(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := w.Infer(m, imgs[i%len(imgs)])
+				if p.Class < 0 {
+					b.Fatal("bad prediction")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfileBuild measures end-to-end corpus profiling.
+func BenchmarkProfileBuild(b *testing.B) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 500, Device: vision.GPU})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := profile.Build(c.Service, c.Requests)
+		if m.NumRequests() != 500 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+// BenchmarkPolicySimulate measures profile-row policy simulation (the
+// inner loop of the Fig.-7 bootstrap).
+func BenchmarkPolicySimulate(b *testing.B) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 200, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	p := ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := p.Simulate(m.Cells[i%m.NumRequests()])
+		if o.Latency <= 0 {
+			b.Fatal("bad outcome")
+		}
+	}
+}
+
+// BenchmarkRuleGenerator measures the full Fig.-7 bootstrap over a small
+// training set.
+func BenchmarkRuleGenerator(b *testing.B) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 400, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 5
+	cfg.MaxTrials = 20
+	cfg.ThresholdPoints = 4
+	cfg.IncludePickBest = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := rulegen.New(m, nil, cfg)
+		if len(g.Candidates()) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkRegistryHandle measures the live annotated-request path
+// through the public API.
+func BenchmarkRegistryHandle(b *testing.B) {
+	corpus := toltiers.NewVisionCorpus(400)
+	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 20
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	reg := toltiers.NewRegistry(corpus.Service,
+		gen.Generate(toltiers.ToleranceGrid(0.10, 0.01), toltiers.MinimizeLatency))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := reg.Handle(corpus.Requests[i%len(corpus.Requests)], 0.05, toltiers.MinimizeLatency)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+func parsePct(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := sscanPct(s, &v); err != nil {
+		b.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parseFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := sscanFloat(s, &v); err != nil {
+		b.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+var _ = time.Second

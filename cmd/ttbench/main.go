@@ -1,0 +1,123 @@
+// Command ttbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ttbench [-experiment all|e1|...|a5] [-speech N] [-vision N]
+//	        [-step 0.001] [-seed S] [-quick] [-csv dir]
+//
+// Each experiment prints one or more aligned text tables to stdout; with
+// -csv every table is additionally written as a CSV file into the given
+// directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (e1..e10, a1..a5) or 'all'")
+		speechN    = flag.Int("speech", 0, "speech corpus size (0 = scale default)")
+		visionN    = flag.Int("vision", 0, "vision corpus size (0 = scale default)")
+		step       = flag.Float64("step", 0, "tolerance grid step (0 = scale default)")
+		seed       = flag.Uint64("seed", 0, "corpus seed offset")
+		quick      = flag.Bool("quick", false, "use the reduced quick scale")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		mdPath     = flag.String("markdown", "", "also append every table as markdown to this file")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-4s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *speechN > 0 {
+		scale.SpeechN = *speechN
+	}
+	if *visionN > 0 {
+		scale.VisionN = *visionN
+	}
+	if *step > 0 {
+		scale.ToleranceStep = *step
+	}
+	scale.Seed = *seed
+
+	env := experiments.NewEnv(scale)
+
+	var descs []experiments.Descriptor
+	if *experiment == "all" {
+		descs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			d, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			descs = append(descs, d)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var md *os.File
+	if *mdPath != "" {
+		var err error
+		md, err = os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer md.Close()
+	}
+
+	for _, d := range descs {
+		start := time.Now()
+		tables := d.Run(env)
+		fmt.Printf("# %s — %s (%.1fs)\n\n", d.ID, d.Title, time.Since(start).Seconds())
+		for ti, tb := range tables {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if md != nil {
+				if err := tb.WriteMarkdown(md); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", d.ID, ti)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := tb.WriteCSV(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+		}
+	}
+}

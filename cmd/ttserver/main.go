@@ -1,0 +1,65 @@
+// Command ttserver serves a Tolerance Tiers MLaaS endpoint over HTTP.
+//
+// It builds the selected service (asr or vision), profiles a corpus,
+// generates routing rules for both objectives at the requested
+// confidence, and serves the §IV-A annotated-request API:
+//
+//	ttserver -service vision -corpus 2000 -addr :8080
+//	curl --header 'Tolerance: 0.01' --header 'Objective: response-time' \
+//	     --data '{"request_id": 7}' -X POST http://localhost:8080/compute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/toltiers/toltiers"
+)
+
+func main() {
+	var (
+		svcName    = flag.String("service", "vision", "service to deploy: asr | vision | vision-cpu")
+		corpusN    = flag.Int("corpus", 2000, "corpus size to profile and serve")
+		addr       = flag.String("addr", ":8080", "listen address")
+		confidence = flag.Float64("confidence", 0.999, "rule-generator bootstrap confidence")
+		step       = flag.Float64("step", 0.005, "tolerance grid step")
+	)
+	flag.Parse()
+
+	var svc *toltiers.Service
+	var reqs []*toltiers.Request
+	switch *svcName {
+	case "asr":
+		c := toltiers.NewSpeechCorpus(*corpusN)
+		svc, reqs = c.Service, c.Requests
+	case "vision":
+		c := toltiers.NewVisionCorpus(*corpusN)
+		svc, reqs = c.Service, c.Requests
+	case "vision-cpu":
+		c := toltiers.NewVisionCorpusCPU(*corpusN)
+		svc, reqs = c.Service, c.Requests
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -service %q\n", *svcName)
+		os.Exit(2)
+	}
+
+	log.Printf("profiling %d requests across %d versions of %s ...", len(reqs), len(svc.Versions), svc.Domain)
+	matrix := toltiers.Profile(svc, reqs)
+
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gcfg.Confidence = *confidence
+	log.Printf("generating routing rules (confidence %.3f) ...", *confidence)
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	grid := toltiers.ToleranceGrid(0.10, *step)
+	reg := toltiers.NewRegistry(svc,
+		gen.Generate(grid, toltiers.MinimizeLatency),
+		gen.Generate(grid, toltiers.MinimizeCost))
+
+	log.Printf("serving %s tolerance tiers on %s", svc.Domain, *addr)
+	if err := http.ListenAndServe(*addr, toltiers.NewHTTPHandler(reg, reqs)); err != nil {
+		log.Fatal(err)
+	}
+}

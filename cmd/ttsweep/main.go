@@ -1,0 +1,119 @@
+// Command ttsweep reproduces how the paper's ASR service versions were
+// produced (§III-A): "exhaustively sweeping (i.e. grid search) of the
+// heuristic values" and keeping the Pareto-optimal points. It sweeps the
+// decoder's pruning heuristics over a grid, measures WER and work on a
+// corpus, prints the frontier, and suggests seven evenly spaced presets.
+//
+//	ttsweep -corpus 600 -top 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/toltiers/toltiers/internal/asr"
+	"github.com/toltiers/toltiers/internal/metrics"
+	"github.com/toltiers/toltiers/internal/speech"
+	"github.com/toltiers/toltiers/internal/tablewriter"
+)
+
+type point struct {
+	cfg  asr.Config
+	wer  float64
+	work int64
+}
+
+func main() {
+	var (
+		corpusN = flag.Int("corpus", 600, "utterances to decode per grid point")
+		top     = flag.Int("top", 7, "presets to suggest from the frontier")
+	)
+	flag.Parse()
+
+	lm := speech.NewLanguageModel(speech.DefaultLMConfig())
+	am := speech.NewAcousticModel(lm.VocabSize(), speech.DefaultAcousticConfig())
+	syn := speech.NewSynthesizer(lm, am, 1)
+	corpus := syn.Corpus(0, *corpusN)
+
+	// The grid spans the two dominant heuristics; the others follow the
+	// presets' scaling rules (beam delta and token budget grow with the
+	// shortlist).
+	var grid []asr.Config
+	for _, k := range []int{24, 32, 41, 47, 55, 66, 80, 96} {
+		for _, ma := range []int{10, 14, 18, 25, 32, 40} {
+			if ma > k {
+				continue
+			}
+			grid = append(grid, asr.Config{
+				Name:        fmt.Sprintf("k%d-a%d", k, ma),
+				ShortlistK:  k,
+				MaxActive:   ma,
+				BeamDelta:   9 + float64(k)/16,
+				TokenBudget: 80 * k,
+				LMWeight:    0.95,
+			})
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping %d grid points over %d utterances ...\n", len(grid), len(corpus))
+	pts := make([]point, 0, len(grid))
+	for _, cfg := range grid {
+		d := asr.NewDecoder(lm, am, cfg)
+		var errs, words int
+		var work int64
+		for _, u := range corpus {
+			res := d.Decode(u)
+			we := metrics.AlignWords(res.Words, u.Words)
+			errs += we.Total()
+			words += we.RefWords
+			work += res.WorkUnits
+		}
+		pts = append(pts, point{cfg: cfg, wer: float64(errs) / float64(words), work: work / int64(len(corpus))})
+	}
+
+	// Pareto frontier: sort by work, keep strict WER improvements.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].work < pts[j].work })
+	var frontier []point
+	bestWER := 1e9
+	for _, p := range pts {
+		if p.wer < bestWER {
+			frontier = append(frontier, p)
+			bestWER = p.wer
+		}
+	}
+
+	t := tablewriter.New(fmt.Sprintf("heuristic grid sweep — Pareto frontier (%d of %d points)", len(frontier), len(pts)),
+		"config", "shortlistK", "maxActive", "WER", "work/utt", "work x fastest")
+	w0 := float64(frontier[0].work)
+	for _, p := range frontier {
+		t.AddStrings(p.cfg.Name, fmt.Sprint(p.cfg.ShortlistK), fmt.Sprint(p.cfg.MaxActive),
+			fmt.Sprintf("%.4f", p.wer), fmt.Sprint(p.work), fmt.Sprintf("%.2fx", float64(p.work)/w0))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Suggest presets: evenly spaced along the frontier's work axis.
+	n := *top
+	if n > len(frontier) {
+		n = len(frontier)
+	}
+	fmt.Println("suggested presets (evenly spaced on the frontier):")
+	for i := 0; i < n; i++ {
+		idx := i * (len(frontier) - 1) / max(n-1, 1)
+		p := frontier[idx]
+		fmt.Printf("  v%d: ShortlistK=%d MaxActive=%d BeamDelta=%.1f TokenBudget=%d (WER %.4f, %.2fx)\n",
+			i+1, p.cfg.ShortlistK, p.cfg.MaxActive, p.cfg.BeamDelta, p.cfg.TokenBudget,
+			p.wer, float64(p.work)/w0)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

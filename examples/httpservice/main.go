@@ -1,0 +1,72 @@
+// Httpservice: a full client/server round trip over the Tolerance Tiers
+// HTTP API — the curl example of §IV-A as a Go program. The server is
+// started in-process on a loopback port; three consumer profiles then
+// annotate the same request differently and get differently-routed
+// answers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/toltiers/toltiers"
+)
+
+func main() {
+	corpus := toltiers.NewVisionCorpus(1000)
+	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	grid := toltiers.ToleranceGrid(0.10, 0.01)
+	reg := toltiers.NewRegistry(corpus.Service,
+		gen.Generate(grid, toltiers.MinimizeLatency),
+		gen.Generate(grid, toltiers.MinimizeCost))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: toltiers.NewHTTPHandler(reg, corpus.Requests)}
+	go srv.Serve(ln) //nolint:errcheck // shut down with the process
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("tolerance-tiers endpoint listening on %s\n", base)
+
+	ctx := context.Background()
+	cl := toltiers.NewClient(base, nil)
+	if err := cl.Healthy(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	infos, err := cl.Tiers(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noffered tiers:")
+	for _, ti := range infos {
+		fmt.Printf("  tol=%.2f obj=%-14s policy=%s\n", ti.Tolerance, ti.Objective, ti.Policy)
+	}
+
+	id := corpus.Requests[3].ID
+	fmt.Printf("\nclassifying request %d under three consumer profiles:\n", id)
+	for _, c := range []struct {
+		label string
+		tol   float64
+		obj   toltiers.Objective
+	}{
+		{"medical-imaging backend (accuracy-critical)", 0.00, toltiers.MinimizeLatency},
+		{"social feed tagger (responsiveness-critical)", 0.05, toltiers.MinimizeLatency},
+		{"batch archive indexer (cost-critical)", 0.10, toltiers.MinimizeCost},
+	} {
+		res, err := cl.Compute(ctx, id, c.tol, c.obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-46s class=%d tier=%.2f policy=%-26s latency=%.1fms cost=$%.5f\n",
+			c.label, *res.Class, res.Tier, res.Policy, res.LatencyMS, res.CostUSD)
+	}
+
+	_ = srv.Shutdown(ctx)
+}

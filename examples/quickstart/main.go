@@ -1,0 +1,55 @@
+// Quickstart: build a service, profile it, generate tolerance tiers,
+// and serve annotated requests — the full Tolerance Tiers pipeline in
+// one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/toltiers/toltiers"
+)
+
+func main() {
+	// 1. Deploy the image-classification service: the Pareto frontier
+	//    of the CNN zoo on GPU nodes.
+	corpus := toltiers.NewVisionCorpus(1500)
+	svc := corpus.Service
+	fmt.Printf("service %q with %d versions:\n", svc.Domain, len(svc.Versions))
+	for _, v := range svc.Versions {
+		fmt.Printf("  %-16s $%.5f/invocation\n", v.Name(), v.Plan().InvocationCost())
+	}
+
+	// 2. Profile every version against representative traffic.
+	matrix := toltiers.Profile(svc, corpus.Requests)
+	fmt.Printf("\nprofiled %d requests x %d versions\n", matrix.NumRequests(), matrix.NumVersions())
+
+	// 3. Generate routing rules at 99.9% confidence (the paper's
+	//    Fig.-7 bootstrap).
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	grid := toltiers.ToleranceGrid(0.10, 0.01)
+	registry := toltiers.NewRegistry(svc,
+		gen.Generate(grid, toltiers.MinimizeLatency),
+		gen.Generate(grid, toltiers.MinimizeCost))
+
+	// 4. Serve annotated requests: same input, different tiers.
+	req := corpus.Requests[42]
+	for _, ann := range []struct {
+		tol float64
+		obj toltiers.Objective
+	}{
+		{0.00, toltiers.MinimizeLatency}, // accuracy-critical consumer
+		{0.05, toltiers.MinimizeLatency}, // responsiveness-critical
+		{0.10, toltiers.MinimizeCost},    // cost-critical
+	} {
+		res, out, rule, err := registry.Handle(req, ann.tol, ann.obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nTolerance %.2f / %s:\n", ann.tol, ann.obj)
+		fmt.Printf("  routed via %s\n", rule.Candidate.Policy)
+		fmt.Printf("  class=%d confidence=%.2f latency=%v cost=$%.5f escalated=%v\n",
+			res.Class, res.Confidence, out.Latency, out.InvCost, out.Escalated)
+	}
+}

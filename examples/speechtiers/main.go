@@ -1,0 +1,49 @@
+// Speechtiers: a latency-critical voice assistant backed by the ASR
+// service. The example sweeps the tolerance dial and reports what each
+// tier buys: the paper's §V response-time story on the speech service,
+// including a held-out guarantee audit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/toltiers/toltiers"
+)
+
+func main() {
+	corpus := toltiers.NewSpeechCorpus(2500)
+	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+
+	// Train rules on 70% of traffic, audit on the held-out 30% — the
+	// evaluation protocol of §V.
+	train, test := toltiers.Split(matrix.NumRequests(), 0.7, 1)
+	gen := toltiers.NewRuleGenerator(matrix, train, toltiers.DefaultGeneratorConfig())
+	table := gen.Generate(toltiers.ToleranceGrid(0.10, 0.01), toltiers.MinimizeLatency)
+	report := toltiers.Audit(matrix, test, table)
+
+	fmt.Println("voice assistant — response-time tiers (held-out audit):")
+	fmt.Printf("%-10s %-28s %-12s %-12s %s\n", "tolerance", "policy", "latency cut", "err deg", "violated")
+	for _, e := range report.Entries {
+		fmt.Printf("%-10.2f %-28s %-12s %-12s %v\n",
+			e.Tolerance, e.Policy.String(),
+			fmt.Sprintf("%.1f%%", 100*e.LatencyReduction),
+			fmt.Sprintf("%.2f%%", 100*e.Degradation),
+			e.Violated)
+	}
+	if report.Violations > 0 {
+		log.Fatalf("guarantee violations: %d", report.Violations)
+	}
+	fmt.Println("\nno tolerance guarantees were violated")
+
+	// Live path: transcribe one utterance at the 5% tier.
+	reg := toltiers.NewRegistry(corpus.Service, table)
+	req := corpus.Requests[7]
+	res, out, rule, err := reg.Handle(req, 0.05, toltiers.MinimizeLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wer := corpus.Service.Evaluator.Error(req, res)
+	fmt.Printf("\nsample utterance via %s: %d words, WER %.2f, latency %v (audio %.1fs)\n",
+		rule.Candidate.Policy, len(res.Transcript), wer, out.Latency, req.Utterance.AudioSeconds())
+}

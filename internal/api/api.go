@@ -1,0 +1,35 @@
+// Package api defines the wire types of the Tolerance Tiers HTTP API,
+// shared by the server and the Go client SDK.
+package api
+
+// ComputeRequest is the JSON body of POST /compute.
+type ComputeRequest struct {
+	// RequestID selects the corpus input to process.
+	RequestID int `json:"request_id"`
+}
+
+// ComputeResult is the JSON response of POST /compute.
+type ComputeResult struct {
+	// Transcript (ASR) or Class (vision) carries the payload.
+	Transcript []int `json:"transcript,omitempty"`
+	Class      *int  `json:"class,omitempty"`
+	// Confidence is the serving policy's result confidence.
+	Confidence float64 `json:"confidence"`
+	// Tier echoes the resolved tier tolerance.
+	Tier      float64 `json:"tier"`
+	Objective string  `json:"objective"`
+	Policy    string  `json:"policy"`
+	// LatencyMS is the simulated service-side processing latency.
+	LatencyMS float64 `json:"latency_ms"`
+	// CostUSD is the invocation's consumer-side price.
+	CostUSD float64 `json:"cost_usd"`
+	// Escalated reports whether the ensemble escalated.
+	Escalated bool `json:"escalated"`
+}
+
+// TierInfo describes one offered tier in GET /tiers.
+type TierInfo struct {
+	Objective string  `json:"objective"`
+	Tolerance float64 `json:"tolerance"`
+	Policy    string  `json:"policy"`
+}

@@ -1,0 +1,53 @@
+package asr
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/metrics"
+	"github.com/toltiers/toltiers/internal/speech"
+)
+
+func itoa(i int) string     { return fmt.Sprintf("%d", i) }
+func ftoa(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// TestCalibrationProbe prints the WER/work frontier at default scale.
+// It only runs when TOLTIERS_CALIBRATE=1; it exists to re-derive the
+// version presets when the substrate changes.
+func TestCalibrationProbe(t *testing.T) {
+	if os.Getenv("TOLTIERS_CALIBRATE") != "1" {
+		t.Skip("set TOLTIERS_CALIBRATE=1 to run the calibration probe")
+	}
+	lm := speech.NewLanguageModel(speech.DefaultLMConfig())
+	am := speech.NewAcousticModel(lm.VocabSize(), speech.DefaultAcousticConfig())
+	syn := speech.NewSynthesizer(lm, am, 1)
+	corpus := syn.Corpus(0, 800)
+	for _, cfg := range Versions() {
+		d := NewDecoder(lm, am, cfg)
+		var errs, words int
+		var work int64
+		var confSum float64
+		envErrs := make(map[int]int)
+		envWords := make(map[int]int)
+		for _, u := range corpus {
+			res := d.Decode(u)
+			we := metrics.AlignWords(res.Words, u.Words)
+			errs += we.Total()
+			words += we.RefWords
+			work += res.WorkUnits
+			confSum += res.Confidence
+			envErrs[u.Env] += we.Total()
+			envWords[u.Env] += we.RefWords
+		}
+		line := ""
+		for e := 0; e < len(syn.EnvSigmas); e++ {
+			if envWords[e] > 0 {
+				line += " " + cfg.Name[len(cfg.Name)-2:] + "e" + itoa(e) + "=" +
+					ftoa(float64(envErrs[e])/float64(envWords[e]))
+			}
+		}
+		t.Logf("%s: WER=%.4f work/utt=%d conf=%.3f%s", cfg.Name,
+			float64(errs)/float64(words), work/int64(len(corpus)), confSum/float64(len(corpus)), line)
+	}
+}

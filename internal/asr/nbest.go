@@ -1,0 +1,139 @@
+package asr
+
+import (
+	"math"
+	"sort"
+
+	"github.com/toltiers/toltiers/internal/speech"
+)
+
+// Hypothesis is one entry of an N-best list.
+type Hypothesis struct {
+	Words []int
+	Score float64
+	// Posterior is the hypothesis's probability mass within the N-best
+	// list (softmax over scores).
+	Posterior float64
+}
+
+// NBest is a ranked N-best list with the decode statistics of the
+// underlying beam search.
+type NBest struct {
+	Hypotheses []Hypothesis
+	Result     Result
+}
+
+// DecodeNBest runs the beam search and extracts up to k distinct final
+// hypotheses by following the surviving tokens' backtraces. The 1-best
+// entry always equals Decode's hypothesis. Production engines expose
+// the same interface for downstream rescoring and confusion-network
+// confidence estimation.
+func (d *Decoder) DecodeNBest(u *speech.Utterance, k int) NBest {
+	if k < 1 {
+		k = 1
+	}
+	res := d.Decode(u)
+	out := NBest{Result: res}
+	if len(u.Frames) == 0 {
+		out.Hypotheses = []Hypothesis{{Words: nil, Score: 0, Posterior: 1}}
+		return out
+	}
+	// Re-run the final frame's survivors: Decode keeps only the scratch
+	// of the last call, so we re-decode tracking final tokens. To keep
+	// the decoder allocation-friendly this re-runs the search with the
+	// same configuration (deterministic, so the 1-best agrees).
+	finals := d.decodeFinals(u, k)
+	if len(finals) == 0 {
+		out.Hypotheses = []Hypothesis{{Words: res.Words, Score: res.Score, Posterior: 1}}
+		return out
+	}
+	// Softmax posteriors over final scores.
+	best := finals[0].score
+	var z float64
+	for _, f := range finals {
+		z += math.Exp(f.score - best)
+	}
+	for _, f := range finals {
+		words := make([]int, 0, len(u.Frames))
+		for tok := f; tok != nil; tok = tok.prev {
+			words = append(words, tok.word)
+		}
+		for i, j := 0, len(words)-1; i < j; i, j = i+1, j-1 {
+			words[i], words[j] = words[j], words[i]
+		}
+		out.Hypotheses = append(out.Hypotheses, Hypothesis{
+			Words:     words,
+			Score:     f.score,
+			Posterior: math.Exp(f.score-best) / z,
+		})
+	}
+	return out
+}
+
+// decodeFinals repeats the beam search and returns up to k surviving
+// final tokens in descending score order.
+func (d *Decoder) decodeFinals(u *speech.Utterance, k int) []*token {
+	cfg := d.cfg
+	V := d.lm.VocabSize()
+	emis := make([]float64, V)
+	var active []*token
+	merged := make(map[int]*token, cfg.ShortlistK)
+	tokensUsed := 0
+	for t := 0; t < len(u.Frames); t++ {
+		d.am.ScoreAll(u.Frames[t], emis)
+		shortlist := d.topK(emis, cfg.ShortlistK)
+		maxActive := cfg.MaxActive
+		if tokensUsed >= cfg.TokenBudget {
+			maxActive = 1
+			if len(shortlist) > 4 {
+				shortlist = shortlist[:4]
+			}
+		}
+		clear(merged)
+		if t == 0 {
+			for _, w := range shortlist {
+				sc := emis[w] + cfg.LMWeight*d.lm.UnigramLogP(w) + cfg.LengthPenalty
+				if cur, ok := merged[w]; !ok || sc > cur.score {
+					merged[w] = &token{score: sc, word: w}
+				}
+			}
+		} else {
+			for _, tok := range active {
+				for _, w := range shortlist {
+					sc := tok.score + emis[w] + cfg.LMWeight*d.lm.BigramLogP(tok.word, w) + cfg.LengthPenalty
+					if cur, ok := merged[w]; !ok || sc > cur.score {
+						merged[w] = &token{score: sc, word: w, prev: tok}
+					}
+				}
+			}
+		}
+		active = active[:0]
+		for _, tok := range merged {
+			active = append(active, tok)
+		}
+		sort.Slice(active, func(i, j int) bool {
+			a, b := active[i], active[j]
+			if a.score != b.score {
+				return a.score > b.score
+			}
+			return a.word < b.word
+		})
+		if len(active) > maxActive {
+			active = active[:maxActive]
+		}
+		best := active[0].score
+		cut := len(active)
+		for i, tok := range active {
+			if best-tok.score > cfg.BeamDelta {
+				cut = i
+				break
+			}
+		}
+		active = active[:cut]
+		tokensUsed += len(active)
+	}
+	if len(active) > k {
+		active = active[:k]
+	}
+	return active
+}

@@ -1,0 +1,97 @@
+package asr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/speech"
+)
+
+func speechEmpty() speech.Utterance { return speech.Utterance{} }
+
+func TestDecodeNBestTopAgreesWithDecode(t *testing.T) {
+	lm, am, syn := testModels(t)
+	d := NewDecoder(lm, am, Versions()[2])
+	for id := 0; id < 25; id++ {
+		u := syn.Utterance(id)
+		want := d.Decode(u)
+		nb := d.DecodeNBest(u, 5)
+		if len(nb.Hypotheses) == 0 {
+			t.Fatal("empty n-best")
+		}
+		top := nb.Hypotheses[0]
+		if len(top.Words) != len(want.Words) {
+			t.Fatalf("utterance %d: 1-best length %d != decode %d", id, len(top.Words), len(want.Words))
+		}
+		for i := range top.Words {
+			if top.Words[i] != want.Words[i] {
+				t.Fatalf("utterance %d: 1-best disagrees with Decode at %d", id, i)
+			}
+		}
+		if math.Abs(top.Score-want.Score) > 1e-9 {
+			t.Fatalf("utterance %d: score %v != %v", id, top.Score, want.Score)
+		}
+	}
+}
+
+func TestDecodeNBestOrderedAndNormalized(t *testing.T) {
+	lm, am, syn := testModels(t)
+	d := NewDecoder(lm, am, Versions()[4])
+	u := syn.Utterance(31)
+	nb := d.DecodeNBest(u, 8)
+	var mass float64
+	for i, h := range nb.Hypotheses {
+		mass += h.Posterior
+		if i > 0 && h.Score > nb.Hypotheses[i-1].Score+1e-12 {
+			t.Fatal("n-best not score-ordered")
+		}
+		if h.Posterior < 0 || h.Posterior > 1 {
+			t.Fatalf("posterior %v out of range", h.Posterior)
+		}
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", mass)
+	}
+	if nb.Hypotheses[0].Posterior < nb.Hypotheses[len(nb.Hypotheses)-1].Posterior {
+		t.Fatal("top hypothesis has lowest posterior")
+	}
+}
+
+func TestDecodeNBestDistinct(t *testing.T) {
+	lm, am, syn := testModels(t)
+	d := NewDecoder(lm, am, Versions()[4])
+	u := syn.Utterance(12)
+	nb := d.DecodeNBest(u, 6)
+	seen := map[string]bool{}
+	for _, h := range nb.Hypotheses {
+		key := ""
+		for _, w := range h.Words {
+			key += string(rune(w)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate hypothesis in n-best")
+		}
+		seen[key] = true
+	}
+}
+
+func TestDecodeNBestEmptyUtterance(t *testing.T) {
+	lm, am, _ := testModels(t)
+	d := NewDecoder(lm, am, Versions()[0])
+	nb := d.DecodeNBest(&speechUtteranceEmptyVar, 3)
+	if len(nb.Hypotheses) != 1 || nb.Hypotheses[0].Posterior != 1 {
+		t.Fatalf("empty n-best: %+v", nb.Hypotheses)
+	}
+}
+
+func TestDecodeNBestKClamped(t *testing.T) {
+	lm, am, syn := testModels(t)
+	d := NewDecoder(lm, am, Versions()[1])
+	nb := d.DecodeNBest(syn.Utterance(3), 0)
+	if len(nb.Hypotheses) != 1 {
+		t.Fatalf("k=0 should clamp to 1, got %d", len(nb.Hypotheses))
+	}
+}
+
+// speechUtteranceEmptyVar is a zero-frame utterance fixture.
+var speechUtteranceEmptyVar = speechEmpty()

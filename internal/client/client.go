@@ -1,0 +1,121 @@
+// Package client is the Go SDK for a Tolerance Tiers HTTP endpoint: it
+// wraps the §IV-A request annotation (Tolerance/Objective headers) in a
+// typed API.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// Client talks to one Tolerance Tiers service endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the endpoint base URL (e.g.
+// "http://localhost:8080"). httpClient may be nil for the default.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Compute sends one annotated request.
+func (c *Client) Compute(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective) (*api.ComputeResult, error) {
+	body, err := json.Marshal(api.ComputeRequest{RequestID: requestID})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/compute", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
+	req.Header.Set("Objective", string(objective))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: compute: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.ComputeResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode result: %w", err)
+	}
+	return &out, nil
+}
+
+// Tiers lists the offered tiers.
+func (c *Client) Tiers(ctx context.Context) ([]api.TierInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/tiers", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: tiers: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out []api.TierInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode tiers: %w", err)
+	}
+	return out, nil
+}
+
+// Healthy reports whether the endpoint answers /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
+}
+
+// APIError is a non-200 response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("toltiers api: status %d: %s", e.StatusCode, e.Message)
+}
+
+func decodeError(resp *http.Response) error {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(data, &payload); err != nil || payload.Error == "" {
+		payload.Error = string(data)
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: payload.Error}
+}

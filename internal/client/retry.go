@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// RetryPolicy controls ComputeWithRetry. Transient failures (transport
+// errors and 5xx responses) are retried with exponential backoff; 4xx
+// responses are permanent and returned immediately.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (including the first). Values
+	// below 1 are treated as 1.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay; each subsequent retry
+	// doubles it. Zero disables sleeping (useful in tests).
+	BaseBackoff time.Duration
+	// Sleep overrides the sleeping function (nil = time.Sleep with
+	// context cancellation).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy retries three times starting at 50ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond}
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether err warrants another attempt.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= http.StatusInternalServerError
+	}
+	// Transport-level failures are retryable.
+	return true
+}
+
+// ComputeWithRetry is Compute with the retry policy applied.
+func (c *Client) ComputeWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, policy RetryPolicy) (*api.ComputeResult, error) {
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := policy.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := policy.sleep(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		res, err := c.Compute(ctx, requestID, tolerance, objective)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: %d attempts failed: %w", attempts, lastErr)
+}

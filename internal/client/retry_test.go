@@ -1,0 +1,111 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// flaky is a test server that fails n times before succeeding.
+func flaky(failures int, failCode int) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= failures {
+			w.WriteHeader(failCode)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "transient"})
+			return
+		}
+		cls := 3
+		_ = json.NewEncoder(w).Encode(api.ComputeResult{Class: &cls, Tier: 0.05})
+	}))
+	return ts, &calls
+}
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestComputeWithRetrySucceedsAfterTransient(t *testing.T) {
+	ts, calls := flaky(2, http.StatusInternalServerError)
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	pol := RetryPolicy{MaxAttempts: 3, Sleep: noSleep}
+	res, err := c.ComputeWithRetry(context.Background(), 1, 0.05, rulegen.MinimizeLatency, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == nil || *res.Class != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestComputeWithRetryExhausted(t *testing.T) {
+	ts, calls := flaky(10, http.StatusServiceUnavailable)
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	pol := RetryPolicy{MaxAttempts: 3, Sleep: noSleep}
+	if _, err := c.ComputeWithRetry(context.Background(), 1, 0.05, rulegen.MinimizeLatency, pol); err == nil {
+		t.Fatal("exhausted retries should fail")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestComputeWithRetryPermanentErrorNoRetry(t *testing.T) {
+	ts, calls := flaky(10, http.StatusNotFound)
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	pol := RetryPolicy{MaxAttempts: 5, Sleep: noSleep}
+	_, err := c.ComputeWithRetry(context.Background(), 1, 0.05, rulegen.MinimizeLatency, pol)
+	if err == nil {
+		t.Fatal("404 should fail")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: calls = %d", calls.Load())
+	}
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != 404 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComputeWithRetryContextCancel(t *testing.T) {
+	ts, _ := flaky(10, http.StatusInternalServerError)
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pol := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	if _, err := c.ComputeWithRetry(ctx, 1, 0.05, rulegen.MinimizeLatency, pol); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestDefaultRetryPolicy(t *testing.T) {
+	p := DefaultRetryPolicy()
+	if p.MaxAttempts < 2 || p.BaseBackoff <= 0 {
+		t.Fatalf("bad default %+v", p)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if retryable(&APIError{StatusCode: 400}) {
+		t.Fatal("400 retryable")
+	}
+	if !retryable(&APIError{StatusCode: 503}) {
+		t.Fatal("503 not retryable")
+	}
+	if !retryable(context.DeadlineExceeded) {
+		t.Fatal("transport errors must be retryable")
+	}
+}

@@ -1,0 +1,233 @@
+// Package cluster is a discrete-event simulation of the provider-side
+// deployment: pools of service nodes per version, FIFO queueing,
+// annotated-request routing through the Tolerance Tiers registry, and
+// IaaS billing of node time. It reproduces the paper's scale-out setting
+// (multiple instantiations of each version behind a load balancer) and
+// lets experiments measure queueing effects and provider cost that the
+// per-request profile matrix alone cannot capture.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/workload"
+)
+
+// PoolConfig sizes one version's node pool.
+type PoolConfig struct {
+	// Nodes is the number of identical service nodes for this version.
+	Nodes int
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Pools maps version index -> pool size. Versions without an entry
+	// get one node.
+	Pools map[int]PoolConfig
+}
+
+// Stats summarizes a finished simulation.
+type Stats struct {
+	Completed int
+	// MeanResponse includes queueing delay; MeanService is processing
+	// only.
+	MeanResponse time.Duration
+	MeanService  time.Duration
+	MeanQueueing time.Duration
+	MaxQueueLen  int
+	// BusyNodeSeconds accumulates node occupancy per version.
+	BusyNodeSeconds map[int]float64
+	// IaaSCost is the node-time bill over the trace (busy time priced
+	// at each version's node rate).
+	IaaSCost float64
+	// InvocationCost is the consumer-side bill.
+	InvocationCost float64
+	// MeanErr is the mean result error across completed requests.
+	MeanErr float64
+}
+
+type node struct {
+	version int
+	freeAt  time.Duration
+	busy    time.Duration
+}
+
+// pools tracks the nodes of one version.
+type pools struct {
+	nodes []*node
+}
+
+// earliest returns the node that frees up first.
+func (p *pools) earliest() *node {
+	best := p.nodes[0]
+	for _, n := range p.nodes[1:] {
+		if n.freeAt < best.freeAt {
+			best = n
+		}
+	}
+	return best
+}
+
+// Simulate replays the trace against the registry's routing rules over
+// the profile matrix (request service times and errors come from the
+// profiled cells). Sequential (failover) executions occupy the primary
+// pool, then on escalation the secondary pool; concurrent executions
+// occupy both pools simultaneously, releasing a cancelled secondary
+// early.
+func Simulate(m *profile.Matrix, reg *tiers.Registry, trace []workload.Arrival, cfg Config) (Stats, error) {
+	nv := m.NumVersions()
+	ps := make([]*pools, nv)
+	for v := 0; v < nv; v++ {
+		n := 1
+		if pc, ok := cfg.Pools[v]; ok && pc.Nodes > 0 {
+			n = pc.Nodes
+		}
+		ps[v] = &pools{}
+		for i := 0; i < n; i++ {
+			ps[v].nodes = append(ps[v].nodes, &node{version: v})
+		}
+	}
+
+	stats := Stats{BusyNodeSeconds: make(map[int]float64)}
+	var respSum, svcSum, queueSum time.Duration
+	var errSum float64
+
+	// run executes version v's share of a request arriving at t,
+	// returning the completion time after queueing.
+	run := func(v int, arrival time.Duration, svc time.Duration) (start, done time.Duration) {
+		nd := ps[v].earliest()
+		start = arrival
+		if nd.freeAt > start {
+			start = nd.freeAt
+		}
+		done = start + svc
+		nd.freeAt = done
+		nd.busy += svc
+		return start, done
+	}
+
+	for _, a := range trace {
+		if a.RequestIndex < 0 || a.RequestIndex >= m.NumRequests() {
+			return stats, fmt.Errorf("cluster: request index %d outside corpus", a.RequestIndex)
+		}
+		rule, err := reg.Resolve(a.Tolerance, a.Objective)
+		if err != nil {
+			return stats, err
+		}
+		pol := rule.Candidate.Policy
+		row := m.Cells[a.RequestIndex]
+		var done time.Duration
+		var outcome ensemble.Outcome
+		switch pol.Kind {
+		case ensemble.Single:
+			cell := row[pol.Primary]
+			var start time.Duration
+			start, done = run(pol.Primary, a.At, cell.Latency)
+			queueSum += start - a.At
+			outcome = pol.Simulate(row)
+		case ensemble.Failover:
+			pri := row[pol.Primary]
+			start, priDone := run(pol.Primary, a.At, pri.Latency)
+			queueSum += start - a.At
+			done = priDone
+			if pri.Confidence < pol.Threshold {
+				sec := row[pol.Secondary]
+				start2, secDone := run(pol.Secondary, priDone, sec.Latency)
+				queueSum += start2 - priDone
+				done = secDone
+			}
+			outcome = pol.Simulate(row)
+		case ensemble.Concurrent:
+			pri := row[pol.Primary]
+			sec := row[pol.Secondary]
+			start1, priDone := run(pol.Primary, a.At, pri.Latency)
+			// The secondary starts at the same time; if the primary's
+			// confident result lands first the secondary node is
+			// released then (early termination).
+			secService := sec.Latency
+			if pri.Confidence >= pol.Threshold && pri.Latency < sec.Latency {
+				secService = pri.Latency
+			}
+			start2, secDone := run(pol.Secondary, a.At, secService)
+			queueSum += (start1 - a.At) + (start2 - a.At)
+			if pri.Confidence >= pol.Threshold {
+				done = priDone
+			} else {
+				done = maxTime(priDone, secDone)
+			}
+			outcome = pol.Simulate(row)
+		}
+		stats.Completed++
+		respSum += done - a.At
+		svcSum += outcome.Latency
+		errSum += outcome.Err
+		stats.InvocationCost += outcome.InvCost
+		stats.IaaSCost += outcome.IaaSCost
+	}
+
+	for v, p := range ps {
+		for _, n := range p.nodes {
+			stats.BusyNodeSeconds[v] += n.busy.Seconds()
+		}
+	}
+	if stats.Completed > 0 {
+		stats.MeanResponse = respSum / time.Duration(stats.Completed)
+		stats.MeanService = svcSum / time.Duration(stats.Completed)
+		stats.MeanQueueing = queueSum / time.Duration(stats.Completed)
+		stats.MeanErr = errSum / float64(stats.Completed)
+	}
+	return stats, nil
+}
+
+// SizePools returns pool sizes proportional to each version's expected
+// offered load under the registry's rules and the consumer mix: a crude
+// but effective capacity plan. The 40% utilization target leaves
+// headroom for bursty arrivals; small per-version pools multiplex bursts
+// worse than one monolithic pool, so tiered deployments need more slack
+// than OSFA.
+func SizePools(m *profile.Matrix, reg *tiers.Registry, mix []workload.ConsumerClass, ratePerSec float64) Config {
+	nv := m.NumVersions()
+	load := make([]float64, nv) // expected busy seconds per second
+	total := 0.0
+	for _, c := range mix {
+		total += c.Weight
+	}
+	sums := m.Summaries(nil)
+	for _, c := range mix {
+		rule, err := reg.Resolve(c.Tolerance, c.Objective)
+		if err != nil {
+			continue
+		}
+		pol := rule.Candidate.Policy
+		frac := c.Weight / total
+		agg := ensemble.Evaluate(m, nil, pol)
+		switch pol.Kind {
+		case ensemble.Single:
+			load[pol.Primary] += frac * float64(sums[pol.Primary].MeanLatency.Seconds())
+		default:
+			load[pol.Primary] += frac * sums[pol.Primary].MeanLatency.Seconds()
+			secShare := agg.EscalationRate
+			if pol.Kind == ensemble.Concurrent {
+				secShare = 1 // secondary always starts
+			}
+			load[pol.Secondary] += frac * secShare * sums[pol.Secondary].MeanLatency.Seconds()
+		}
+	}
+	cfg := Config{Pools: make(map[int]PoolConfig, nv)}
+	for v := 0; v < nv; v++ {
+		nodes := int(ratePerSec*load[v]/0.4) + 2
+		cfg.Pools[v] = PoolConfig{Nodes: nodes}
+	}
+	return cfg
+}
+
+func maxTime(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

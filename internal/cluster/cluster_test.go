@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+	"github.com/toltiers/toltiers/internal/workload"
+)
+
+type fixture struct {
+	m   *profile.Matrix
+	reg *tiers.Registry
+}
+
+func build(t testing.TB) *fixture {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 600, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 5
+	cfg.MaxTrials = 24
+	cfg.ThresholdPoints = 5
+	cfg.IncludePickBest = false
+	g := rulegen.New(m, nil, cfg)
+	tols := []float64{0, 0.05, 0.10}
+	reg := tiers.NewRegistry(c.Service,
+		g.Generate(tols, rulegen.MinimizeLatency),
+		g.Generate(tols, rulegen.MinimizeCost))
+	return &fixture{m: m, reg: reg}
+}
+
+func trace(n int, corpus int) []workload.Arrival {
+	return workload.Generate(workload.Config{
+		RatePerSec: 200,
+		Duration:   time.Duration(n) * time.Second / 200,
+		CorpusSize: corpus,
+		Seed:       9,
+	})
+}
+
+func TestSimulateCompletesAll(t *testing.T) {
+	f := build(t)
+	tr := trace(2000, f.m.NumRequests())
+	cfg := SizePools(f.m, f.reg, workload.DefaultMix(), 200)
+	stats, err := Simulate(f.m, f.reg, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != len(tr) {
+		t.Fatalf("completed %d of %d", stats.Completed, len(tr))
+	}
+	if stats.MeanResponse <= 0 || stats.MeanService <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.MeanResponse < stats.MeanService {
+		t.Fatal("response time below service time")
+	}
+	if stats.InvocationCost <= 0 || stats.IaaSCost <= 0 {
+		t.Fatal("costs not accumulated")
+	}
+}
+
+func TestQueueingGrowsWhenUnderprovisioned(t *testing.T) {
+	f := build(t)
+	tr := trace(1500, f.m.NumRequests())
+	rich := SizePools(f.m, f.reg, workload.DefaultMix(), 200)
+	poor := Config{Pools: map[int]PoolConfig{}}
+	for v := range rich.Pools {
+		poor.Pools[v] = PoolConfig{Nodes: 1}
+	}
+	richStats, err := Simulate(f.m, f.reg, tr, rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poorStats, err := Simulate(f.m, f.reg, tr, poor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poorStats.MeanQueueing <= richStats.MeanQueueing {
+		t.Fatalf("1-node pools queueing %v not above provisioned %v",
+			poorStats.MeanQueueing, richStats.MeanQueueing)
+	}
+}
+
+func TestBusySecondsConserved(t *testing.T) {
+	f := build(t)
+	tr := trace(800, f.m.NumRequests())
+	cfg := SizePools(f.m, f.reg, workload.DefaultMix(), 200)
+	stats, err := Simulate(f.m, f.reg, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy float64
+	for _, b := range stats.BusyNodeSeconds {
+		busy += b
+	}
+	if busy <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	// Busy time must be at least the summed primary service time.
+	if busy < float64(stats.MeanService)*float64(stats.Completed)/1e9*0.5 {
+		t.Fatalf("busy seconds %v implausibly low", busy)
+	}
+}
+
+func TestSimulateRejectsOutOfCorpus(t *testing.T) {
+	f := build(t)
+	bad := []workload.Arrival{{At: 0, RequestIndex: 1 << 30, Tolerance: 0.05, Objective: rulegen.MinimizeLatency}}
+	if _, err := Simulate(f.m, f.reg, bad, Config{}); err == nil {
+		t.Fatal("out-of-corpus request accepted")
+	}
+}
+
+func TestSimulateRejectsUnknownObjective(t *testing.T) {
+	f := build(t)
+	bad := []workload.Arrival{{At: 0, RequestIndex: 0, Tolerance: 0.05, Objective: "warp-speed"}}
+	if _, err := Simulate(f.m, f.reg, bad, Config{}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestSizePoolsPositive(t *testing.T) {
+	f := build(t)
+	cfg := SizePools(f.m, f.reg, workload.DefaultMix(), 100)
+	if len(cfg.Pools) != f.m.NumVersions() {
+		t.Fatalf("pools for %d versions", len(cfg.Pools))
+	}
+	for v, p := range cfg.Pools {
+		if p.Nodes < 1 {
+			t.Fatalf("version %d pool %d nodes", v, p.Nodes)
+		}
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	f := build(t)
+	tr := trace(500, f.m.NumRequests())
+	cfg := SizePools(f.m, f.reg, workload.DefaultMix(), 200)
+	a, err := Simulate(f.m, f.reg, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(f.m, f.reg, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.IaaSCost != b.IaaSCost {
+		t.Fatal("simulation not deterministic")
+	}
+}

@@ -1,0 +1,113 @@
+package ensemble
+
+import (
+	"sort"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/profile"
+)
+
+// Aggregate summarizes a policy over a set of requests — the metric
+// vector the routing-rule generator bootstraps.
+type Aggregate struct {
+	N              int
+	MeanErr        float64
+	MeanLatency    time.Duration
+	MeanInvCost    float64
+	MeanIaaSCost   float64
+	EscalationRate float64
+}
+
+// Evaluate simulates the policy over the given rows of the matrix
+// (nil = all rows) and aggregates the outcomes. This is the paper's
+// `simulate(sample, cfg)` from Fig. 7.
+func Evaluate(m *profile.Matrix, rows []int, p Policy) Aggregate {
+	var agg Aggregate
+	var latSum time.Duration
+	var errSum, invSum, iaasSum float64
+	escalations := 0
+	add := func(i int) {
+		o := p.Simulate(m.Cells[i])
+		agg.N++
+		errSum += o.Err
+		latSum += o.Latency
+		invSum += o.InvCost
+		iaasSum += o.IaaSCost
+		if o.Escalated {
+			escalations++
+		}
+	}
+	if rows == nil {
+		for i := range m.Cells {
+			add(i)
+		}
+	} else {
+		for _, i := range rows {
+			add(i)
+		}
+	}
+	if agg.N == 0 {
+		return agg
+	}
+	n := float64(agg.N)
+	agg.MeanErr = errSum / n
+	agg.MeanLatency = latSum / time.Duration(agg.N)
+	agg.MeanInvCost = invSum / n
+	agg.MeanIaaSCost = iaasSum / n
+	agg.EscalationRate = float64(escalations) / n
+	return agg
+}
+
+// ErrDegradation returns the relative error degradation of agg against
+// the baseline error (the most accurate configuration's error on the
+// same sample): (err - baseline) / baseline. Negative values mean the
+// ensemble beat the baseline. A zero baseline with zero error degrades
+// by 0; a zero baseline with positive error degrades by +Inf-like 1e9.
+func ErrDegradation(aggErr, baselineErr float64) float64 {
+	if baselineErr == 0 {
+		if aggErr == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return (aggErr - baselineErr) / baselineErr
+}
+
+// ThresholdGrid returns candidate confidence thresholds for a primary
+// version: quantiles of its confidence distribution over the training
+// rows. Using quantiles instead of a fixed grid adapts the search to
+// each version's confidence scale, plus sentinels that accept or
+// escalate everything.
+func ThresholdGrid(m *profile.Matrix, rows []int, version int, points int) []float64 {
+	if points < 1 {
+		points = 1
+	}
+	confs := make([]float64, 0, len(rows))
+	if rows == nil {
+		for i := range m.Cells {
+			confs = append(confs, m.Cells[i][version].Confidence)
+		}
+	} else {
+		for _, i := range rows {
+			confs = append(confs, m.Cells[i][version].Confidence)
+		}
+	}
+	if len(confs) == 0 {
+		return []float64{0}
+	}
+	sortFloats(confs)
+	grid := make([]float64, 0, points+2)
+	grid = append(grid, 0) // accept everything
+	for k := 1; k <= points; k++ {
+		q := float64(k) / float64(points+1)
+		idx := int(q * float64(len(confs)-1))
+		v := confs[idx]
+		if len(grid) == 0 || v > grid[len(grid)-1] {
+			grid = append(grid, v)
+		}
+	}
+	grid = append(grid, confs[len(confs)-1]+1e-9) // escalate everything
+	return grid
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }

@@ -1,0 +1,279 @@
+package ensemble
+
+import (
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// row builds a two-version profile row for policy unit tests.
+func row(errP, confP float64, latP time.Duration, errS, confS float64, latS time.Duration) []profile.Cell {
+	return []profile.Cell{
+		{Err: errP, Latency: latP, Confidence: confP, InvCost: 1, IaaSCost: 0.1},
+		{Err: errS, Latency: latS, Confidence: confS, InvCost: 4, IaaSCost: 0.4},
+	}
+}
+
+func TestSingleSimulate(t *testing.T) {
+	p := Policy{Kind: Single, Primary: 1}
+	o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if o.Err != 0 || o.Latency != 40*time.Millisecond || o.InvCost != 4 || o.Started != 1 || o.Escalated {
+		t.Fatalf("single outcome: %+v", o)
+	}
+}
+
+func TestFailoverAccepts(t *testing.T) {
+	p := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: 0.5}
+	o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if o.Escalated || o.Err != 1 || o.Latency != 10*time.Millisecond || o.InvCost != 1 {
+		t.Fatalf("accepting failover outcome: %+v", o)
+	}
+}
+
+func TestFailoverEscalates(t *testing.T) {
+	p := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: 0.95}
+	o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if !o.Escalated || o.Err != 0 {
+		t.Fatalf("escalating failover outcome: %+v", o)
+	}
+	if o.Latency != 50*time.Millisecond { // sequential: sum of latencies
+		t.Fatalf("failover latency %v, want 50ms", o.Latency)
+	}
+	if o.InvCost != 5 || o.Started != 2 {
+		t.Fatalf("failover cost %v started %d", o.InvCost, o.Started)
+	}
+}
+
+func TestFailoverPickBest(t *testing.T) {
+	p := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: 0.95, PickBest: true}
+	// Primary confidence (0.9) exceeds secondary's (0.8): its (wrong)
+	// answer is kept under PickBest.
+	o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if o.Err != 1 {
+		t.Fatalf("pick-best should keep primary's answer, got err %v", o.Err)
+	}
+	// Without PickBest the secondary wins.
+	p.PickBest = false
+	if o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond)); o.Err != 0 {
+		t.Fatalf("non-pick-best should use secondary, got err %v", o.Err)
+	}
+}
+
+func TestConcurrentEarlyTermination(t *testing.T) {
+	p := Policy{Kind: Concurrent, Primary: 0, Secondary: 1, Threshold: 0.5}
+	o := p.Simulate(row(0, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if o.Escalated {
+		t.Fatalf("confident primary should terminate early: %+v", o)
+	}
+	if o.Latency != 10*time.Millisecond {
+		t.Fatalf("ET latency %v", o.Latency)
+	}
+	// Both invocations billed.
+	if o.InvCost != 5 {
+		t.Fatalf("ET invocation cost %v, want 5", o.InvCost)
+	}
+	// Secondary IaaS is partial: 10ms of its 40ms run = 0.1 of 0.4.
+	wantIaaS := 0.1 + 0.4*0.25
+	if diff := o.IaaSCost - wantIaaS; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ET IaaS cost %v, want %v", o.IaaSCost, wantIaaS)
+	}
+}
+
+func TestConcurrentEscalation(t *testing.T) {
+	p := Policy{Kind: Concurrent, Primary: 0, Secondary: 1, Threshold: 0.95}
+	o := p.Simulate(row(1, 0.9, 10*time.Millisecond, 0, 0.8, 40*time.Millisecond))
+	if !o.Escalated || o.Err != 0 {
+		t.Fatalf("concurrent escalation outcome: %+v", o)
+	}
+	if o.Latency != 40*time.Millisecond { // max, not sum
+		t.Fatalf("concurrent latency %v, want 40ms", o.Latency)
+	}
+	if o.IaaSCost != 0.5 {
+		t.Fatalf("concurrent full IaaS %v", o.IaaSCost)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := []Policy{
+		{Kind: Single, Primary: 0},
+		{Kind: Failover, Primary: 0, Secondary: 1, Threshold: 0.5},
+		{Kind: Concurrent, Primary: 1, Secondary: 0, Threshold: 0.5},
+	}
+	for _, p := range good {
+		if err := p.Validate(2); err != nil {
+			t.Errorf("%v rejected: %v", p, err)
+		}
+	}
+	bad := []Policy{
+		{Kind: Single, Primary: 5},
+		{Kind: Failover, Primary: 0, Secondary: 0, Threshold: 0.5},
+		{Kind: Failover, Primary: 0, Secondary: 9, Threshold: 0.5},
+		{Kind: Concurrent, Primary: 0, Secondary: 1, Threshold: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(2); err == nil {
+			t.Errorf("%v accepted", p)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if s := (Policy{Kind: Single, Primary: 3}).String(); s != "single(3)" {
+		t.Errorf("single string %q", s)
+	}
+	p := Policy{Kind: Failover, Primary: 0, Secondary: 6, Threshold: 0.25, PickBest: true}
+	if s := p.String(); s != "failover(0->6,θ=0.250,best)" {
+		t.Errorf("failover string %q", s)
+	}
+	if Kind(9).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func visionFixture(t testing.TB) (*service.Service, []*service.Request, *profile.Matrix) {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 600, Device: vision.CPU})
+	m := profile.Build(c.Service, c.Requests)
+	return c.Service, c.Requests, m
+}
+
+func TestEvaluateMatchesSingleSummary(t *testing.T) {
+	_, _, m := visionFixture(t)
+	for v := 0; v < m.NumVersions(); v++ {
+		agg := Evaluate(m, nil, Policy{Kind: Single, Primary: v})
+		sums := m.Summaries(nil)
+		if d := agg.MeanErr - sums[v].MeanErr; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("version %d: Evaluate err %v != summary %v", v, agg.MeanErr, sums[v].MeanErr)
+		}
+		if agg.MeanLatency != sums[v].MeanLatency {
+			t.Fatalf("version %d latency mismatch", v)
+		}
+	}
+}
+
+func TestFailoverInterpolatesLatency(t *testing.T) {
+	svc, _, m := visionFixture(t)
+	best := m.NumVersions() - 1
+	fastLat := m.Summaries(nil)[0].MeanLatency
+	bestLat := m.Summaries(nil)[best].MeanLatency
+
+	// Threshold 0 accepts everything: behaves like the fast single.
+	aggAccept := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: best, Threshold: 0})
+	if aggAccept.MeanLatency != fastLat || aggAccept.EscalationRate != 0 {
+		t.Fatalf("threshold 0 should accept all: %+v", aggAccept)
+	}
+	// Threshold > 1 escalates everything: slower than the best single.
+	aggAll := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: best, Threshold: 2})
+	if aggAll.EscalationRate != 1 {
+		t.Fatalf("threshold 2 escalation rate %v", aggAll.EscalationRate)
+	}
+	if aggAll.MeanLatency <= bestLat {
+		t.Fatalf("always-escalate latency %v should exceed best single %v", aggAll.MeanLatency, bestLat)
+	}
+	// A mid threshold lands between the fast and the always-escalate
+	// extremes and reduces error versus the fast single.
+	grid := ThresholdGrid(m, nil, 0, 9)
+	mid := grid[len(grid)/2]
+	aggMid := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: best, Threshold: mid})
+	if aggMid.MeanLatency <= fastLat || aggMid.MeanLatency >= aggAll.MeanLatency {
+		t.Fatalf("mid-threshold latency %v outside (%v, %v)", aggMid.MeanLatency, fastLat, aggAll.MeanLatency)
+	}
+	if aggMid.MeanErr >= aggAccept.MeanErr {
+		t.Fatalf("escalation did not reduce error: %v vs %v", aggMid.MeanErr, aggAccept.MeanErr)
+	}
+	if aggMid.EscalationRate <= 0 || aggMid.EscalationRate >= 1 {
+		t.Fatalf("mid escalation rate %v", aggMid.EscalationRate)
+	}
+	_ = svc
+}
+
+func TestConcurrentFasterThanFailover(t *testing.T) {
+	_, _, m := visionFixture(t)
+	best := m.NumVersions() - 1
+	grid := ThresholdGrid(m, nil, 0, 9)
+	th := grid[len(grid)/2]
+	fo := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: best, Threshold: th})
+	et := Evaluate(m, nil, Policy{Kind: Concurrent, Primary: 0, Secondary: best, Threshold: th})
+	if et.MeanLatency >= fo.MeanLatency {
+		t.Fatalf("concurrent %v not faster than failover %v", et.MeanLatency, fo.MeanLatency)
+	}
+	// Same acceptance decisions, same errors.
+	if et.MeanErr != fo.MeanErr {
+		t.Fatalf("ET and FO errors differ: %v vs %v", et.MeanErr, fo.MeanErr)
+	}
+	// ET bills both invocations: more expensive for the consumer.
+	if et.MeanInvCost <= fo.MeanInvCost {
+		t.Fatalf("ET invocation cost %v not above FO %v", et.MeanInvCost, fo.MeanInvCost)
+	}
+}
+
+func TestErrDegradation(t *testing.T) {
+	if ErrDegradation(0.11, 0.10) < 0.099 || ErrDegradation(0.11, 0.10) > 0.101 {
+		t.Fatalf("ErrDegradation = %v", ErrDegradation(0.11, 0.10))
+	}
+	if ErrDegradation(0.09, 0.10) >= 0 {
+		t.Fatal("improvement must be negative")
+	}
+	if ErrDegradation(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if ErrDegradation(0.1, 0) < 1e8 {
+		t.Fatal("positive error on zero baseline should be huge")
+	}
+}
+
+func TestThresholdGridShape(t *testing.T) {
+	_, _, m := visionFixture(t)
+	grid := ThresholdGrid(m, nil, 0, 9)
+	if len(grid) < 3 {
+		t.Fatalf("grid too small: %v", grid)
+	}
+	if grid[0] != 0 {
+		t.Fatalf("grid must start at 0: %v", grid[0])
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not strictly increasing at %d: %v", i, grid)
+		}
+	}
+	// The final sentinel escalates everything.
+	p := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: grid[len(grid)-1]}
+	if agg := Evaluate(m, nil, p); agg.EscalationRate != 1 {
+		t.Fatalf("sentinel threshold escalation rate %v", agg.EscalationRate)
+	}
+}
+
+func TestExecuteMatchesSimulate(t *testing.T) {
+	svc, reqs, m := visionFixture(t)
+	best := m.NumVersions() - 1
+	policies := []Policy{
+		{Kind: Single, Primary: 2},
+		{Kind: Failover, Primary: 0, Secondary: best, Threshold: 0.5},
+		{Kind: Concurrent, Primary: 0, Secondary: best, Threshold: 0.5},
+		{Kind: Failover, Primary: 0, Secondary: best, Threshold: 0.5, PickBest: true},
+	}
+	for _, p := range policies {
+		for i := 0; i < 40; i++ {
+			_, live := p.Execute(svc, reqs[i])
+			sim := p.Simulate(m.Cells[i])
+			if live.Err != sim.Err || live.Latency != sim.Latency || live.Escalated != sim.Escalated {
+				t.Fatalf("%v request %d: live %+v != sim %+v", p, i, live, sim)
+			}
+			if d := live.InvCost - sim.InvCost; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("%v request %d: inv cost %v != %v", p, i, live.InvCost, sim.InvCost)
+			}
+		}
+	}
+}
+
+func TestEvaluateEmptyRows(t *testing.T) {
+	_, _, m := visionFixture(t)
+	agg := Evaluate(m, []int{}, Policy{Kind: Single, Primary: 0})
+	if agg.N != 0 || agg.MeanErr != 0 {
+		t.Fatalf("empty evaluate: %+v", agg)
+	}
+}

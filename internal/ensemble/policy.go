@@ -1,0 +1,281 @@
+// Package ensemble implements the paper's service-version ensembling
+// (§IV-C): routing policies that combine multiple versions of a service
+// to reach accuracy/latency/cost trade-offs no single version offers.
+//
+// Three policy kinds are supported, matching the ones the paper found to
+// dominate more complex schemes:
+//
+//   - Single: every request goes to one fixed version ("one size fits
+//     all" when that version is the most accurate one).
+//   - Failover (the paper's sequential scheme, "Seq"/FO): the request
+//     runs on a fast primary; if the primary's confidence clears the
+//     threshold its result is returned, otherwise the request is
+//     re-executed on the accurate secondary.
+//   - Concurrent (the paper's concurrent scheme, "Conc"/ET): primary and
+//     secondary start together; a confident primary result terminates
+//     the secondary early, otherwise the secondary's result is awaited.
+//
+// Policies execute in two modes: Simulate evaluates a policy against a
+// profile row (the paper's `toltiers.simulator.simulate`), and Execute
+// drives live service versions, for the HTTP front end.
+package ensemble
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Kind discriminates the policy families.
+type Kind int
+
+const (
+	// Single routes every request to one version.
+	Single Kind = iota
+	// Failover escalates sequentially on low confidence.
+	Failover
+	// Concurrent hedges: both versions start, early termination on
+	// confident primary.
+	Concurrent
+)
+
+// String names the kind as in the paper ("OSFA"-style single, Seq, Conc).
+func (k Kind) String() string {
+	switch k {
+	case Single:
+		return "single"
+	case Failover:
+		return "failover"
+	case Concurrent:
+		return "concurrent"
+	}
+	return "unknown"
+}
+
+// Policy is one routing configuration over a service's version list.
+type Policy struct {
+	Kind Kind
+	// Primary is the index of the (fast) version consulted first.
+	Primary int
+	// Secondary is the escalation target (ignored for Single).
+	Secondary int
+	// Threshold gates acceptance of the primary's result: escalate when
+	// its confidence is below Threshold. 0 accepts everything; above 1
+	// escalates everything.
+	Threshold float64
+	// PickBest, when escalating, returns whichever result (primary or
+	// secondary) reports higher confidence instead of always the
+	// secondary's. This is the ensembling that can beat every single
+	// version's accuracy.
+	PickBest bool
+}
+
+// String renders a compact human-readable form, e.g.
+// "failover(v1->v7,θ=0.35,best)".
+func (p Policy) String() string {
+	switch p.Kind {
+	case Single:
+		return fmt.Sprintf("single(%d)", p.Primary)
+	default:
+		suffix := ""
+		if p.PickBest {
+			suffix = ",best"
+		}
+		return fmt.Sprintf("%s(%d->%d,θ=%.3f%s)", p.Kind, p.Primary, p.Secondary, p.Threshold, suffix)
+	}
+}
+
+// Validate checks the policy against a service with nVersions versions.
+func (p Policy) Validate(nVersions int) error {
+	if p.Primary < 0 || p.Primary >= nVersions {
+		return fmt.Errorf("ensemble: primary %d out of range [0,%d)", p.Primary, nVersions)
+	}
+	if p.Kind == Single {
+		return nil
+	}
+	if p.Secondary < 0 || p.Secondary >= nVersions {
+		return fmt.Errorf("ensemble: secondary %d out of range [0,%d)", p.Secondary, nVersions)
+	}
+	if p.Secondary == p.Primary {
+		return fmt.Errorf("ensemble: secondary equals primary (%d)", p.Primary)
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("ensemble: negative threshold %v", p.Threshold)
+	}
+	return nil
+}
+
+// Outcome is the result of running a policy for one request.
+type Outcome struct {
+	// Err is the error of the returned result.
+	Err float64
+	// Latency is the end-to-end response time.
+	Latency time.Duration
+	// InvCost is the total consumer-side invocation cost (every version
+	// that was started is billed).
+	InvCost float64
+	// IaaSCost is the provider-side node-time cost, crediting early
+	// termination of a cancelled secondary.
+	IaaSCost float64
+	// Escalated reports whether the secondary's result was used.
+	Escalated bool
+	// Started counts versions that began processing (1 or 2).
+	Started int
+}
+
+// Simulate evaluates the policy against one profile row.
+func (p Policy) Simulate(row []profile.Cell) Outcome {
+	pri := row[p.Primary]
+	switch p.Kind {
+	case Single:
+		return Outcome{
+			Err:      pri.Err,
+			Latency:  pri.Latency,
+			InvCost:  pri.InvCost,
+			IaaSCost: pri.IaaSCost,
+			Started:  1,
+		}
+	case Failover:
+		if pri.Confidence >= p.Threshold {
+			return Outcome{Err: pri.Err, Latency: pri.Latency, InvCost: pri.InvCost, IaaSCost: pri.IaaSCost, Started: 1}
+		}
+		sec := row[p.Secondary]
+		err := sec.Err
+		if p.PickBest && pri.Confidence > sec.Confidence {
+			err = pri.Err
+		}
+		return Outcome{
+			Err:       err,
+			Latency:   pri.Latency + sec.Latency,
+			InvCost:   pri.InvCost + sec.InvCost,
+			IaaSCost:  pri.IaaSCost + sec.IaaSCost,
+			Escalated: true,
+			Started:   2,
+		}
+	case Concurrent:
+		sec := row[p.Secondary]
+		if pri.Confidence >= p.Threshold {
+			// Early termination: the secondary is cancelled once the
+			// primary's confident result arrives; its node was busy for
+			// min(latencies).
+			cancelled := sec.Latency
+			if pri.Latency < cancelled {
+				cancelled = pri.Latency
+			}
+			partialIaaS := sec.IaaSCost * float64(cancelled) / float64(maxDuration(sec.Latency, 1))
+			return Outcome{
+				Err:      pri.Err,
+				Latency:  pri.Latency,
+				InvCost:  pri.InvCost + sec.InvCost,
+				IaaSCost: pri.IaaSCost + partialIaaS,
+				Started:  2,
+			}
+		}
+		err := sec.Err
+		if p.PickBest && pri.Confidence > sec.Confidence {
+			err = pri.Err
+		}
+		return Outcome{
+			Err:       err,
+			Latency:   maxDuration(pri.Latency, sec.Latency),
+			InvCost:   pri.InvCost + sec.InvCost,
+			IaaSCost:  pri.IaaSCost + sec.IaaSCost,
+			Escalated: true,
+			Started:   2,
+		}
+	}
+	panic(fmt.Sprintf("ensemble: unknown policy kind %d", p.Kind))
+}
+
+// Execute runs the policy against live service versions. Latency
+// accounting follows the simulated service clock (the versions report
+// their processing time); for Concurrent the two versions genuinely run
+// in parallel goroutines.
+func (p Policy) Execute(svc *service.Service, req *service.Request) (service.Result, Outcome) {
+	eval := svc.Evaluator
+	pv := svc.Versions[p.Primary]
+	switch p.Kind {
+	case Single:
+		res := pv.Process(req)
+		return res, Outcome{
+			Err:      eval.Error(req, res),
+			Latency:  res.Latency,
+			InvCost:  pv.Plan().InvocationCost(),
+			IaaSCost: pv.Plan().IaaSCost(res.Latency),
+			Started:  1,
+		}
+	case Failover:
+		pres := pv.Process(req)
+		if pres.Confidence >= p.Threshold {
+			return pres, Outcome{
+				Err:      eval.Error(req, pres),
+				Latency:  pres.Latency,
+				InvCost:  pv.Plan().InvocationCost(),
+				IaaSCost: pv.Plan().IaaSCost(pres.Latency),
+				Started:  1,
+			}
+		}
+		sv := svc.Versions[p.Secondary]
+		sres := sv.Process(req)
+		chosen := sres
+		if p.PickBest && pres.Confidence > sres.Confidence {
+			chosen = pres
+		}
+		return chosen, Outcome{
+			Err:       eval.Error(req, chosen),
+			Latency:   pres.Latency + sres.Latency,
+			InvCost:   pv.Plan().InvocationCost() + sv.Plan().InvocationCost(),
+			IaaSCost:  pv.Plan().IaaSCost(pres.Latency) + sv.Plan().IaaSCost(sres.Latency),
+			Escalated: true,
+			Started:   2,
+		}
+	case Concurrent:
+		sv := svc.Versions[p.Secondary]
+		secCh := make(chan service.Result, 1)
+		go func() { secCh <- sv.Process(req) }()
+		pres := pv.Process(req)
+		if pres.Confidence >= p.Threshold {
+			// Early termination: we do not wait for the secondary's
+			// result beyond the primary's (simulated) completion time.
+			sres := <-secCh // goroutine already finished its real work
+			cancelled := minDuration(pres.Latency, sres.Latency)
+			return pres, Outcome{
+				Err:      eval.Error(req, pres),
+				Latency:  pres.Latency,
+				InvCost:  pv.Plan().InvocationCost() + sv.Plan().InvocationCost(),
+				IaaSCost: pv.Plan().IaaSCost(pres.Latency) + sv.Plan().IaaSCost(cancelled),
+				Started:  2,
+			}
+		}
+		sres := <-secCh
+		chosen := sres
+		if p.PickBest && pres.Confidence > sres.Confidence {
+			chosen = pres
+		}
+		return chosen, Outcome{
+			Err:       eval.Error(req, chosen),
+			Latency:   maxDuration(pres.Latency, sres.Latency),
+			InvCost:   pv.Plan().InvocationCost() + sv.Plan().InvocationCost(),
+			IaaSCost:  pv.Plan().IaaSCost(pres.Latency) + sv.Plan().IaaSCost(sres.Latency),
+			Escalated: true,
+			Started:   2,
+		}
+	}
+	panic(fmt.Sprintf("ensemble: unknown policy kind %d", p.Kind))
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

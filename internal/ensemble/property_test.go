@@ -1,0 +1,131 @@
+package ensemble
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// randomRow synthesizes a plausible two-version profile row from fuzz
+// input.
+func randomRow(r *xrand.RNG) []profile.Cell {
+	fastLat := time.Duration(1+r.Intn(1000)) * time.Millisecond
+	slowLat := fastLat + time.Duration(1+r.Intn(1000))*time.Millisecond
+	return []profile.Cell{
+		{Err: r.Float64(), Latency: fastLat, Confidence: r.Float64(), InvCost: 0.1 + r.Float64(), IaaSCost: r.Float64()},
+		{Err: r.Float64(), Latency: slowLat, Confidence: r.Float64(), InvCost: 1 + r.Float64(), IaaSCost: r.Float64()},
+	}
+}
+
+// Invariants that must hold for every row and threshold:
+//  1. Failover latency >= fast version's latency.
+//  2. Concurrent latency == fast latency when accepted, <= failover
+//     latency always.
+//  3. Concurrent invocation cost >= failover invocation cost.
+//  4. Every outcome's cost and latency are positive.
+//  5. Failover and Concurrent agree on acceptance and, without
+//     PickBest, on the returned error.
+func TestPolicyInvariantsQuick(t *testing.T) {
+	rng := xrand.New(0xfeed)
+	f := func(thRaw uint16) bool {
+		row := randomRow(rng)
+		th := float64(thRaw) / 65535.0
+		fo := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: th}
+		et := Policy{Kind: Concurrent, Primary: 0, Secondary: 1, Threshold: th}
+		ofo := fo.Simulate(row)
+		oet := et.Simulate(row)
+		if ofo.Latency < row[0].Latency {
+			return false
+		}
+		if oet.Latency > ofo.Latency {
+			return false
+		}
+		if oet.InvCost < ofo.InvCost-1e-12 {
+			return false
+		}
+		if ofo.Latency <= 0 || ofo.InvCost <= 0 || oet.Latency <= 0 || oet.InvCost <= 0 {
+			return false
+		}
+		if ofo.Escalated != oet.Escalated {
+			return false
+		}
+		if ofo.Err != oet.Err {
+			return false
+		}
+		// Accepted fast result: both return the primary's error at the
+		// primary's latency (ET) and exactly the primary's cost (FO).
+		if !ofo.Escalated {
+			if ofo.Err != row[0].Err || oet.Latency != row[0].Latency {
+				return false
+			}
+			if ofo.InvCost != row[0].InvCost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PickBest can only change the escalated error, never the accounting.
+func TestPickBestOnlyAffectsErrorQuick(t *testing.T) {
+	rng := xrand.New(0xbead)
+	f := func(thRaw uint16) bool {
+		row := randomRow(rng)
+		th := float64(thRaw) / 65535.0
+		plain := Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: th}
+		best := plain
+		best.PickBest = true
+		a, b := plain.Simulate(row), best.Simulate(row)
+		if a.Latency != b.Latency || a.InvCost != b.InvCost || a.IaaSCost != b.IaaSCost {
+			return false
+		}
+		if !a.Escalated && a.Err != b.Err {
+			return false
+		}
+		// When escalated, PickBest's error is one of the two versions'.
+		if a.Escalated && b.Err != row[0].Err && b.Err != row[1].Err {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Threshold monotonicity: raising the threshold can only increase the
+// failover escalation rate (and therefore its mean latency) over a fixed
+// row set.
+func TestThresholdMonotoneQuick(t *testing.T) {
+	rng := xrand.New(0xcafe)
+	rows := make([][]profile.Cell, 200)
+	for i := range rows {
+		rows[i] = randomRow(rng)
+	}
+	m := &profile.Matrix{
+		VersionNames: []string{"fast", "slow"},
+		RequestIDs:   make([]int, len(rows)),
+		Cells:        rows,
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		lo, hi := float64(aRaw)/65535.0, float64(bRaw)/65535.0
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		aggLo := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: lo})
+		aggHi := Evaluate(m, nil, Policy{Kind: Failover, Primary: 0, Secondary: 1, Threshold: hi})
+		if aggHi.EscalationRate < aggLo.EscalationRate {
+			return false
+		}
+		return aggHi.MeanLatency >= aggLo.MeanLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/asr"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/tablewriter"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// E1 regenerates Table I: the seven ASR service versions — their six
+// beam-search heuristics and their measured WER, latency, and price.
+func (e *Env) E1() []*tablewriter.Table {
+	_, m := e.Speech()
+	sums := m.Summaries(nil)
+	t := tablewriter.New("E1 / Table I — ASR service versions (beam-search heuristics and measured behaviour)",
+		"version", "shortlistK", "maxActive", "beamDelta", "tokenBudget", "lmWeight",
+		"WER", "mean latency (ms)", "latency x v1", "price/inv ($)")
+	v1Lat := float64(sums[0].MeanLatency)
+	for i, cfg := range asr.Versions() {
+		s := sums[i]
+		t.AddStrings(cfg.Name,
+			fmt.Sprint(cfg.ShortlistK), fmt.Sprint(cfg.MaxActive),
+			fmt.Sprintf("%.1f", cfg.BeamDelta), fmt.Sprint(cfg.TokenBudget),
+			fmt.Sprintf("%.2f", cfg.LMWeight),
+			pct(s.MeanErr), ms(s.MeanLatency),
+			fmt.Sprintf("%.2fx", float64(s.MeanLatency)/v1Lat),
+			fmt.Sprintf("%.4f", s.MeanInvCost))
+	}
+	t.Caption = fmt.Sprintf("corpus: %d synthetic VoxForge-like utterances; paper reports a ~2.6x latency span cutting WER by >9%% relative", m.NumRequests())
+	return []*tablewriter.Table{t}
+}
+
+// E2 regenerates Table II: the image-classification model zoo on both
+// devices, including off-frontier architectures.
+func (e *Env) E2() []*tablewriter.Table {
+	_, zm := e.VisionZoo()
+	sums := zm.Summaries(nil)
+	frontierCPU := map[string]bool{}
+	for _, f := range vision.ParetoZoo(vision.CPU) {
+		frontierCPU[f.Name] = true
+	}
+	frontierGPU := map[string]bool{}
+	for _, f := range vision.ParetoZoo(vision.GPU) {
+		frontierGPU[f.Name] = true
+	}
+	t := tablewriter.New("E2 / Table II — image-classification model zoo",
+		"model", "GFLOPs", "params (M)", "top-1 err", "CPU lat (ms)", "GPU lat (ms)", "price/inv cpu ($)", "on CPU frontier", "on GPU frontier")
+	for i, spec := range vision.Zoo() {
+		s := sums[i]
+		t.AddStrings(spec.Name,
+			fmt.Sprintf("%.1f", spec.GFLOPs), fmt.Sprintf("%.1f", spec.Params),
+			pct(s.MeanErr), ms(spec.LatencyCPU), ms(spec.LatencyGPU),
+			fmt.Sprintf("%.5f", s.MeanInvCost),
+			yesNo(frontierCPU[spec.Name]), yesNo(frontierGPU[spec.Name]))
+	}
+	t.Caption = fmt.Sprintf("corpus: %d synthetic ILSVRC-like images; err targets follow the architectures' published top-1 errors", zm.NumRequests())
+	return []*tablewriter.Table{t}
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// E3 regenerates Fig. 1: the accuracy-latency Pareto frontiers of both
+// services (series of latency vs error points).
+func (e *Env) E3() []*tablewriter.Table {
+	var out []*tablewriter.Table
+
+	_, sm := e.Speech()
+	ta := tablewriter.New("E3a / Fig. 1a — ASR accuracy-latency frontier", "version", "mean latency (ms)", "WER", "rel. WER degradation vs best")
+	sums := sm.Summaries(nil)
+	best := sums[len(sums)-1].MeanErr
+	for _, s := range sums {
+		ta.AddStrings(s.Name, ms(s.MeanLatency), pct(s.MeanErr), pct((s.MeanErr-best)/best))
+	}
+	out = append(out, ta)
+
+	for _, dev := range []vision.Device{vision.CPU, vision.GPU} {
+		var m *profile.Matrix
+		if dev == vision.CPU {
+			_, m = e.VisionCPU()
+		} else {
+			_, m = e.VisionGPU()
+		}
+		t := tablewriter.New(fmt.Sprintf("E3b / Fig. 1b — IC accuracy-latency frontier (%s)", dev),
+			"version", "mean latency (ms)", "top-1 err", "rel. degradation vs best")
+		vs := m.Summaries(nil)
+		bestErr := vs[len(vs)-1].MeanErr
+		for _, s := range vs {
+			t.AddStrings(s.Name, ms(s.MeanLatency), pct(s.MeanErr), pct((s.MeanErr-bestErr)/bestErr))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// E4 regenerates Fig. 2: per-request accuracy-latency behaviour
+// categories — exemplar requests (2a-2d) and the category breakdowns
+// (2e for ASR, 2f for IC).
+func (e *Env) E4() []*tablewriter.Table {
+	var out []*tablewriter.Table
+
+	_, sm := e.Speech()
+	_, vm := e.VisionCPU()
+
+	exemplars := tablewriter.New("E4a-d / Fig. 2a-2d — exemplar requests per category (ASR; error per version)",
+		append([]string{"category", "request"}, sm.VersionNames...)...)
+	_, perCat := sm.Categorize()
+	seen := map[profile.Category]bool{}
+	for i, cat := range perCat {
+		if seen[cat] {
+			continue
+		}
+		seen[cat] = true
+		row := []string{cat.String(), fmt.Sprint(sm.RequestIDs[i])}
+		for v := range sm.Cells[i] {
+			row = append(row, pct(sm.Cells[i][v].Err))
+		}
+		exemplars.AddStrings(row...)
+		if len(seen) == 4 {
+			break
+		}
+	}
+	out = append(out, exemplars)
+
+	breakdown := tablewriter.New("E4e-f / Fig. 2e-2f — accuracy-latency category breakdown",
+		"service", "unchanged", "improves", "degrades", "varies")
+	sb, _ := sm.Categorize()
+	vb, _ := vm.Categorize()
+	breakdown.AddStrings("ASR", pct(sb.Fraction(profile.Unchanged)), pct(sb.Fraction(profile.Improves)), pct(sb.Fraction(profile.Degrades)), pct(sb.Fraction(profile.Varies)))
+	breakdown.AddStrings("IC (cpu)", pct(vb.Fraction(profile.Unchanged)), pct(vb.Fraction(profile.Improves)), pct(vb.Fraction(profile.Degrades)), pct(vb.Fraction(profile.Varies)))
+	breakdown.Caption = "paper: >74% unchanged / >15% improves (ASR); >65% unchanged / >15% improves with notable varies (IC)"
+	out = append(out, breakdown)
+	return out
+}
+
+// E5 regenerates Fig. 3: mean error per behaviour category across the
+// service versions, including the "all" aggregate.
+func (e *Env) E5() []*tablewriter.Table {
+	var out []*tablewriter.Table
+	for _, svc := range []struct {
+		name string
+		m    *profile.Matrix
+	}{
+		{"ASR", e.speechMatrixOf()},
+		{"IC (cpu)", e.visionMatrixOf()},
+	} {
+		ce := svc.m.CategoryErrors()
+		t := tablewriter.New(fmt.Sprintf("E5 / Fig. 3 — error by category across versions (%s)", svc.name),
+			append([]string{"series", "requests"}, ce.Versions...)...)
+		addSeries := func(label string, n int, errs []float64) {
+			row := []string{label, fmt.Sprint(n)}
+			for _, v := range errs {
+				row = append(row, pct(v))
+			}
+			t.AddStrings(row...)
+		}
+		addSeries("all", svc.m.NumRequests(), ce.All)
+		for _, cat := range []profile.Category{profile.Improves, profile.Degrades, profile.Varies} {
+			addSeries(cat.String(), ce.Counts[cat], ce.ByCategory[cat])
+		}
+		t.Caption = `the "unchanged" series is omitted as in the paper (it is flat by definition)`
+		out = append(out, t)
+	}
+	return out
+}
+
+func (e *Env) speechMatrixOf() *profile.Matrix {
+	_, m := e.Speech()
+	return m
+}
+
+func (e *Env) visionMatrixOf() *profile.Matrix {
+	_, m := e.VisionCPU()
+	return m
+}

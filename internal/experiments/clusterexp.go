@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/cluster"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tablewriter"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/workload"
+)
+
+// C1 runs the provider-side deployment study: the same annotated traffic
+// served by (a) a one-size-fits-all cluster running only the most
+// accurate version, and (b) a Tolerance Tiers cluster with version
+// pools — at equal node budget. It reports end-to-end response time
+// (including queueing), result error, and both bills. This is the
+// deployment argument of §III/§IV that the per-request matrices cannot
+// show: under load, OSFA's slow monolith queues while the tiered
+// cluster absorbs the same traffic with headroom.
+func (e *Env) C1() []*tablewriter.Table {
+	var out []*tablewriter.Table
+	for _, r := range e.tierRuns() {
+		if r.name != "ASR" && r.name != "IC-gpu" {
+			continue // two representative deployments keep the run fast
+		}
+		reg := tiers.NewRegistry(nil, r.latTable, r.costTable)
+		mix := workload.DefaultMix()
+
+		// Arrival rate chosen to load a ~24-node tiered deployment to
+		// ~60%: scale from the best version's mean service time.
+		sums := r.m.Summaries(nil)
+		best := len(sums) - 1
+		rate := 14.0 / sums[best].MeanLatency.Seconds()
+
+		trace := workload.Generate(workload.Config{
+			RatePerSec: rate,
+			Duration:   2 * time.Minute,
+			CorpusSize: r.m.NumRequests(),
+			Mix:        mix,
+			Burstiness: 4,
+			Seed:       77,
+		})
+
+		tieredCfg := cluster.SizePools(r.m, reg, mix, rate)
+		nodeBudget := 0
+		for _, p := range tieredCfg.Pools {
+			nodeBudget += p.Nodes
+		}
+		tiered, err := cluster.Simulate(r.m, reg, trace, tieredCfg)
+		if err != nil {
+			panic(err)
+		}
+
+		// OSFA at the same node budget: every node runs the most
+		// accurate version; every request is served by it.
+		osfaMix := []workload.ConsumerClass{{Weight: 1, Tolerance: 0, Objective: rulegen.MinimizeLatency}}
+		osfaTable := osfaRuleTable(r, best)
+		osfaReg := tiers.NewRegistry(nil, osfaTable)
+		osfaTrace := workload.Generate(workload.Config{
+			RatePerSec: rate,
+			Duration:   2 * time.Minute,
+			CorpusSize: r.m.NumRequests(),
+			Mix:        osfaMix,
+			Burstiness: 4,
+			Seed:       77,
+		})
+		osfaCfg := cluster.Config{Pools: map[int]cluster.PoolConfig{best: {Nodes: nodeBudget}}}
+		osfa, err := cluster.Simulate(r.m, osfaReg, osfaTrace, osfaCfg)
+		if err != nil {
+			panic(err)
+		}
+
+		t := tablewriter.New(
+			fmt.Sprintf("C1 — cluster serving at equal node budget (%s, %d nodes, %.0f req/s, bursty)", r.name, nodeBudget, rate),
+			"deployment", "mean response", "mean queueing", "mean err", "invocation bill ($)", "IaaS bill ($)")
+		add := func(label string, s cluster.Stats) {
+			t.AddStrings(label,
+				s.MeanResponse.Round(time.Millisecond).String(),
+				s.MeanQueueing.Round(time.Millisecond).String(),
+				pct(s.MeanErr),
+				fmt.Sprintf("%.2f", s.InvocationCost),
+				fmt.Sprintf("%.4f", s.IaaSCost))
+		}
+		add("OSFA (best version only)", osfa)
+		add("Tolerance Tiers (mixed pools)", tiered)
+		t.Caption = "same traffic, same node count; tiers cut service time and both bills, while OSFA's single large pool multiplexes bursts better (lower queueing) — the provisioning trade-off of §IV"
+		out = append(out, t)
+	}
+	return out
+}
+
+// osfaRuleTable builds a single-rule table that routes everything to the
+// given version, for the OSFA baseline cluster.
+func osfaRuleTable(r *tierRun, best int) rulegen.RuleTable {
+	cand := rulegen.Candidate{Policy: ensemble.Policy{Kind: ensemble.Single, Primary: best}}
+	return rulegen.RuleTable{
+		Objective: rulegen.MinimizeLatency,
+		Best:      best,
+		Rules:     []rulegen.Rule{{Tolerance: 0, Objective: rulegen.MinimizeLatency, Candidate: cand}},
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tablewriter"
+	"github.com/toltiers/toltiers/internal/tiers"
+)
+
+// tierRun caches one service's tier pipeline: split, generator, rule
+// tables for both objectives, and held-out audits.
+type tierRun struct {
+	name      string
+	m         *profile.Matrix
+	train     []int
+	test      []int
+	gen       *rulegen.Generator
+	latTable  rulegen.RuleTable
+	costTable rulegen.RuleTable
+	latAudit  tiers.AuditReport
+	costAudit tiers.AuditReport
+}
+
+var tierRunNames = []string{"ASR", "IC-cpu", "IC-gpu"}
+
+func (e *Env) tierRuns() []*tierRun {
+	e.tierOnce.Do(func() {
+		matrices := map[string]*profile.Matrix{}
+		_, matrices["ASR"] = e.Speech()
+		_, matrices["IC-cpu"] = e.VisionCPU()
+		_, matrices["IC-gpu"] = e.VisionGPU()
+		var wg sync.WaitGroup
+		runs := make([]*tierRun, len(tierRunNames))
+		for i, name := range tierRunNames {
+			wg.Add(1)
+			go func(i int, name string, m *profile.Matrix) {
+				defer wg.Done()
+				train, test := dataset.Split(m.NumRequests(), e.Scale.TrainFrac, 0x59117+uint64(i))
+				g := rulegen.New(m, train, e.Scale.Gen)
+				grid := e.ToleranceGrid()
+				r := &tierRun{name: name, m: m, train: train, test: test, gen: g}
+				r.latTable = g.Generate(grid, rulegen.MinimizeLatency)
+				r.costTable = g.Generate(grid, rulegen.MinimizeCost)
+				r.latAudit = tiers.Audit(m, test, r.latTable)
+				r.costAudit = tiers.Audit(m, test, r.costTable)
+				runs[i] = r
+			}(i, name, matrices[name])
+		}
+		wg.Wait()
+		e.tierRunCache = runs
+	})
+	return e.tierRunCache
+}
+
+// E6 regenerates Fig. 5: the anatomy of the ensemble policies at the 5%
+// tolerance operating point — one-size-fits-all versus the best
+// sequential (FO) and concurrent (ET) ensembles.
+func (e *Env) E6() []*tablewriter.Table {
+	var out []*tablewriter.Table
+	const tol = 0.05
+	for _, r := range e.tierRuns() {
+		t := tablewriter.New(
+			fmt.Sprintf("E6 / Fig. 5 — ensemble policy anatomy at the 5%% tier (%s)", r.name),
+			"policy", "mean latency (ms)", "latency vs OSFA", "inv cost ($)", "cost vs OSFA", "IaaS cost ($)", "escalation rate", "worst-case err deg")
+		osfa := ensemble.Policy{Kind: ensemble.Single, Primary: r.gen.Best()}
+		base := ensemble.Evaluate(r.m, r.test, osfa)
+		add := func(label string, c rulegen.Candidate) {
+			agg := ensemble.Evaluate(r.m, r.test, c.Policy)
+			t.AddStrings(label+" "+c.Policy.String(),
+				ms(agg.MeanLatency), pct(1-float64(agg.MeanLatency)/float64(base.MeanLatency)),
+				fmt.Sprintf("%.5f", agg.MeanInvCost), pct(1-agg.MeanInvCost/base.MeanInvCost),
+				fmt.Sprintf("%.6f", agg.MeanIaaSCost),
+				pct(agg.EscalationRate), pct(c.WorstErrDeg))
+		}
+		t.AddStrings("OSFA single(best)", ms(base.MeanLatency), "0.00%",
+			fmt.Sprintf("%.5f", base.MeanInvCost), "0.00%",
+			fmt.Sprintf("%.6f", base.MeanIaaSCost), "0.00%", "0.00%")
+		if c, ok := bestCandidate(r.gen, tol, ensemble.Failover, rulegen.MinimizeLatency); ok {
+			add("Seq/FO", c)
+		}
+		if c, ok := bestCandidate(r.gen, tol, ensemble.Concurrent, rulegen.MinimizeLatency); ok {
+			add("Conc/ET", c)
+		}
+		if c, ok := bestCandidate(r.gen, tol, ensemble.Failover, rulegen.MinimizeCost); ok {
+			add("Seq/FO (cost-opt)", c)
+		}
+		t.Caption = "ET buys latency by hedging (both invocations billed); FO buys cost by invoking the big version only on escalation"
+		out = append(out, t)
+	}
+	return out
+}
+
+// bestCandidate returns the generator's best candidate of the given kind
+// within tolerance tol for the objective.
+func bestCandidate(g *rulegen.Generator, tol float64, kind ensemble.Kind, obj rulegen.Objective) (rulegen.Candidate, bool) {
+	bestIdx := -1
+	var bestVal float64
+	for i, c := range g.Candidates() {
+		if c.Policy.Kind != kind || c.WorstErrDeg > tol {
+			continue
+		}
+		val := float64(c.MeanLatency)
+		if obj == rulegen.MinimizeCost {
+			val = c.MeanInvCost
+		}
+		if bestIdx == -1 || val < bestVal {
+			bestIdx, bestVal = i, val
+		}
+	}
+	if bestIdx == -1 {
+		return rulegen.Candidate{}, false
+	}
+	return g.Candidates()[bestIdx], true
+}
+
+// E7 regenerates the response-time panel of Fig. 6: held-out latency
+// reduction versus tolerance for the response-time objective.
+func (e *Env) E7() []*tablewriter.Table {
+	return e.tierSweep("E7 / Fig. 6 (response time) — latency reduction vs tolerance", rulegen.MinimizeLatency)
+}
+
+// E8 regenerates the cost panel of Fig. 6: held-out invocation-cost
+// reduction versus tolerance for the cost objective.
+func (e *Env) E8() []*tablewriter.Table {
+	return e.tierSweep("E8 / Fig. 6 (cost) — invocation cost reduction vs tolerance", rulegen.MinimizeCost)
+}
+
+func (e *Env) tierSweep(title string, obj rulegen.Objective) []*tablewriter.Table {
+	var out []*tablewriter.Table
+	for _, r := range e.tierRuns() {
+		audit := r.latAudit
+		if obj == rulegen.MinimizeCost {
+			audit = r.costAudit
+		}
+		t := tablewriter.New(fmt.Sprintf("%s (%s)", title, r.name),
+			"tolerance", "policy", "latency reduction", "cost reduction", "held-out err deg", "violated")
+		for _, en := range audit.Entries {
+			t.AddStrings(pct(en.Tolerance), en.Policy.String(),
+				pct(en.LatencyReduction), pct(en.CostReduction), pct(en.Degradation), yesNo(en.Violated))
+		}
+		t.Caption = fmt.Sprintf("objective=%s; audited on %d held-out requests; violations: %d",
+			obj, len(r.test), audit.Violations)
+		out = append(out, t)
+	}
+	return out
+}
+
+// E9 runs the guarantee audit of §V under the paper's 10-fold
+// cross-validation: rules are generated on 9 folds and audited on the
+// held-out fold, for every tolerance tier and both objectives.
+func (e *Env) E9() []*tablewriter.Table {
+	grid := e.ToleranceGrid()
+	// Cross-validation re-runs the generator per fold; thin the grid to
+	// every 1% to keep the audit dense but affordable.
+	var tols []float64
+	for i, tol := range grid {
+		if i%max(1, len(grid)/11) == 0 {
+			tols = append(tols, tol)
+		}
+	}
+	t := tablewriter.New("E9 — tolerance-guarantee audit, k-fold cross validation",
+		"service", "objective", "folds", "tiers audited", "violations", "worst held-out degradation", "worst margin (tol - deg)")
+	for _, r := range e.tierRuns() {
+		folds := dataset.KFold(r.m.NumRequests(), e.Scale.KFolds, 0xf01d+1)
+		tf := make([]tiers.Fold, len(folds))
+		for i, f := range folds {
+			tf[i] = tiers.Fold{Train: f.Train, Test: f.Test}
+		}
+		// The CV audit tests the guarantees, not rule optimality: a
+		// thinner candidate grid keeps 10 folds x 2 objectives x 3
+		// services affordable without weakening the check.
+		cvGen := e.Scale.Gen
+		if cvGen.ThresholdPoints > 7 {
+			cvGen.ThresholdPoints = 7
+		}
+		cvGen.IncludePickBest = false
+		for _, obj := range []rulegen.Objective{rulegen.MinimizeLatency, rulegen.MinimizeCost} {
+			reports, violations := tiers.CrossValidate(r.m, tf, cvGen, tols, obj)
+			worstDeg, worstMargin := 0.0, 1e18
+			audited := 0
+			for _, rep := range reports {
+				for _, en := range rep.Entries {
+					audited++
+					if en.Degradation > worstDeg {
+						worstDeg = en.Degradation
+					}
+					if m := en.Tolerance - en.Degradation; m < worstMargin {
+						worstMargin = m
+					}
+				}
+			}
+			t.AddStrings(r.name, string(obj), fmt.Sprint(len(reports)), fmt.Sprint(audited),
+				fmt.Sprint(violations), pct(worstDeg), pct(worstMargin))
+		}
+	}
+	t.Caption = "paper §V: no accuracy degradation violations were observed"
+	return []*tablewriter.Table{t}
+}
+
+// E10 regenerates the headline summary: latency and cost reductions at
+// the 1%, 5%, and 10% tiers, next to the paper's reported numbers.
+func (e *Env) E10() []*tablewriter.Table {
+	paperLat := map[float64]string{0.01: "19%", 0.05: "45%", 0.10: "60%"}
+	paperCost := map[float64]string{0.01: "21%", 0.05: "60%", 0.10: "70%"}
+	t := tablewriter.New("E10 — headline tier improvements (held-out) vs paper",
+		"service", "tolerance", "latency reduction (meas)", "paper", "cost reduction (meas)", "paper")
+	for _, r := range e.tierRuns() {
+		for _, tol := range []float64{0.01, 0.05, 0.10} {
+			latEntry := auditEntryAt(r.latAudit, tol)
+			costEntry := auditEntryAt(r.costAudit, tol)
+			t.AddStrings(r.name, pct(tol),
+				pct(latEntry.LatencyReduction), paperLat[tol],
+				pct(costEntry.CostReduction), paperCost[tol])
+		}
+	}
+	t.Caption = "latency reductions use the response-time objective; cost reductions the cost objective"
+	return []*tablewriter.Table{t}
+}
+
+// auditEntryAt returns the audit entry of the largest tolerance <= tol.
+func auditEntryAt(rep tiers.AuditReport, tol float64) tiers.AuditEntry {
+	best := tiers.AuditEntry{}
+	for _, en := range rep.Entries {
+		if en.Tolerance <= tol+1e-12 {
+			best = en
+		} else {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary aggregates response-time observations into the summary
+// statistics the evaluation reports: mean, median and tail percentiles.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// SummarizeLatencies computes a LatencySummary. A nil or empty input
+// yields a zero summary.
+func SummarizeLatencies(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	at := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Accumulator incrementally aggregates error, latency and cost for a
+// stream of request outcomes; experiments use it to avoid retaining
+// per-request slices when only aggregates are reported.
+type Accumulator struct {
+	n          int
+	errSum     float64
+	latencySum time.Duration
+	costSum    float64
+}
+
+// Add records one outcome.
+func (a *Accumulator) Add(err float64, latency time.Duration, cost float64) {
+	a.n++
+	a.errSum += err
+	a.latencySum += latency
+	a.costSum += cost
+}
+
+// N returns the number of recorded outcomes.
+func (a *Accumulator) N() int { return a.n }
+
+// MeanError returns the mean error over recorded outcomes (0 if none).
+func (a *Accumulator) MeanError() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.errSum / float64(a.n)
+}
+
+// MeanLatency returns the mean latency over recorded outcomes.
+func (a *Accumulator) MeanLatency() time.Duration {
+	if a.n == 0 {
+		return 0
+	}
+	return a.latencySum / time.Duration(a.n)
+}
+
+// TotalCost returns the summed cost of all recorded outcomes.
+func (a *Accumulator) TotalCost() float64 { return a.costSum }
+
+// MeanCost returns the mean per-request cost.
+func (a *Accumulator) MeanCost() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.costSum / float64(a.n)
+}

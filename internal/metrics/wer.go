@@ -1,0 +1,111 @@
+// Package metrics implements the result-quality and responsiveness
+// metrics used throughout the paper: word error rate for the ASR service,
+// top-1 error for image classification, and latency aggregation.
+package metrics
+
+// WordErrors holds the Levenshtein alignment counts between a hypothesis
+// and a reference transcript.
+type WordErrors struct {
+	Substitutions int
+	Insertions    int
+	Deletions     int
+	// RefWords is the length of the reference transcript.
+	RefWords int
+}
+
+// Total returns the total number of word errors.
+func (w WordErrors) Total() int { return w.Substitutions + w.Insertions + w.Deletions }
+
+// WER returns the word error rate: total errors divided by reference
+// length. For an empty reference it returns 0 when the hypothesis is also
+// empty and 1 per inserted word otherwise.
+func (w WordErrors) WER() float64 {
+	if w.RefWords == 0 {
+		if w.Total() == 0 {
+			return 0
+		}
+		return float64(w.Total())
+	}
+	return float64(w.Total()) / float64(w.RefWords)
+}
+
+// AlignWords computes the minimum-edit-distance alignment between a
+// hypothesis and reference word sequence and returns the error counts.
+// Words are compared by their integer IDs; the speech substrate assigns
+// a unique ID per vocabulary entry.
+func AlignWords(hyp, ref []int) WordErrors {
+	h, r := len(hyp), len(ref)
+	// dp[i][j]: minimal edits aligning hyp[:i] with ref[:j]. We also
+	// track operation provenance to split the edit count into
+	// substitutions, insertions, and deletions.
+	type cell struct {
+		cost int
+		op   byte // 'm' match, 's' sub, 'i' ins, 'd' del
+	}
+	dp := make([][]cell, h+1)
+	for i := range dp {
+		dp[i] = make([]cell, r+1)
+	}
+	for i := 1; i <= h; i++ {
+		dp[i][0] = cell{i, 'i'}
+	}
+	for j := 1; j <= r; j++ {
+		dp[0][j] = cell{j, 'd'}
+	}
+	for i := 1; i <= h; i++ {
+		for j := 1; j <= r; j++ {
+			if hyp[i-1] == ref[j-1] {
+				dp[i][j] = cell{dp[i-1][j-1].cost, 'm'}
+				continue
+			}
+			sub := dp[i-1][j-1].cost + 1
+			ins := dp[i-1][j].cost + 1
+			del := dp[i][j-1].cost + 1
+			best := cell{sub, 's'}
+			if ins < best.cost {
+				best = cell{ins, 'i'}
+			}
+			if del < best.cost {
+				best = cell{del, 'd'}
+			}
+			dp[i][j] = best
+		}
+	}
+	// Trace back to attribute operations.
+	var we WordErrors
+	we.RefWords = r
+	i, j := h, r
+	for i > 0 || j > 0 {
+		switch dp[i][j].op {
+		case 'm':
+			i, j = i-1, j-1
+		case 's':
+			we.Substitutions++
+			i, j = i-1, j-1
+		case 'i':
+			we.Insertions++
+			i--
+		case 'd':
+			we.Deletions++
+			j--
+		default:
+			// Unreachable: origin cell has zero cost and both indices
+			// are zero, terminating the loop.
+			i, j = 0, 0
+		}
+	}
+	return we
+}
+
+// WER is a convenience wrapper returning only the word error rate of the
+// alignment between hyp and ref.
+func WER(hyp, ref []int) float64 { return AlignWords(hyp, ref).WER() }
+
+// Top1Error returns the paper's binary top-1 error for a classification:
+// 0 when the predicted class matches the label, 1 otherwise.
+func Top1Error(predicted, label int) float64 {
+	if predicted == label {
+		return 0
+	}
+	return 1
+}

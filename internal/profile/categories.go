@@ -1,0 +1,145 @@
+package profile
+
+// Category classifies a request's accuracy-latency behaviour across the
+// service versions (ordered fastest to most accurate), the taxonomy of
+// the paper's Fig. 2.
+type Category int
+
+const (
+	// Unchanged: every version produces the same result quality.
+	Unchanged Category = iota
+	// Improves: quality improves monotonically with bigger versions.
+	Improves
+	// Degrades: quality worsens monotonically with bigger versions.
+	Degrades
+	// Varies: quality fluctuates non-monotonically.
+	Varies
+)
+
+// String names the category as in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case Unchanged:
+		return "unchanged"
+	case Improves:
+		return "improves"
+	case Degrades:
+		return "degrades"
+	case Varies:
+		return "varies"
+	}
+	return "unknown"
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category { return []Category{Unchanged, Improves, Degrades, Varies} }
+
+// categoryEps absorbs floating-point noise in WER comparisons.
+const categoryEps = 1e-9
+
+// Categorize classifies one error vector (ordered fastest version
+// first).
+func Categorize(errs []float64) Category {
+	if len(errs) < 2 {
+		return Unchanged
+	}
+	allEqual, nonInc, nonDec := true, true, true
+	for i := 1; i < len(errs); i++ {
+		d := errs[i] - errs[i-1]
+		if d > categoryEps {
+			nonInc = false
+			allEqual = false
+		} else if d < -categoryEps {
+			nonDec = false
+			allEqual = false
+		}
+	}
+	switch {
+	case allEqual:
+		return Unchanged
+	case nonInc:
+		return Improves // error falls as versions widen
+	case nonDec:
+		return Degrades
+	default:
+		return Varies
+	}
+}
+
+// CategoryBreakdown is the Fig.-2e/2f histogram.
+type CategoryBreakdown struct {
+	Counts map[Category]int
+	Total  int
+}
+
+// Fraction returns the share of requests in category c.
+func (b CategoryBreakdown) Fraction(c Category) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Counts[c]) / float64(b.Total)
+}
+
+// Categorize classifies every request of the matrix.
+func (m *Matrix) Categorize() (CategoryBreakdown, []Category) {
+	per := make([]Category, m.NumRequests())
+	b := CategoryBreakdown{Counts: make(map[Category]int), Total: m.NumRequests()}
+	errs := make([]float64, m.NumVersions())
+	for i, row := range m.Cells {
+		for v := range row {
+			errs[v] = row[v].Err
+		}
+		per[i] = Categorize(errs)
+		b.Counts[per[i]]++
+	}
+	return b, per
+}
+
+// CategoryErrors returns, for each version, the mean error over the
+// requests of each category plus the "all" aggregate — the series of the
+// paper's Fig. 3.
+type CategoryErrors struct {
+	Versions []string
+	// All[v] is the mean error of version v over all requests.
+	All []float64
+	// ByCategory[cat][v] is the mean error of version v over the
+	// requests in cat.
+	ByCategory map[Category][]float64
+	// Counts[cat] is the number of requests per category.
+	Counts map[Category]int
+}
+
+// CategoryErrors computes the Fig.-3 series.
+func (m *Matrix) CategoryErrors() CategoryErrors {
+	_, per := m.Categorize()
+	nv := m.NumVersions()
+	out := CategoryErrors{
+		Versions:   append([]string(nil), m.VersionNames...),
+		All:        make([]float64, nv),
+		ByCategory: make(map[Category][]float64),
+		Counts:     make(map[Category]int),
+	}
+	for _, c := range Categories() {
+		out.ByCategory[c] = make([]float64, nv)
+	}
+	for i, row := range m.Cells {
+		c := per[i]
+		out.Counts[c]++
+		for v := range row {
+			out.All[v] += row[v].Err
+			out.ByCategory[c][v] += row[v].Err
+		}
+	}
+	n := float64(m.NumRequests())
+	for v := 0; v < nv; v++ {
+		if n > 0 {
+			out.All[v] /= n
+		}
+		for _, c := range Categories() {
+			if out.Counts[c] > 0 {
+				out.ByCategory[c][v] /= float64(out.Counts[c])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package profile measures every service version against every request
+// of a corpus and stores the results as a matrix. The matrix is the
+// paper's `toltiers.simulator` substrate: once built, ensemble-policy
+// simulation and the Fig.-7 bootstrap evaluate configurations in
+// microseconds per trial without re-running the engines. It also hosts
+// the per-request accuracy-latency category analysis of Fig. 2/3.
+package profile
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Cell holds one (request, version) measurement.
+type Cell struct {
+	// Err is the result's error (WER or 0/1 top-1).
+	Err float64
+	// Latency is the version's simulated processing time.
+	Latency time.Duration
+	// Confidence is the version's self-assessment.
+	Confidence float64
+	// InvCost is the consumer-side API price of the invocation.
+	InvCost float64
+	// IaaSCost is the provider-side node-time cost of the invocation.
+	IaaSCost float64
+}
+
+// Matrix is the request x version measurement table.
+type Matrix struct {
+	// Domain records which service was profiled.
+	Domain service.Domain
+	// VersionNames are the column labels, fastest first (service
+	// order).
+	VersionNames []string
+	// RequestIDs are the row labels.
+	RequestIDs []int
+	// Cells is indexed [request][version].
+	Cells [][]Cell
+}
+
+// NumRequests returns the number of rows.
+func (m *Matrix) NumRequests() int { return len(m.Cells) }
+
+// NumVersions returns the number of columns.
+func (m *Matrix) NumVersions() int { return len(m.VersionNames) }
+
+// Build profiles every version of svc against every request, in
+// parallel. The result is deterministic: engines are deterministic and
+// rows are assigned by index.
+func Build(svc *service.Service, reqs []*service.Request) *Matrix {
+	m := &Matrix{
+		Domain:       svc.Domain,
+		VersionNames: svc.VersionNames(),
+		RequestIDs:   make([]int, len(reqs)),
+		Cells:        make([][]Cell, len(reqs)),
+	}
+	for i, r := range reqs {
+		m.RequestIDs[i] = r.ID
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := reqs[i]
+				row := make([]Cell, len(svc.Versions))
+				for v, ver := range svc.Versions {
+					res := ver.Process(req)
+					plan := ver.Plan()
+					row[v] = Cell{
+						Err:        svc.Evaluator.Error(req, res),
+						Latency:    res.Latency,
+						Confidence: res.Confidence,
+						InvCost:    plan.InvocationCost(),
+						IaaSCost:   plan.IaaSCost(res.Latency),
+					}
+				}
+				m.Cells[i] = row
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return m
+}
+
+// VersionSummary aggregates one column.
+type VersionSummary struct {
+	Name        string
+	MeanErr     float64
+	MeanLatency time.Duration
+	MeanInvCost float64
+	MeanIaaS    float64
+}
+
+// Summaries returns per-version aggregates over all rows (or the subset
+// of row indices if rows is non-nil).
+func (m *Matrix) Summaries(rows []int) []VersionSummary {
+	out := make([]VersionSummary, m.NumVersions())
+	n := 0
+	accumulate := func(i int) {
+		n++
+		for v := range out {
+			c := m.Cells[i][v]
+			out[v].MeanErr += c.Err
+			out[v].MeanLatency += c.Latency
+			out[v].MeanInvCost += c.InvCost
+			out[v].MeanIaaS += c.IaaSCost
+		}
+	}
+	if rows == nil {
+		for i := range m.Cells {
+			accumulate(i)
+		}
+	} else {
+		for _, i := range rows {
+			accumulate(i)
+		}
+	}
+	for v := range out {
+		out[v].Name = m.VersionNames[v]
+		if n > 0 {
+			out[v].MeanErr /= float64(n)
+			out[v].MeanLatency /= time.Duration(n)
+			out[v].MeanInvCost /= float64(n)
+			out[v].MeanIaaS /= float64(n)
+		}
+	}
+	return out
+}
+
+// BestVersion returns the index of the most accurate version over the
+// given rows (nil = all): the column with minimal mean error, ties
+// broken toward the later (wider) version as the paper's "most accurate
+// known" configuration.
+func (m *Matrix) BestVersion(rows []int) int {
+	sums := m.Summaries(rows)
+	best := 0
+	for v := 1; v < len(sums); v++ {
+		if sums[v].MeanErr <= sums[best].MeanErr {
+			best = v
+		}
+	}
+	return best
+}
+
+// MeanErrOf returns the mean error of version v over rows (nil = all).
+func (m *Matrix) MeanErrOf(v int, rows []int) float64 {
+	sum, n := 0.0, 0
+	if rows == nil {
+		for i := range m.Cells {
+			sum += m.Cells[i][v].Err
+			n++
+		}
+	} else {
+		for _, i := range rows {
+			sum += m.Cells[i][v].Err
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Validate checks structural invariants (row lengths, value ranges).
+func (m *Matrix) Validate() error {
+	for i, row := range m.Cells {
+		if len(row) != m.NumVersions() {
+			return fmt.Errorf("profile: row %d has %d cells, want %d", i, len(row), m.NumVersions())
+		}
+		for v, c := range row {
+			if c.Err < 0 {
+				return fmt.Errorf("profile: negative error at (%d,%d)", i, v)
+			}
+			if c.Latency < 0 {
+				return fmt.Errorf("profile: negative latency at (%d,%d)", i, v)
+			}
+			if c.Confidence < 0 || c.Confidence > 1 {
+				return fmt.Errorf("profile: confidence %v out of range at (%d,%d)", c.Confidence, i, v)
+			}
+		}
+	}
+	return nil
+}

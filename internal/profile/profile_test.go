@@ -1,0 +1,206 @@
+package profile
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+func speechMatrix(t testing.TB, n int) *Matrix {
+	t.Helper()
+	c := dataset.NewSpeechCorpus(dataset.SpeechCorpusConfig{N: n})
+	return Build(c.Service, c.Requests)
+}
+
+func visionMatrix(t testing.TB, n int) *Matrix {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: n, Device: vision.CPU})
+	return Build(c.Service, c.Requests)
+}
+
+func TestBuildShapeAndValidate(t *testing.T) {
+	m := speechMatrix(t, 60)
+	if m.NumRequests() != 60 || m.NumVersions() != 7 {
+		t.Fatalf("shape %dx%d", m.NumRequests(), m.NumVersions())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministicAcrossParallelism(t *testing.T) {
+	a := speechMatrix(t, 30)
+	b := speechMatrix(t, 30)
+	for i := range a.Cells {
+		for v := range a.Cells[i] {
+			if a.Cells[i][v] != b.Cells[i][v] {
+				t.Fatalf("cell (%d,%d) differs across builds", i, v)
+			}
+		}
+	}
+}
+
+func TestSummariesOrdering(t *testing.T) {
+	m := speechMatrix(t, 300)
+	sums := m.Summaries(nil)
+	// Latency must increase along the version ladder; error must
+	// decrease overall from v1 to v7.
+	for v := 1; v < len(sums); v++ {
+		if sums[v].MeanLatency <= sums[v-1].MeanLatency {
+			t.Errorf("latency not increasing at %s", sums[v].Name)
+		}
+	}
+	if sums[len(sums)-1].MeanErr >= sums[0].MeanErr {
+		t.Errorf("widest version error %v not better than narrowest %v",
+			sums[len(sums)-1].MeanErr, sums[0].MeanErr)
+	}
+	if m.BestVersion(nil) != len(sums)-1 {
+		t.Errorf("best version = %d, want %d", m.BestVersion(nil), len(sums)-1)
+	}
+}
+
+func TestSummariesSubset(t *testing.T) {
+	m := speechMatrix(t, 50)
+	rows := []int{0, 1, 2, 3, 4}
+	sums := m.Summaries(rows)
+	manual := 0.0
+	for _, i := range rows {
+		manual += m.Cells[i][0].Err
+	}
+	manual /= float64(len(rows))
+	if diff := sums[0].MeanErr - manual; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("subset mean error mismatch: %v vs %v", sums[0].MeanErr, manual)
+	}
+	if got := m.MeanErrOf(0, rows); got != manual {
+		t.Fatalf("MeanErrOf = %v, want %v", got, manual)
+	}
+}
+
+func TestCategorizeVectors(t *testing.T) {
+	cases := []struct {
+		errs []float64
+		want Category
+	}{
+		{[]float64{0.1, 0.1, 0.1}, Unchanged},
+		{[]float64{1, 1, 0, 0}, Improves},
+		{[]float64{0, 0, 1}, Degrades},
+		{[]float64{0, 1, 0}, Varies},
+		{[]float64{0.3, 0.2, 0.2, 0.1}, Improves},
+		{[]float64{0.1, 0.2, 0.15}, Varies},
+		{[]float64{0.5}, Unchanged},
+		{nil, Unchanged},
+	}
+	for _, c := range cases {
+		if got := Categorize(c.errs); got != c.want {
+			t.Errorf("Categorize(%v) = %v, want %v", c.errs, got, c.want)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{Unchanged: "unchanged", Improves: "improves", Degrades: "degrades", Varies: "varies"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if Category(99).String() != "unknown" {
+		t.Error("unknown category string")
+	}
+}
+
+func TestSpeechCategoryShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus categorization is expensive")
+	}
+	m := speechMatrix(t, 1200)
+	b, per := m.Categorize()
+	if len(per) != 1200 || b.Total != 1200 {
+		t.Fatalf("breakdown total %d", b.Total)
+	}
+	// The paper reports >74% unchanged and >15% improves for ASR; allow
+	// generous bands around the reproduction targets.
+	if f := b.Fraction(Unchanged); f < 0.55 {
+		t.Errorf("unchanged share %.2f too low (paper: >0.74)", f)
+	}
+	if f := b.Fraction(Improves); f < 0.05 {
+		t.Errorf("improves share %.2f too low (paper: >0.15)", f)
+	}
+	sum := 0
+	for _, c := range Categories() {
+		sum += b.Counts[c]
+	}
+	if sum != b.Total {
+		t.Fatalf("category counts %d != total %d", sum, b.Total)
+	}
+}
+
+func TestVisionCategoryShares(t *testing.T) {
+	m := visionMatrix(t, 1500)
+	b, _ := m.Categorize()
+	if f := b.Fraction(Unchanged); f < 0.45 {
+		t.Errorf("unchanged share %.2f too low (paper: >0.65)", f)
+	}
+	if f := b.Fraction(Improves); f < 0.05 {
+		t.Errorf("improves share %.2f too low (paper: >0.15)", f)
+	}
+}
+
+func TestCategoryErrorsConsistent(t *testing.T) {
+	m := visionMatrix(t, 400)
+	ce := m.CategoryErrors()
+	if len(ce.All) != m.NumVersions() {
+		t.Fatalf("All length %d", len(ce.All))
+	}
+	// The "all" series must be the category-weighted mean.
+	for v := range ce.All {
+		weighted := 0.0
+		for _, c := range Categories() {
+			weighted += ce.ByCategory[c][v] * float64(ce.Counts[c])
+		}
+		weighted /= float64(m.NumRequests())
+		if d := weighted - ce.All[v]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("version %d: weighted %v != all %v", v, weighted, ce.All[v])
+		}
+	}
+	// Unchanged-category errors must be flat across versions.
+	uc := ce.ByCategory[Unchanged]
+	for v := 1; v < len(uc); v++ {
+		if d := uc[v] - uc[0]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("unchanged category error varies: %v vs %v", uc[v], uc[0])
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	m := visionMatrix(t, 50)
+	for i := range m.Cells {
+		for v := range m.Cells[i] {
+			if m.Cells[i][v].Latency <= 0 {
+				t.Fatalf("non-positive latency at (%d,%d)", i, v)
+			}
+			if m.Cells[i][v].Latency > time.Second {
+				t.Fatalf("implausible vision latency %v", m.Cells[i][v].Latency)
+			}
+		}
+	}
+}
+
+// TestCategoryProbe prints the category shares at experiment scale when
+// TOLTIERS_CALIBRATE=1.
+func TestCategoryProbe(t *testing.T) {
+	if os.Getenv("TOLTIERS_CALIBRATE") != "1" {
+		t.Skip("set TOLTIERS_CALIBRATE=1 to run")
+	}
+	ms := speechMatrix(t, 2000)
+	bs, _ := ms.Categorize()
+	t.Logf("speech: unchanged=%.3f improves=%.3f degrades=%.3f varies=%.3f",
+		bs.Fraction(Unchanged), bs.Fraction(Improves), bs.Fraction(Degrades), bs.Fraction(Varies))
+	mv := visionMatrix(t, 4000)
+	bv, _ := mv.Categorize()
+	t.Logf("vision: unchanged=%.3f improves=%.3f degrades=%.3f varies=%.3f",
+		bv.Fraction(Unchanged), bv.Fraction(Improves), bv.Fraction(Degrades), bv.Fraction(Varies))
+}

@@ -1,0 +1,101 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Categorize must be total (every vector maps to exactly one category)
+// and invariant under uniform error shifts.
+func TestCategorizeTotalAndShiftInvariantQuick(t *testing.T) {
+	rng := xrand.New(0x70b)
+	f := func(n8 uint8, shiftRaw uint8) bool {
+		n := 2 + int(n8%7)
+		errs := make([]float64, n)
+		for i := range errs {
+			errs[i] = float64(rng.Intn(4)) / 4 // coarse grid: ties are common
+		}
+		cat := Categorize(errs)
+		switch cat {
+		case Unchanged, Improves, Degrades, Varies:
+		default:
+			return false
+		}
+		// Adding a constant to every entry must not change the category.
+		shift := float64(shiftRaw) / 256
+		shifted := make([]float64, n)
+		for i := range errs {
+			shifted[i] = errs[i] + shift
+		}
+		return Categorize(shifted) == cat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reversing a vector must swap Improves and Degrades and fix Unchanged;
+// Varies can stay Varies or stay within {Varies} (a reversed non-monotone
+// vector remains non-monotone).
+func TestCategorizeReversalQuick(t *testing.T) {
+	rng := xrand.New(0x70c)
+	f := func(n8 uint8) bool {
+		n := 2 + int(n8%6)
+		errs := make([]float64, n)
+		for i := range errs {
+			errs[i] = float64(rng.Intn(3))
+		}
+		rev := make([]float64, n)
+		for i := range errs {
+			rev[i] = errs[n-1-i]
+		}
+		a, b := Categorize(errs), Categorize(rev)
+		switch a {
+		case Unchanged:
+			return b == Unchanged
+		case Improves:
+			return b == Degrades
+		case Degrades:
+			return b == Improves
+		default:
+			return b == Varies
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BestVersion must index the minimal mean error column.
+func TestBestVersionMinimalQuick(t *testing.T) {
+	rng := xrand.New(0x70d)
+	f := func(_ uint8) bool {
+		nReq := 5 + rng.Intn(20)
+		nVer := 2 + rng.Intn(5)
+		m := &Matrix{
+			VersionNames: make([]string, nVer),
+			RequestIDs:   make([]int, nReq),
+			Cells:        make([][]Cell, nReq),
+		}
+		for i := range m.Cells {
+			row := make([]Cell, nVer)
+			for v := range row {
+				row[v] = Cell{Err: rng.Float64(), Confidence: 0.5}
+			}
+			m.Cells[i] = row
+		}
+		best := m.BestVersion(nil)
+		bestErr := m.MeanErrOf(best, nil)
+		for v := 0; v < nVer; v++ {
+			if m.MeanErrOf(v, nil) < bestErr-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Profiling a large corpus is the most expensive offline step, so
+// matrices can be saved and reloaded. The format is a self-describing
+// JSON-lines stream: a header line followed by one row per request —
+// diffable, append-friendly, and safe to mmap-tail.
+
+// fileHeader is the first line of a serialized matrix.
+type fileHeader struct {
+	Format   string   `json:"format"`
+	Domain   string   `json:"domain"`
+	Versions []string `json:"versions"`
+	Requests int      `json:"requests"`
+}
+
+// fileRow is one serialized request row.
+type fileRow struct {
+	ID    int       `json:"id"`
+	Err   []float64 `json:"err"`
+	LatNS []int64   `json:"lat_ns"`
+	Conf  []float64 `json:"conf"`
+	Inv   []float64 `json:"inv"`
+	IaaS  []float64 `json:"iaas"`
+}
+
+const formatName = "toltiers-profile-v1"
+
+// Write serializes the matrix.
+func (m *Matrix) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fileHeader{
+		Format:   formatName,
+		Domain:   string(m.Domain),
+		Versions: m.VersionNames,
+		Requests: m.NumRequests(),
+	}); err != nil {
+		return fmt.Errorf("profile: write header: %w", err)
+	}
+	row := fileRow{}
+	for i, cells := range m.Cells {
+		row.ID = m.RequestIDs[i]
+		row.Err = row.Err[:0]
+		row.LatNS = row.LatNS[:0]
+		row.Conf = row.Conf[:0]
+		row.Inv = row.Inv[:0]
+		row.IaaS = row.IaaS[:0]
+		for _, c := range cells {
+			row.Err = append(row.Err, c.Err)
+			row.LatNS = append(row.LatNS, int64(c.Latency))
+			row.Conf = append(row.Conf, c.Confidence)
+			row.Inv = append(row.Inv, c.InvCost)
+			row.IaaS = append(row.IaaS, c.IaaSCost)
+		}
+		if err := enc.Encode(&row); err != nil {
+			return fmt.Errorf("profile: write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a matrix written by Write.
+func Read(r io.Reader) (*Matrix, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("profile: read header: %w", err)
+	}
+	if h.Format != formatName {
+		return nil, fmt.Errorf("profile: unknown format %q", h.Format)
+	}
+	m := &Matrix{
+		Domain:       service.Domain(h.Domain),
+		VersionNames: h.Versions,
+		RequestIDs:   make([]int, 0, h.Requests),
+		Cells:        make([][]Cell, 0, h.Requests),
+	}
+	nv := len(h.Versions)
+	for i := 0; i < h.Requests; i++ {
+		var row fileRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("profile: read row %d: %w", i, err)
+		}
+		if len(row.Err) != nv || len(row.LatNS) != nv || len(row.Conf) != nv ||
+			len(row.Inv) != nv || len(row.IaaS) != nv {
+			return nil, fmt.Errorf("profile: row %d arity mismatch", i)
+		}
+		cells := make([]Cell, nv)
+		for v := 0; v < nv; v++ {
+			cells[v] = Cell{
+				Err:        row.Err[v],
+				Latency:    time.Duration(row.LatNS[v]),
+				Confidence: row.Conf[v],
+				InvCost:    row.Inv[v],
+				IaaSCost:   row.IaaS[v],
+			}
+		}
+		m.RequestIDs = append(m.RequestIDs, row.ID)
+		m.Cells = append(m.Cells, cells)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveFile writes the matrix to path (atomically via a temp file).
+func (m *Matrix) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a matrix from path.
+func LoadFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,309 @@
+// Package rulegen is the Go port of the paper's Fig.-7 routing-rule
+// generator. Given a profiled training corpus, it bootstraps every
+// candidate service-version ensemble configuration until the observed
+// error degradations, response times, and costs are known with the
+// requested statistical confidence, records their worst cases, and then
+// emits — for every tolerance tier and optimization objective — the
+// configuration that optimizes the objective while keeping the
+// worst-case error degradation inside the tolerance.
+package rulegen
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/stats"
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Objective selects what a tier optimizes, annotated by the API consumer
+// on every request (§IV-A's `Objective:` header).
+type Objective string
+
+const (
+	// MinimizeLatency optimizes mean response time ("response-time").
+	MinimizeLatency Objective = "response-time"
+	// MinimizeCost optimizes mean consumer invocation cost ("cost").
+	MinimizeCost Objective = "cost"
+)
+
+// ParseObjective validates a header value.
+func ParseObjective(s string) (Objective, error) {
+	switch Objective(s) {
+	case MinimizeLatency, MinimizeCost:
+		return Objective(s), nil
+	}
+	return "", fmt.Errorf("rulegen: unknown objective %q", s)
+}
+
+// Candidate couples a policy with its bootstrapped statistics.
+type Candidate struct {
+	Policy ensemble.Policy
+	// Trials is the number of bootstrap trials run before every metric
+	// reached confidence.
+	Trials int
+	// WorstErrDeg is the maximum relative error degradation observed
+	// across trials (versus the most accurate configuration on the same
+	// sample).
+	WorstErrDeg float64
+	// WorstLatency and WorstInvCost are the per-trial worst means.
+	WorstLatency time.Duration
+	WorstInvCost float64
+	// MeanErrDeg, MeanLatency, MeanInvCost, MeanIaaSCost are the
+	// across-trial means used for objective ranking.
+	MeanErrDeg   float64
+	MeanLatency  time.Duration
+	MeanInvCost  float64
+	MeanIaaSCost float64
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Confidence is the statistical confidence the bootstrap must reach
+	// (the paper evaluates at 99.9%).
+	Confidence float64
+	// SampleFraction is the fraction of the training data drawn per
+	// trial; Fig. 7 uses len(train)/10.
+	SampleFraction float64
+	// MinTrials / MaxTrials bound the bootstrap loop (see
+	// stats.ConfidenceTest).
+	MinTrials int
+	MaxTrials int
+	// ThresholdPoints is the number of confidence quantiles to try per
+	// ensemble pair.
+	ThresholdPoints int
+	// PairPrimaries limits ensemble primaries to the first N versions
+	// (0 = all but the best). The paper found fast-primary pairs
+	// dominate.
+	PairPrimaries int
+	// IncludePickBest also enumerates the PickBest result-selection
+	// variant of each ensemble.
+	IncludePickBest bool
+	// Seed drives bootstrap sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns the evaluation's configuration: 99.9%
+// confidence, 1/10 samples, 15 thresholds per pair.
+func DefaultConfig() Config {
+	return Config{
+		Confidence:      0.999,
+		SampleFraction:  0.1,
+		MinTrials:       12,
+		MaxTrials:       320,
+		ThresholdPoints: 15,
+		IncludePickBest: true,
+		Seed:            0x9c0ffee,
+	}
+}
+
+// Generator bootstraps candidates over a profiled training set.
+type Generator struct {
+	m          *profile.Matrix
+	rows       []int
+	cfg        Config
+	best       int // index of the most accurate version on rows
+	candidates []Candidate
+}
+
+// New builds the generator and immediately bootstraps every candidate
+// configuration (the paper's RoutingRuleGenerator.__init__).
+// rows selects the training subset of m (nil = all rows).
+func New(m *profile.Matrix, rows []int, cfg Config) *Generator {
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		panic(fmt.Sprintf("rulegen: confidence %v outside (0,1)", cfg.Confidence))
+	}
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		cfg.SampleFraction = 0.1
+	}
+	if rows == nil {
+		rows = make([]int, m.NumRequests())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	g := &Generator{m: m, rows: rows, cfg: cfg, best: m.BestVersion(rows)}
+	g.bootstrapAll()
+	return g
+}
+
+// Best returns the index of the most accurate version on the training
+// rows — the baseline every tolerance is measured against.
+func (g *Generator) Best() int { return g.best }
+
+// Candidates returns the bootstrapped candidates (read-only).
+func (g *Generator) Candidates() []Candidate { return g.candidates }
+
+// enumerate builds the candidate policy set: every single version, plus
+// Failover and Concurrent pairs (fast primary -> more accurate
+// secondary) across the threshold grid.
+func (g *Generator) enumerate() []ensemble.Policy {
+	nv := g.m.NumVersions()
+	var out []ensemble.Policy
+	for v := 0; v < nv; v++ {
+		out = append(out, ensemble.Policy{Kind: ensemble.Single, Primary: v})
+	}
+	maxPrimary := g.cfg.PairPrimaries
+	if maxPrimary <= 0 || maxPrimary > nv {
+		maxPrimary = nv
+	}
+	for p := 0; p < maxPrimary; p++ {
+		grid := ensemble.ThresholdGrid(g.m, g.rows, p, g.cfg.ThresholdPoints)
+		for s := p + 1; s < nv; s++ {
+			for _, th := range grid {
+				if th == 0 {
+					continue // identical to Single(p)
+				}
+				for _, kind := range []ensemble.Kind{ensemble.Failover, ensemble.Concurrent} {
+					out = append(out, ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th})
+					if g.cfg.IncludePickBest {
+						out = append(out, ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th, PickBest: true})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bootstrapAll runs the Fig.-7 bootstrap for every candidate, in
+// parallel. Each candidate draws from its own seeded stream, so the
+// result is independent of scheduling.
+func (g *Generator) bootstrapAll() {
+	policies := g.enumerate()
+	test := stats.ConfidenceTest{
+		Level:     g.cfg.Confidence,
+		MinTrials: g.cfg.MinTrials,
+		MaxTrials: g.cfg.MaxTrials,
+	}
+	sampleSize := int(g.cfg.SampleFraction * float64(len(g.rows)))
+	if sampleSize < 1 {
+		sampleSize = len(g.rows)
+	}
+	g.candidates = make([]Candidate, len(policies))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(policies) {
+		workers = len(policies)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sub := make([]int, sampleSize)
+			for ci := range next {
+				pol := policies[ci]
+				rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
+				res := stats.Bootstrap(rng, len(g.rows), sampleSize, test, func(subset []int) stats.Trial {
+					for i, idx := range subset {
+						sub[i] = g.rows[idx]
+					}
+					agg := ensemble.Evaluate(g.m, sub, pol)
+					baseline := g.m.MeanErrOf(g.best, sub)
+					deg := ensemble.ErrDegradation(agg.MeanErr, baseline)
+					return stats.Trial{deg, float64(agg.MeanLatency), agg.MeanInvCost, agg.MeanIaaSCost}
+				})
+				g.candidates[ci] = Candidate{
+					Policy:       pol,
+					Trials:       res.Trials,
+					WorstErrDeg:  res.WorstCase[0],
+					WorstLatency: time.Duration(res.WorstCase[1]),
+					WorstInvCost: res.WorstCase[2],
+					MeanErrDeg:   res.Mean[0],
+					MeanLatency:  time.Duration(res.Mean[1]),
+					MeanInvCost:  res.Mean[2],
+					MeanIaaSCost: res.Mean[3],
+				}
+			}
+		}()
+	}
+	for ci := range policies {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Rule is the configuration chosen for one tolerance tier.
+type Rule struct {
+	Tolerance float64
+	Objective Objective
+	Candidate Candidate
+}
+
+// RuleTable maps the tolerance grid to rules for one objective.
+type RuleTable struct {
+	Objective Objective
+	// Best is the baseline (most accurate) version index.
+	Best int
+	// Rules is ordered by increasing tolerance.
+	Rules []Rule
+}
+
+// Generate emits a rule per tolerance (the paper's `generate`): among
+// candidates whose bootstrapped *worst-case* error degradation stays
+// within the tolerance, the one with the best mean objective value. The
+// most accurate single version always qualifies at any tolerance, so
+// every tier is feasible.
+func (g *Generator) Generate(tolerances []float64, obj Objective) RuleTable {
+	table := RuleTable{Objective: obj, Best: g.best}
+	for _, tol := range tolerances {
+		bestIdx := -1
+		var bestVal float64
+		for ci, c := range g.candidates {
+			if c.WorstErrDeg > tol && !(c.Policy.Kind == ensemble.Single && c.Policy.Primary == g.best) {
+				continue
+			}
+			val := g.objectiveValue(c, obj)
+			if bestIdx == -1 || val < bestVal {
+				bestIdx, bestVal = ci, val
+			}
+		}
+		table.Rules = append(table.Rules, Rule{Tolerance: tol, Objective: obj, Candidate: g.candidates[bestIdx]})
+	}
+	sort.Slice(table.Rules, func(i, j int) bool { return table.Rules[i].Tolerance < table.Rules[j].Tolerance })
+	return table
+}
+
+func (g *Generator) objectiveValue(c Candidate, obj Objective) float64 {
+	switch obj {
+	case MinimizeCost:
+		return c.MeanInvCost
+	default:
+		return float64(c.MeanLatency)
+	}
+}
+
+// Lookup returns the rule for the largest tolerance not exceeding tol
+// (i.e. the strictest tier that still covers the request's annotation).
+// It returns false when tol is below the smallest generated tolerance.
+func (t *RuleTable) Lookup(tol float64) (Rule, bool) {
+	idx := sort.Search(len(t.Rules), func(i int) bool { return t.Rules[i].Tolerance > tol })
+	if idx == 0 {
+		return Rule{}, false
+	}
+	return t.Rules[idx-1], true
+}
+
+// ToleranceGrid returns the paper's evaluation grid: 0 to max in steps
+// of step (e.g. 0.10 in 0.001 steps for "up to 10% in 0.1% intervals").
+func ToleranceGrid(max, step float64) []float64 {
+	if step <= 0 {
+		panic("rulegen: non-positive tolerance step")
+	}
+	var out []float64
+	for t := 0.0; t <= max+1e-12; t += step {
+		// Round to the step's precision to avoid drift.
+		out = append(out, float64(int(t/step+0.5))*step)
+	}
+	return out
+}

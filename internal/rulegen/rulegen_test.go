@@ -1,0 +1,201 @@
+package rulegen
+
+import (
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+func fixtureMatrix(t testing.TB) *profile.Matrix {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 1000, Device: vision.CPU})
+	return profile.Build(c.Service, c.Requests)
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MinTrials = 6
+	cfg.MaxTrials = 40
+	cfg.ThresholdPoints = 5
+	cfg.IncludePickBest = false
+	return cfg
+}
+
+func TestParseObjective(t *testing.T) {
+	if _, err := ParseObjective("response-time"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseObjective("cost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseObjective("speed"); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+}
+
+func TestToleranceGrid(t *testing.T) {
+	grid := ToleranceGrid(0.10, 0.001)
+	if len(grid) != 101 {
+		t.Fatalf("grid size %d, want 101", len(grid))
+	}
+	if grid[0] != 0 || grid[100] != 0.1 {
+		t.Fatalf("grid endpoints %v, %v", grid[0], grid[100])
+	}
+	for i := 1; i < len(grid); i++ {
+		if d := grid[i] - grid[i-1] - 0.001; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("grid step at %d is %v", i, grid[i]-grid[i-1])
+		}
+	}
+}
+
+func TestGeneratorBaselineIsMostAccurate(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	if g.Best() != m.NumVersions()-1 {
+		t.Fatalf("best = %d, want %d", g.Best(), m.NumVersions()-1)
+	}
+	if len(g.Candidates()) <= m.NumVersions() {
+		t.Fatalf("only %d candidates", len(g.Candidates()))
+	}
+}
+
+func TestCandidateStatisticsSane(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	for _, c := range g.Candidates() {
+		if c.Trials < smallConfig().MinTrials {
+			t.Fatalf("%v ran only %d trials", c.Policy, c.Trials)
+		}
+		if c.WorstErrDeg < c.MeanErrDeg {
+			t.Fatalf("%v worst degradation %v below mean %v", c.Policy, c.WorstErrDeg, c.MeanErrDeg)
+		}
+		if c.MeanLatency <= 0 || c.MeanInvCost <= 0 {
+			t.Fatalf("%v has non-positive objective metrics", c.Policy)
+		}
+	}
+}
+
+func TestGenerateMonotoneLatency(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	table := g.Generate(ToleranceGrid(0.10, 0.01), MinimizeLatency)
+	if len(table.Rules) != 11 {
+		t.Fatalf("rules = %d", len(table.Rules))
+	}
+	// Larger tolerance can never produce a *slower* chosen policy: the
+	// feasible set only grows.
+	for i := 1; i < len(table.Rules); i++ {
+		if table.Rules[i].Candidate.MeanLatency > table.Rules[i-1].Candidate.MeanLatency {
+			t.Fatalf("tier %v slower than tier %v",
+				table.Rules[i].Tolerance, table.Rules[i-1].Tolerance)
+		}
+	}
+	// Tolerance 0 must keep the guarantee: only candidates with zero
+	// worst-case degradation qualify (or the baseline itself).
+	r0 := table.Rules[0]
+	if r0.Candidate.WorstErrDeg > 0 &&
+		!(r0.Candidate.Policy.Kind == ensemble.Single && r0.Candidate.Policy.Primary == g.Best()) {
+		t.Fatalf("tolerance-0 rule degrades: %+v", r0.Candidate)
+	}
+}
+
+func TestGenerateMonotoneCost(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	table := g.Generate(ToleranceGrid(0.10, 0.01), MinimizeCost)
+	for i := 1; i < len(table.Rules); i++ {
+		if table.Rules[i].Candidate.MeanInvCost > table.Rules[i-1].Candidate.MeanInvCost {
+			t.Fatalf("cost tier %v pricier than tier %v",
+				table.Rules[i].Tolerance, table.Rules[i-1].Tolerance)
+		}
+	}
+}
+
+func TestGenerateRespectsTolerance(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	table := g.Generate(ToleranceGrid(0.10, 0.01), MinimizeLatency)
+	for _, r := range table.Rules {
+		isBaseline := r.Candidate.Policy.Kind == ensemble.Single && r.Candidate.Policy.Primary == g.Best()
+		if !isBaseline && r.Candidate.WorstErrDeg > r.Tolerance {
+			t.Fatalf("tier %v chose candidate with worst degradation %v", r.Tolerance, r.Candidate.WorstErrDeg)
+		}
+	}
+}
+
+func TestTiersImproveLatency(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	table := g.Generate([]float64{0.01, 0.05, 0.10}, MinimizeLatency)
+	baseline := ensemble.Evaluate(m, nil, ensemble.Policy{Kind: ensemble.Single, Primary: g.Best()})
+	// At a 10% tolerance the chosen tier must be meaningfully faster
+	// than one-size-fits-all.
+	r10 := table.Rules[len(table.Rules)-1]
+	if r10.Candidate.MeanLatency >= baseline.MeanLatency {
+		t.Fatalf("10%% tier (%v) not faster than OSFA (%v)", r10.Candidate.MeanLatency, baseline.MeanLatency)
+	}
+	reduction := 1 - float64(r10.Candidate.MeanLatency)/float64(baseline.MeanLatency)
+	if reduction < 0.15 {
+		t.Fatalf("10%% tier latency reduction only %.1f%%", 100*reduction)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m := fixtureMatrix(t)
+	g := New(m, nil, smallConfig())
+	table := g.Generate([]float64{0.0, 0.05, 0.10}, MinimizeLatency)
+	if _, ok := table.Lookup(-0.01); ok {
+		t.Fatal("lookup below grid should fail")
+	}
+	r, ok := table.Lookup(0.07)
+	if !ok || r.Tolerance != 0.05 {
+		t.Fatalf("Lookup(0.07) = %+v, %v (want the 5%% tier)", r, ok)
+	}
+	r, ok = table.Lookup(0.5)
+	if !ok || r.Tolerance != 0.10 {
+		t.Fatalf("Lookup(0.5) = %+v, %v", r, ok)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	m := fixtureMatrix(t)
+	a := New(m, nil, smallConfig())
+	b := New(m, nil, smallConfig())
+	ca, cb := a.Candidates(), b.Candidates()
+	if len(ca) != len(cb) {
+		t.Fatal("candidate counts differ")
+	}
+	for i := range ca {
+		if ca[i].WorstErrDeg != cb[i].WorstErrDeg || ca[i].Trials != cb[i].Trials {
+			t.Fatalf("candidate %d differs across runs", i)
+		}
+	}
+}
+
+func TestTrainRowSubset(t *testing.T) {
+	m := fixtureMatrix(t)
+	train, _ := dataset.Split(m.NumRequests(), 0.7, 3)
+	g := New(m, train, smallConfig())
+	if g.Best() < 0 || g.Best() >= m.NumVersions() {
+		t.Fatalf("best out of range: %d", g.Best())
+	}
+	table := g.Generate([]float64{0.05}, MinimizeLatency)
+	if len(table.Rules) != 1 {
+		t.Fatalf("rules = %d", len(table.Rules))
+	}
+}
+
+func TestNewPanicsOnBadConfidence(t *testing.T) {
+	m := fixtureMatrix(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on confidence 1.5")
+		}
+	}()
+	cfg := smallConfig()
+	cfg.Confidence = 1.5
+	New(m, nil, cfg)
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics tracks serving counters, exposed at GET /metrics. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+	// requests counts completed requests by (path, status) pairs.
+	requests map[string]int64
+	// tierHits counts resolved tiers by "objective/tolerance".
+	tierHits map[string]int64
+	// latencySum/latencyCount aggregate handler wall time.
+	latencySum   time.Duration
+	latencyCount int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[string]int64), tierHits: make(map[string]int64)}
+}
+
+// observe records one completed request.
+func (m *Metrics) observe(key string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[key]++
+	m.latencySum += d
+	m.latencyCount++
+}
+
+// ObserveTier records one tier resolution.
+func (m *Metrics) ObserveTier(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tierHits[key]++
+}
+
+// Snapshot returns a copyable view for /metrics.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		Requests: make(map[string]int64, len(m.requests)),
+		TierHits: make(map[string]int64, len(m.tierHits)),
+	}
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range m.tierHits {
+		snap.TierHits[k] = v
+	}
+	if m.latencyCount > 0 {
+		snap.MeanHandlerLatencyMS = float64(m.latencySum) / float64(m.latencyCount) / 1e6
+	}
+	snap.Handled = m.latencyCount
+	return snap
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	Handled              int64            `json:"handled"`
+	MeanHandlerLatencyMS float64          `json:"mean_handler_latency_ms"`
+	Requests             map[string]int64 `json:"requests"`
+	TierHits             map[string]int64 `json:"tier_hits"`
+}
+
+// statusRecorder captures the response code for metrics/logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps an HTTP handler with request metrics and optional
+// access logging, and mounts GET /metrics. logger may be nil to disable
+// logging.
+func Instrument(next http.Handler, metrics *Metrics, logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := metrics.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		key := r.Method + " " + r.URL.Path + " " + itoa(rec.status)
+		metrics.observe(key, elapsed)
+		if logger != nil {
+			logger.Printf("%s %s -> %d (%v) tol=%q obj=%q",
+				r.Method, r.URL.Path, rec.status, elapsed,
+				r.Header.Get("Tolerance"), r.Header.Get("Objective"))
+		}
+	}))
+	return mux
+}
+
+// SortedKeys returns the snapshot's request keys in stable order, for
+// deterministic rendering in tools and tests.
+func (s MetricsSnapshot) SortedKeys() []string {
+	keys := make([]string, 0, len(s.Requests))
+	for k := range s.Requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func itoa(code int) string {
+	// Small, allocation-free int-to-string for status codes.
+	if code == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for code > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + code%10)
+		code /= 10
+	}
+	return string(buf[i:])
+}

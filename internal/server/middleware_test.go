@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInstrumentCountsRequests(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	m := NewMetrics()
+	ts := httptest.NewServer(Instrument(inner, m, nil))
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/compute")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	snap := m.Snapshot()
+	if snap.Handled != 3 {
+		t.Fatalf("handled = %d", snap.Handled)
+	}
+	if snap.Requests["GET /compute 418"] != 3 {
+		t.Fatalf("requests = %v", snap.Requests)
+	}
+	if snap.MeanHandlerLatencyMS < 0 {
+		t.Fatalf("latency %v", snap.MeanHandlerLatencyMS)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	m := NewMetrics()
+	m.ObserveTier("response-time/0.05")
+	ts := httptest.NewServer(Instrument(inner, m, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TierHits["response-time/0.05"] != 1 {
+		t.Fatalf("tier hits = %v", snap.TierHits)
+	}
+}
+
+func TestInstrumentLogging(t *testing.T) {
+	var sb strings.Builder
+	logger := log.New(&sb, "", 0)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	ts := httptest.NewServer(Instrument(inner, NewMetrics(), logger))
+	defer ts.Close()
+	req, _ := http.NewRequest("GET", ts.URL+"/tiers", nil)
+	req.Header.Set("Tolerance", "0.01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "GET /tiers -> 200") {
+		t.Fatalf("log line missing: %q", sb.String())
+	}
+	if !strings.Contains(sb.String(), `tol="0.01"`) {
+		t.Fatalf("annotation missing from log: %q", sb.String())
+	}
+}
+
+func TestMetricsConcurrentSafety(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.observe("GET /x 200", 0)
+				m.ObserveTier("cost/0.1")
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.Handled != 800 {
+		t.Fatalf("handled = %d", snap.Handled)
+	}
+}
+
+func TestSortedKeysAndItoa(t *testing.T) {
+	m := NewMetrics()
+	m.observe("b", 0)
+	m.observe("a", 0)
+	keys := m.Snapshot().SortedKeys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if itoa(404) != "404" || itoa(0) != "0" {
+		t.Fatal("itoa wrong")
+	}
+}

@@ -1,0 +1,156 @@
+// Package server exposes a Tolerance Tiers service over HTTP, following
+// the request annotation of §IV-A: the API consumer POSTs an input to
+// /compute with `Tolerance` and `Objective` headers and receives the
+// result with latency/cost accounting headers.
+//
+// Payload formats (the repository's corpora are synthetic, so inputs are
+// referenced by corpus ID rather than uploaded media):
+//
+//	POST /compute
+//	  Tolerance: 0.01
+//	  Objective: response-time
+//	  body: {"request_id": 1234}
+//
+// Responses are JSON (Result below). GET /tiers lists the offered tiers
+// and GET /healthz reports readiness.
+package server
+
+import (
+	"encoding/json"
+
+	"fmt"
+	"github.com/toltiers/toltiers/internal/api"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/tiers"
+)
+
+// Server serves one registry over a request corpus.
+type Server struct {
+	reg  *tiers.Registry
+	reqs []*service.Request
+	byID map[int]*service.Request
+	mux  *http.ServeMux
+}
+
+// New builds the HTTP handler.
+func New(reg *tiers.Registry, reqs []*service.Request) *Server {
+	s := &Server{reg: reg, reqs: reqs, byID: make(map[int]*service.Request, len(reqs))}
+	for _, r := range reqs {
+		s.byID[r.ID] = r
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compute", s.handleCompute)
+	mux.HandleFunc("GET /tiers", s.handleTiers)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
+	tolHeader := r.Header.Get("Tolerance")
+	if tolHeader == "" {
+		httpError(w, http.StatusBadRequest, "missing Tolerance header")
+		return
+	}
+	tol, err := strconv.ParseFloat(tolHeader, 64)
+	if err != nil || tol < 0 {
+		httpError(w, http.StatusBadRequest, "invalid Tolerance header %q", tolHeader)
+		return
+	}
+	objHeader := r.Header.Get("Objective")
+	if objHeader == "" {
+		objHeader = string(rulegen.MinimizeLatency)
+	}
+	obj, err := rulegen.ParseObjective(objHeader)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid Objective header %q", objHeader)
+		return
+	}
+	var body api.ComputeRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	req, ok := s.byID[body.RequestID]
+	if !ok {
+		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
+		return
+	}
+	res, out, rule, err := s.reg.Handle(req, tol, obj)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := api.ComputeResult{
+		Confidence: res.Confidence,
+		Tier:       rule.Tolerance,
+		Objective:  string(obj),
+		Policy:     rule.Candidate.Policy.String(),
+		LatencyMS:  float64(out.Latency) / float64(time.Millisecond),
+		CostUSD:    out.InvCost,
+		Escalated:  out.Escalated,
+	}
+	if req.Utterance != nil {
+		resp.Transcript = res.Transcript
+	} else {
+		c := res.Class
+		resp.Class = &c
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
+	w.Header().Set("X-Toltiers-Latency-MS", strconv.FormatFloat(resp.LatencyMS, 'f', 3, 64))
+	w.Header().Set("X-Toltiers-Cost-USD", strconv.FormatFloat(out.InvCost, 'f', 6, 64))
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleTiers(w http.ResponseWriter, _ *http.Request) {
+	var infos []api.TierInfo
+	for _, obj := range s.reg.Objectives() {
+		// Present the canonical 1/5/10% anchor tiers plus the strictest.
+		for _, tol := range []float64{0, 0.01, 0.05, 0.10} {
+			rule, err := s.reg.Resolve(tol, obj)
+			if err != nil {
+				continue
+			}
+			infos = append(infos, api.TierInfo{
+				Objective: string(obj),
+				Tolerance: rule.Tolerance,
+				Policy:    rule.Candidate.Policy.String(),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(infos)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"corpus":  len(s.reqs),
+		"domain":  string(domainOf(s.reqs)),
+		"objs":    len(s.reg.Objectives()),
+		"version": "toltiers-1",
+	})
+}
+
+func domainOf(reqs []*service.Request) service.Domain {
+	if len(reqs) > 0 && reqs[0].Image != nil {
+		return service.VisionDomain
+	}
+	return service.SpeechDomain
+}

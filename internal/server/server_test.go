@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+func testServer(t testing.TB) (*httptest.Server, *dataset.VisionCorpus) {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 400, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 5
+	cfg.MaxTrials = 24
+	cfg.ThresholdPoints = 4
+	cfg.IncludePickBest = false
+	g := rulegen.New(m, nil, cfg)
+	tols := []float64{0, 0.01, 0.05, 0.10}
+	reg := tiers.NewRegistry(c.Service,
+		g.Generate(tols, rulegen.MinimizeLatency),
+		g.Generate(tols, rulegen.MinimizeCost))
+	ts := httptest.NewServer(New(reg, c.Requests))
+	t.Cleanup(ts.Close)
+	return ts, c
+}
+
+func TestComputeRoundTrip(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	res, err := cl.Compute(context.Background(), corpus.Requests[3].ID, 0.05, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == nil {
+		t.Fatal("vision result missing class")
+	}
+	if res.Tier != 0.05 {
+		t.Fatalf("tier = %v", res.Tier)
+	}
+	if res.LatencyMS <= 0 || res.CostUSD <= 0 {
+		t.Fatalf("accounting missing: %+v", res)
+	}
+	if res.Policy == "" {
+		t.Fatal("policy not echoed")
+	}
+}
+
+func TestComputeToleranceRounding(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	res, err := cl.Compute(context.Background(), corpus.Requests[0].ID, 0.07, rulegen.MinimizeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != 0.05 {
+		t.Fatalf("tolerance 0.07 should resolve to the 5%% tier, got %v", res.Tier)
+	}
+	if res.Objective != string(rulegen.MinimizeCost) {
+		t.Fatalf("objective echoed as %q", res.Objective)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Unknown request id.
+	if _, err := cl.Compute(ctx, 1<<30, 0.05, rulegen.MinimizeLatency); err == nil {
+		t.Fatal("unknown id accepted")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.StatusCode != 404 {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+
+	// Bad objective.
+	if _, err := cl.Compute(ctx, corpus.Requests[0].ID, 0.05, "warp"); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+
+	// Negative tolerance.
+	if _, err := cl.Compute(ctx, corpus.Requests[0].ID, -1, rulegen.MinimizeLatency); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestTiersEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	infos, err := cl.Tiers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no tiers listed")
+	}
+	seenObjs := map[string]bool{}
+	for _, ti := range infos {
+		if ti.Policy == "" {
+			t.Fatalf("tier without policy: %+v", ti)
+		}
+		seenObjs[ti.Objective] = true
+	}
+	if len(seenObjs) != 2 {
+		t.Fatalf("objectives listed: %v", seenObjs)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	if err := cl.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingToleranceHeader(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/compute", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,97 @@
+// Package service defines the domain-neutral MLaaS abstractions that the
+// Tolerance Tiers machinery routes over: requests, results, service
+// versions (deployable model instantiations with a price plan), and
+// result-quality evaluators. The speech and vision substrates are bound
+// into these interfaces by asrservice.go and visionservice.go.
+package service
+
+import (
+	"time"
+
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/speech"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// Request is one API request. Exactly one payload field is non-nil,
+// matching the service's domain.
+type Request struct {
+	// ID is unique within a corpus and seeds all per-request jitter.
+	ID int
+	// Utterance is the speech payload (ASR service).
+	Utterance *speech.Utterance
+	// Image is the vision payload (image classification service).
+	Image *vision.Image
+}
+
+// Result is a service version's answer to one request.
+type Result struct {
+	// Transcript is the ASR hypothesis (nil for vision).
+	Transcript []int
+	// Class is the predicted class (vision; -1 for ASR).
+	Class int
+	// Confidence is the version's calibrated self-assessment in [0, 1];
+	// ensemble policies gate escalation on it.
+	Confidence float64
+	// Latency is the simulated service-side processing time.
+	Latency time.Duration
+	// WorkUnits is the deterministic compute the version performed.
+	WorkUnits int64
+}
+
+// Version is one deployable instantiation of the service: a model plus
+// hyperparameters plus the hardware it runs on, with an API price plan.
+type Version interface {
+	// Name returns the version's stable identifier (e.g. "asr-v3",
+	// "resnet50-gpu").
+	Name() string
+	// Process computes a result. Implementations are safe for
+	// concurrent use.
+	Process(req *Request) Result
+	// Plan returns the version's price plan.
+	Plan() costmodel.Plan
+}
+
+// Evaluator scores a result's quality against ground truth. Lower is
+// better; 0 is perfect.
+type Evaluator interface {
+	// Error returns the error of res for req (WER for speech, 0/1
+	// top-1 error for vision).
+	Error(req *Request, res Result) float64
+}
+
+// Domain names a service's application domain.
+type Domain string
+
+// The two domains the paper evaluates.
+const (
+	SpeechDomain Domain = "asr"
+	VisionDomain Domain = "vision"
+)
+
+// Service bundles a domain's versions (ordered fastest to most
+// accurate), its evaluator, and its request corpus generator.
+type Service struct {
+	Domain    Domain
+	Versions  []Version
+	Evaluator Evaluator
+}
+
+// VersionNames returns the names of the service's versions in order.
+func (s *Service) VersionNames() []string {
+	out := make([]string, len(s.Versions))
+	for i, v := range s.Versions {
+		out[i] = v.Name()
+	}
+	return out
+}
+
+// VersionIndex returns the index of the named version, or -1.
+func (s *Service) VersionIndex(name string) int {
+	for i, v := range s.Versions {
+		if v.Name() == name {
+			return i
+		}
+	}
+	return -1
+}

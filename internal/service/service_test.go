@@ -1,0 +1,146 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/speech"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+func testSpeech(t testing.TB) (*Service, []*Request) {
+	t.Helper()
+	lm := speech.NewLanguageModel(speech.LMConfig{VocabSize: 200, ZipfExponent: 1.05, Branching: 12, Seed: 1})
+	am := speech.NewAcousticModel(lm.VocabSize(), speech.DefaultAcousticConfig())
+	syn := speech.NewSynthesizer(lm, am, 2)
+	return NewASRService(lm, am), SpeechRequests(syn.Corpus(0, 20))
+}
+
+func testVision(t testing.TB) (*Service, []*Request) {
+	t.Helper()
+	w := vision.NewWorld(vision.DefaultWorldConfig())
+	return NewVisionService(w, vision.GPU), VisionRequests(w.Corpus(0, 20))
+}
+
+func TestASRServiceShape(t *testing.T) {
+	svc, reqs := testSpeech(t)
+	if svc.Domain != SpeechDomain {
+		t.Fatalf("domain = %v", svc.Domain)
+	}
+	if len(svc.Versions) != 7 {
+		t.Fatalf("versions = %d", len(svc.Versions))
+	}
+	names := svc.VersionNames()
+	if names[0] != "asr-v1" || names[6] != "asr-v7" {
+		t.Fatalf("names = %v", names)
+	}
+	if svc.VersionIndex("asr-v4") != 3 {
+		t.Fatalf("VersionIndex(asr-v4) = %d", svc.VersionIndex("asr-v4"))
+	}
+	if svc.VersionIndex("missing") != -1 {
+		t.Fatal("missing version index should be -1")
+	}
+	res := svc.Versions[0].Process(reqs[0])
+	if res.Class != -1 || res.Transcript == nil {
+		t.Fatalf("ASR result shape wrong: %+v", res)
+	}
+	if e := svc.Evaluator.Error(reqs[0], res); e < 0 {
+		t.Fatalf("negative error %v", e)
+	}
+}
+
+func TestASRVersionConcurrentSafety(t *testing.T) {
+	svc, reqs := testSpeech(t)
+	v := svc.Versions[2]
+	want := v.Process(reqs[0])
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got := v.Process(reqs[0])
+				if got.Confidence != want.Confidence || got.Latency != want.Latency {
+					t.Errorf("concurrent decode diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestASRPlansIncreaseAlongLadder(t *testing.T) {
+	svc, _ := testSpeech(t)
+	for i := 1; i < len(svc.Versions); i++ {
+		prev := svc.Versions[i-1].Plan().PerInvocation
+		cur := svc.Versions[i].Plan().PerInvocation
+		if cur <= prev {
+			t.Fatalf("plan price not increasing at %s", svc.Versions[i].Name())
+		}
+	}
+}
+
+func TestVisionServiceFrontier(t *testing.T) {
+	svc, reqs := testVision(t)
+	if svc.Domain != VisionDomain {
+		t.Fatalf("domain = %v", svc.Domain)
+	}
+	// Frontier versions must be strictly latency-increasing and
+	// strictly accuracy-improving by design target.
+	var prev *VisionVersion
+	for _, v := range svc.Versions {
+		vv := v.(*VisionVersion)
+		if prev != nil {
+			if vv.Model().Latency(vv.Device()) <= prev.Model().Latency(prev.Device()) {
+				t.Fatalf("frontier latency not increasing at %s", vv.Name())
+			}
+			if vv.Model().Top1Target >= prev.Model().Top1Target {
+				t.Fatalf("frontier accuracy not improving at %s", vv.Name())
+			}
+		}
+		prev = vv
+	}
+	res := svc.Versions[0].Process(reqs[0])
+	if res.Class < 0 || res.Transcript != nil {
+		t.Fatalf("vision result shape wrong: %+v", res)
+	}
+}
+
+func TestVisionZooServiceIncludesOffFrontier(t *testing.T) {
+	w := vision.NewWorld(vision.DefaultWorldConfig())
+	zooSvc := NewVisionZooService(w, vision.CPU)
+	if len(zooSvc.Versions) != 8 {
+		t.Fatalf("zoo service has %d versions, want 8", len(zooSvc.Versions))
+	}
+	frontierSvc := NewVisionService(w, vision.CPU)
+	if len(frontierSvc.Versions) >= len(zooSvc.Versions) {
+		t.Fatalf("CPU frontier (%d) should exclude off-frontier models", len(frontierSvc.Versions))
+	}
+	// vgg16 is dominated on CPU (slower than sota at worse accuracy).
+	if frontierSvc.VersionIndex("vgg16-cpu") != -1 {
+		t.Fatal("vgg16 should be off the CPU frontier")
+	}
+}
+
+func TestVisionNaming(t *testing.T) {
+	w := vision.NewWorld(vision.DefaultWorldConfig())
+	m, _ := vision.ZooModel("resnet50")
+	v := NewVisionVersion(w, m, vision.GPU)
+	if v.Name() != "resnet50-gpu" {
+		t.Fatalf("name = %q", v.Name())
+	}
+}
+
+func TestTop1EvaluatorAgainstLabel(t *testing.T) {
+	svc, reqs := testVision(t)
+	v := svc.Versions[len(svc.Versions)-1]
+	res := v.Process(reqs[0])
+	e := svc.Evaluator.Error(reqs[0], res)
+	if e != 0 && e != 1 {
+		t.Fatalf("top-1 error must be binary, got %v", e)
+	}
+	if (res.Class == reqs[0].Image.Label) != (e == 0) {
+		t.Fatal("evaluator disagrees with label comparison")
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/metrics"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// VisionVersion wraps one (model, device) pair as a service version.
+type VisionVersion struct {
+	world *vision.World
+	model vision.ModelSpec
+	dev   vision.Device
+	plan  costmodel.Plan
+}
+
+// NewVisionVersion binds a zoo model on a device to the shared world.
+func NewVisionVersion(w *vision.World, m vision.ModelSpec, dev vision.Device) *VisionVersion {
+	return &VisionVersion{
+		world: w,
+		model: m,
+		dev:   dev,
+		plan:  costmodel.VisionPlan(m.GFLOPs, dev == vision.GPU),
+	}
+}
+
+// Name implements Version: "<model>-<device>", e.g. "resnet50-gpu".
+func (v *VisionVersion) Name() string { return v.model.Name + "-" + v.dev.String() }
+
+// Plan implements Version.
+func (v *VisionVersion) Plan() costmodel.Plan { return v.plan }
+
+// Model returns the underlying model spec.
+func (v *VisionVersion) Model() vision.ModelSpec { return v.model }
+
+// Device returns the deployment device.
+func (v *VisionVersion) Device() vision.Device { return v.dev }
+
+// Process implements Version. Inference is stateless and safe for
+// concurrent use.
+func (v *VisionVersion) Process(req *Request) Result {
+	p := v.world.Infer(v.model, req.Image)
+	return Result{
+		Class:      p.Class,
+		Confidence: p.Confidence,
+		Latency:    vision.RequestLatency(v.model, v.dev, req.Image.ID),
+		WorkUnits:  p.WorkUnits,
+	}
+}
+
+// Top1Evaluator scores vision results by binary top-1 error.
+type Top1Evaluator struct{}
+
+// Error implements Evaluator.
+func (Top1Evaluator) Error(req *Request, res Result) float64 {
+	return metrics.Top1Error(res.Class, req.Image.Label)
+}
+
+// NewVisionService builds the image-classification service on one
+// device: the Pareto-frontier subset of the zoo for that device, ordered
+// fastest first (§III-A studies "versions that encompass the
+// pareto-optimal accuracy-latency trade-off space").
+func NewVisionService(w *vision.World, dev vision.Device) *Service {
+	zoo := vision.ParetoZoo(dev)
+	versions := make([]Version, len(zoo))
+	for i, m := range zoo {
+		versions[i] = NewVisionVersion(w, m, dev)
+	}
+	return &Service{Domain: VisionDomain, Versions: versions, Evaluator: Top1Evaluator{}}
+}
+
+// NewVisionZooService builds a service over the *entire* zoo on one
+// device, including off-frontier models — used by the Table-II
+// experiment, which reports every architecture.
+func NewVisionZooService(w *vision.World, dev vision.Device) *Service {
+	zoo := vision.Zoo()
+	versions := make([]Version, len(zoo))
+	for i, m := range zoo {
+		versions[i] = NewVisionVersion(w, m, dev)
+	}
+	return &Service{Domain: VisionDomain, Versions: versions, Evaluator: Top1Evaluator{}}
+}
+
+// VisionRequests wraps images as service requests.
+func VisionRequests(imgs []*vision.Image) []*Request {
+	out := make([]*Request, len(imgs))
+	for i, img := range imgs {
+		out[i] = &Request{ID: img.ID, Image: img}
+	}
+	return out
+}

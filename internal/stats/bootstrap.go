@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Bootstrap machinery mirroring Fig. 7 of the paper. A caller repeatedly
+// draws random subsets of the training data, simulates a candidate
+// configuration on each subset ("trial"), and keeps going until the
+// observed trial metrics are spread widely enough — per the paper's
+// z-score criterion — to trust their extremes as worst cases.
+
+// ConfidenceTest implements the paper's Fig.-7 `confident` predicate.
+// It reports whether the spread of vals is sufficient at the stored
+// confidence level: either the standardized sample reaches beyond
+// ±ppf(conf), or the total standardized spread exceeds 2·ppf(conf).
+type ConfidenceTest struct {
+	// Level is the confidence level, e.g. 0.999 for the paper's 99.9%.
+	Level float64
+	// MinTrials guards the z-score computation: with too few trials the
+	// spread criterion is meaningless. The generator never stops before
+	// MinTrials observations. Values below 2 are treated as 2.
+	MinTrials int
+	// MaxTrials bounds runaway sampling for near-degenerate metrics
+	// (e.g. a configuration whose cost is constant). Once reached, the
+	// observed extremes are accepted. Zero means 256.
+	MaxTrials int
+}
+
+// bounds returns the effective trial bounds.
+func (c ConfidenceTest) bounds() (minT, maxT int) {
+	minT = c.MinTrials
+	if minT < 2 {
+		minT = 2
+	}
+	maxT = c.MaxTrials
+	if maxT == 0 {
+		maxT = 256
+	}
+	if maxT < minT {
+		maxT = minT
+	}
+	return minT, maxT
+}
+
+// Confident reports whether the metric series vals has enough spread to
+// stop sampling, following the paper's criterion:
+//
+//	(min(z) < -ppf(conf) && max(z) > ppf(conf)) || (max(z)-min(z) > 2*ppf(conf))
+//
+// A series shorter than MinTrials is never confident; a series at or
+// beyond MaxTrials always is. A zero-variance series at MinTrials or
+// later is treated as confident: the metric is constant, so its extreme
+// is already exact.
+func (c ConfidenceTest) Confident(vals []float64) bool {
+	minT, maxT := c.bounds()
+	if len(vals) < minT {
+		return false
+	}
+	if len(vals) >= maxT {
+		return true
+	}
+	if StdDev(vals) == 0 {
+		return true
+	}
+	zs := ZScores(vals)
+	zmin, _ := Min(zs)
+	zmax, _ := Max(zs)
+	stdevs := NormPPF(c.Level)
+	if zmin < -stdevs && zmax > stdevs {
+		return true
+	}
+	return zmax-zmin > 2*stdevs
+}
+
+// Trial is one bootstrap observation: the metric vector produced by
+// simulating a configuration on one random subset of the training data.
+type Trial []float64
+
+// BootstrapResult summarizes a finished bootstrap run.
+type BootstrapResult struct {
+	// Trials is the number of subsets that were simulated.
+	Trials int
+	// WorstCase holds, per metric, the maximum observed over all trials
+	// (the paper records worst-case error degradation, response time and
+	// cost).
+	WorstCase []float64
+	// Mean holds the per-metric mean over all trials, used to rank
+	// configurations by expected objective value.
+	Mean []float64
+}
+
+// Bootstrap repeatedly invokes simulate on random subsets of size
+// sampleSize drawn (with replacement across trials, without replacement
+// within a trial) from a population of n items, until every metric
+// passes the confidence test. Subset indices are provided to simulate.
+//
+// simulate must return the same number of metrics on every call.
+func Bootstrap(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, simulate func(subset []int) Trial) BootstrapResult {
+	if sampleSize <= 0 || sampleSize > n {
+		sampleSize = n
+	}
+	var series [][]float64 // per-metric history
+	subset := make([]int, sampleSize)
+	trials := 0
+	_, maxT := test.bounds()
+	for {
+		// Draw a uniform random subset (partial Fisher-Yates over a
+		// lazily materialized identity permutation is overkill here; a
+		// simple with-replacement draw matches numpy.random.choice as
+		// used in Fig. 7).
+		for i := range subset {
+			subset[i] = rng.Intn(n)
+		}
+		tr := simulate(subset)
+		trials++
+		if series == nil {
+			series = make([][]float64, len(tr))
+		}
+		for i, v := range tr {
+			series[i] = append(series[i], v)
+		}
+		done := true
+		for _, s := range series {
+			if !test.Confident(s) {
+				done = false
+				break
+			}
+		}
+		if done || trials >= maxT {
+			break
+		}
+	}
+	res := BootstrapResult{Trials: trials}
+	res.WorstCase = make([]float64, len(series))
+	res.Mean = make([]float64, len(series))
+	for i, s := range series {
+		res.WorstCase[i], _ = Max(s)
+		res.Mean[i] = Mean(s)
+	}
+	return res
+}

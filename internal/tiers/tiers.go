@@ -1,0 +1,163 @@
+// Package tiers assembles the consumer-facing Tolerance Tiers service:
+// a registry of generated routing rules per optimization objective, live
+// request handling for annotated requests (§IV-A's Tolerance/Objective
+// headers), and the guarantee audit that verifies — on held-out traffic —
+// that no tier exceeds its promised error degradation.
+package tiers
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Registry holds the generated rule tables of one service.
+type Registry struct {
+	svc    *service.Service
+	tables map[rulegen.Objective]rulegen.RuleTable
+}
+
+// NewRegistry builds a registry over svc from one or more rule tables.
+func NewRegistry(svc *service.Service, tables ...rulegen.RuleTable) *Registry {
+	r := &Registry{svc: svc, tables: make(map[rulegen.Objective]rulegen.RuleTable)}
+	for _, t := range tables {
+		r.tables[t.Objective] = t
+	}
+	return r
+}
+
+// Service returns the underlying service.
+func (r *Registry) Service() *service.Service { return r.svc }
+
+// Objectives lists the registered objectives.
+func (r *Registry) Objectives() []rulegen.Objective {
+	out := make([]rulegen.Objective, 0, len(r.tables))
+	for o := range r.tables {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Resolve returns the routing rule serving the given annotation: the
+// strictest generated tier whose tolerance does not exceed tol.
+func (r *Registry) Resolve(tol float64, obj rulegen.Objective) (rulegen.Rule, error) {
+	table, ok := r.tables[obj]
+	if !ok {
+		return rulegen.Rule{}, fmt.Errorf("tiers: objective %q not offered", obj)
+	}
+	if tol < 0 {
+		return rulegen.Rule{}, fmt.Errorf("tiers: negative tolerance %v", tol)
+	}
+	rule, ok := table.Lookup(tol)
+	if !ok {
+		return rulegen.Rule{}, fmt.Errorf("tiers: tolerance %v below the smallest offered tier", tol)
+	}
+	return rule, nil
+}
+
+// Handle executes one annotated request through its resolved tier.
+func (r *Registry) Handle(req *service.Request, tol float64, obj rulegen.Objective) (service.Result, ensemble.Outcome, rulegen.Rule, error) {
+	rule, err := r.Resolve(tol, obj)
+	if err != nil {
+		return service.Result{}, ensemble.Outcome{}, rulegen.Rule{}, err
+	}
+	res, out := rule.Candidate.Policy.Execute(r.svc, req)
+	return res, out, rule, nil
+}
+
+// AuditEntry records one tier's held-out evaluation.
+type AuditEntry struct {
+	Tolerance float64
+	Objective rulegen.Objective
+	Policy    ensemble.Policy
+	// MeasuredErr is the tier's mean error on the audit rows.
+	MeasuredErr float64
+	// BaselineErr is the most accurate configuration's mean error on
+	// the same rows.
+	BaselineErr float64
+	// Degradation is the relative degradation (ErrDegradation).
+	Degradation float64
+	// Violated reports Degradation > Tolerance.
+	Violated bool
+	// MeanLatency and MeanInvCost are the tier's held-out means.
+	MeanLatency time.Duration
+	MeanInvCost float64
+	// LatencyReduction and CostReduction are improvements versus the
+	// one-size-fits-all baseline (most accurate single version) on the
+	// audit rows; positive is better.
+	LatencyReduction float64
+	CostReduction    float64
+}
+
+// AuditReport aggregates an audit over a rule table.
+type AuditReport struct {
+	Objective  rulegen.Objective
+	Entries    []AuditEntry
+	Violations int
+}
+
+// Audit evaluates every rule of the table on the given rows of m
+// (held-out traffic) and checks the tolerance guarantees. The baseline
+// is the table's recorded most-accurate version, evaluated on the same
+// rows.
+func Audit(m *profile.Matrix, rows []int, table rulegen.RuleTable) AuditReport {
+	report := AuditReport{Objective: table.Objective}
+	baseAgg := ensemble.Evaluate(m, rows, ensemble.Policy{Kind: ensemble.Single, Primary: table.Best})
+	for _, rule := range table.Rules {
+		agg := ensemble.Evaluate(m, rows, rule.Candidate.Policy)
+		deg := ensemble.ErrDegradation(agg.MeanErr, baseAgg.MeanErr)
+		e := AuditEntry{
+			Tolerance:        rule.Tolerance,
+			Objective:        table.Objective,
+			Policy:           rule.Candidate.Policy,
+			MeasuredErr:      agg.MeanErr,
+			BaselineErr:      baseAgg.MeanErr,
+			Degradation:      deg,
+			Violated:         deg > rule.Tolerance+1e-12,
+			MeanLatency:      agg.MeanLatency,
+			MeanInvCost:      agg.MeanInvCost,
+			LatencyReduction: 1 - float64(agg.MeanLatency)/float64(baseAgg.MeanLatency),
+			CostReduction:    1 - agg.MeanInvCost/baseAgg.MeanInvCost,
+		}
+		if e.Violated {
+			report.Violations++
+		}
+		report.Entries = append(report.Entries, e)
+	}
+	return report
+}
+
+// CrossValidate runs the paper's 10-fold protocol: for every fold, rules
+// are generated on the training rows and audited on the held-out rows.
+// It returns one report per fold and the total violation count.
+func CrossValidate(m *profile.Matrix, folds []Fold, gcfg rulegen.Config, tols []float64, obj rulegen.Objective) ([]AuditReport, int) {
+	reports := make([]AuditReport, len(folds))
+	var wg sync.WaitGroup
+	for i, f := range folds {
+		wg.Add(1)
+		go func(i int, f Fold) {
+			defer wg.Done()
+			g := rulegen.New(m, f.Train, gcfg)
+			table := g.Generate(tols, obj)
+			reports[i] = Audit(m, f.Test, table)
+		}(i, f)
+	}
+	wg.Wait()
+	violations := 0
+	for _, rep := range reports {
+		violations += rep.Violations
+	}
+	return reports, violations
+}
+
+// Fold mirrors dataset.Fold without importing it (kept dependency-free
+// so callers can construct folds from any split source).
+type Fold struct {
+	Train []int
+	Test  []int
+}

@@ -1,0 +1,162 @@
+package tiers
+
+import (
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+type fixture struct {
+	svc  *service.Service
+	reqs []*service.Request
+	m    *profile.Matrix
+	reg  *Registry
+}
+
+func build(t testing.TB) *fixture {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 900, Device: vision.CPU})
+	m := profile.Build(c.Service, c.Requests)
+	gcfg := rulegen.DefaultConfig()
+	gcfg.MinTrials = 6
+	gcfg.MaxTrials = 40
+	gcfg.ThresholdPoints = 6
+	gcfg.IncludePickBest = false
+	g := rulegen.New(m, nil, gcfg)
+	tols := []float64{0, 0.01, 0.05, 0.10}
+	lat := g.Generate(tols, rulegen.MinimizeLatency)
+	cost := g.Generate(tols, rulegen.MinimizeCost)
+	return &fixture{
+		svc:  c.Service,
+		reqs: c.Requests,
+		m:    m,
+		reg:  NewRegistry(c.Service, lat, cost),
+	}
+}
+
+func TestRegistryObjectives(t *testing.T) {
+	f := build(t)
+	objs := f.reg.Objectives()
+	if len(objs) != 2 {
+		t.Fatalf("objectives = %v", objs)
+	}
+	if f.reg.Service() != f.svc {
+		t.Fatal("service accessor broken")
+	}
+}
+
+func TestResolveTierBoundaries(t *testing.T) {
+	f := build(t)
+	r, err := f.reg.Resolve(0.05, rulegen.MinimizeLatency)
+	if err != nil || r.Tolerance != 0.05 {
+		t.Fatalf("Resolve(0.05) = %+v, %v", r, err)
+	}
+	// 0.07 rounds down to the 5% tier.
+	r, err = f.reg.Resolve(0.07, rulegen.MinimizeLatency)
+	if err != nil || r.Tolerance != 0.05 {
+		t.Fatalf("Resolve(0.07) = tier %v, %v", r.Tolerance, err)
+	}
+	if _, err := f.reg.Resolve(-0.1, rulegen.MinimizeLatency); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+	if _, err := f.reg.Resolve(0.05, "throughput"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestHandleRunsPolicy(t *testing.T) {
+	f := build(t)
+	res, out, rule, err := f.reg.Handle(f.reqs[0], 0.10, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class < 0 {
+		t.Fatalf("result class %d", res.Class)
+	}
+	if out.Latency <= 0 || out.InvCost <= 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if rule.Tolerance != 0.10 {
+		t.Fatalf("rule tolerance %v", rule.Tolerance)
+	}
+}
+
+func TestHandleUnknownObjective(t *testing.T) {
+	f := build(t)
+	if _, _, _, err := f.reg.Handle(f.reqs[0], 0.1, "nope"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestAuditNoViolationsOnTrainingRows(t *testing.T) {
+	// Auditing on the very rows the rules were generated from must not
+	// violate: worst-case bootstrap bounds are conservative versus the
+	// full-sample mean.
+	f := build(t)
+	table, _ := f.reg.tables[rulegen.MinimizeLatency]
+	rep := Audit(f.m, nil, table)
+	if rep.Violations != 0 {
+		for _, e := range rep.Entries {
+			if e.Violated {
+				t.Logf("violated: tol=%v deg=%v policy=%v", e.Tolerance, e.Degradation, e.Policy)
+			}
+		}
+		t.Fatalf("%d violations on training rows", rep.Violations)
+	}
+	if len(rep.Entries) != 4 {
+		t.Fatalf("entries = %d", len(rep.Entries))
+	}
+}
+
+func TestAuditReductionsImproveWithTolerance(t *testing.T) {
+	f := build(t)
+	table, _ := f.reg.tables[rulegen.MinimizeLatency]
+	rep := Audit(f.m, nil, table)
+	for i := 1; i < len(rep.Entries); i++ {
+		if rep.Entries[i].LatencyReduction < rep.Entries[i-1].LatencyReduction-1e-9 {
+			t.Fatalf("latency reduction not monotone: %v after %v",
+				rep.Entries[i].LatencyReduction, rep.Entries[i-1].LatencyReduction)
+		}
+	}
+	last := rep.Entries[len(rep.Entries)-1]
+	if last.LatencyReduction <= 0 {
+		t.Fatalf("10%% tier reduction %v", last.LatencyReduction)
+	}
+	costTable, _ := f.reg.tables[rulegen.MinimizeCost]
+	costRep := Audit(f.m, nil, costTable)
+	lastCost := costRep.Entries[len(costRep.Entries)-1]
+	if lastCost.CostReduction <= 0 {
+		t.Fatalf("10%% cost tier reduction %v", lastCost.CostReduction)
+	}
+}
+
+func TestCrossValidateHoldsGuarantees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross validation is expensive")
+	}
+	f := build(t)
+	kf := dataset.KFold(f.m.NumRequests(), 5, 11)
+	folds := make([]Fold, len(kf))
+	for i, k := range kf {
+		folds[i] = Fold{Train: k.Train, Test: k.Test}
+	}
+	gcfg := rulegen.DefaultConfig()
+	gcfg.MinTrials = 6
+	gcfg.MaxTrials = 32
+	gcfg.ThresholdPoints = 5
+	gcfg.IncludePickBest = false
+	reports, violations := CrossValidate(f.m, folds, gcfg, []float64{0.02, 0.05, 0.10}, rulegen.MinimizeLatency)
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// The paper observes zero violations; at our reduced test scale the
+	// bootstrap still has to keep violations rare. Allow at most one
+	// marginal violation across 15 audited tiers.
+	if violations > 1 {
+		t.Fatalf("%d guarantee violations across folds", violations)
+	}
+}

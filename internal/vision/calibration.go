@@ -1,0 +1,172 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Calibration diagnostics for the zoo's confidence signal. The routing
+// rules lean entirely on per-version confidences, so the library ships
+// the standard reliability tooling to audit them: expected calibration
+// error (ECE), reliability diagrams, and coverage/accuracy curves.
+
+// ReliabilityBin is one bin of a reliability diagram.
+type ReliabilityBin struct {
+	// Lo and Hi bound the bin's confidence range.
+	Lo, Hi float64
+	// Count is the number of predictions in the bin.
+	Count int
+	// MeanConfidence and Accuracy are the bin's averages.
+	MeanConfidence float64
+	Accuracy       float64
+}
+
+// Reliability computes a reliability diagram with the given number of
+// equal-width confidence bins over the model's predictions for imgs.
+func (w *World) Reliability(m ModelSpec, imgs []*Image, bins int) []ReliabilityBin {
+	if bins < 1 {
+		bins = 10
+	}
+	out := make([]ReliabilityBin, bins)
+	for b := range out {
+		out[b].Lo = float64(b) / float64(bins)
+		out[b].Hi = float64(b+1) / float64(bins)
+	}
+	for _, img := range imgs {
+		p := w.Infer(m, img)
+		b := int(p.Confidence * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b].Count++
+		out[b].MeanConfidence += p.Confidence
+		if p.Class == img.Label {
+			out[b].Accuracy++
+		}
+	}
+	for b := range out {
+		if out[b].Count > 0 {
+			out[b].MeanConfidence /= float64(out[b].Count)
+			out[b].Accuracy /= float64(out[b].Count)
+		}
+	}
+	return out
+}
+
+// ECE returns the expected calibration error over the reliability
+// diagram: the count-weighted mean |confidence - accuracy|.
+func ECE(binsOut []ReliabilityBin) float64 {
+	total := 0
+	for _, b := range binsOut {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	ece := 0.0
+	for _, b := range binsOut {
+		if b.Count == 0 {
+			continue
+		}
+		ece += float64(b.Count) / float64(total) * math.Abs(b.MeanConfidence-b.Accuracy)
+	}
+	return ece
+}
+
+// CoveragePoint is one point of a coverage/accuracy curve: accepting the
+// Coverage most confident predictions yields the given Accuracy; the
+// acceptance threshold is Threshold.
+type CoveragePoint struct {
+	Coverage  float64
+	Accuracy  float64
+	Threshold float64
+}
+
+// CoverageCurve computes the selective-classification curve the routing
+// rule generator implicitly optimizes: for each requested coverage, the
+// accuracy over the most confident fraction of predictions.
+func (w *World) CoverageCurve(m ModelSpec, imgs []*Image, coverages []float64) ([]CoveragePoint, error) {
+	if len(imgs) == 0 {
+		return nil, fmt.Errorf("vision: empty image set")
+	}
+	type obs struct {
+		conf  float64
+		right bool
+	}
+	all := make([]obs, 0, len(imgs))
+	for _, img := range imgs {
+		p := w.Infer(m, img)
+		all = append(all, obs{p.Confidence, p.Class == img.Label})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].conf > all[j].conf })
+	var out []CoveragePoint
+	for _, cov := range coverages {
+		if cov <= 0 || cov > 1 {
+			return nil, fmt.Errorf("vision: coverage %v outside (0,1]", cov)
+		}
+		n := int(cov * float64(len(all)))
+		if n == 0 {
+			n = 1
+		}
+		right := 0
+		for _, o := range all[:n] {
+			if o.right {
+				right++
+			}
+		}
+		out = append(out, CoveragePoint{
+			Coverage:  cov,
+			Accuracy:  float64(right) / float64(n),
+			Threshold: all[n-1].conf,
+		})
+	}
+	return out, nil
+}
+
+// Top5Error returns the top-5 error of model m over imgs: the fraction
+// of images whose label is not among the five nearest prototypes of the
+// model's observation. ILSVRC reports both top-1 and top-5; the zoo's
+// Table-II extension includes it.
+func (w *World) Top5Error(m ModelSpec, imgs []*Image) float64 {
+	if len(imgs) == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, img := range imgs {
+		if !w.inTopK(m, img, 5) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(imgs))
+}
+
+// inTopK reports whether the image's label ranks among the k nearest
+// prototypes under model m's observation.
+func (w *World) inTopK(m ModelSpec, img *Image, k int) bool {
+	// Rebuild the model-specific observation (deterministic).
+	obs := w.observe(m, img)
+	labelDist := distSq(obs, w.protos[img.Label])
+	closer := 0
+	for c := 0; c < w.classes; c++ {
+		if c == img.Label {
+			continue
+		}
+		if distSq(obs, w.protos[c]) < labelDist {
+			closer++
+			if closer >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func distSq(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

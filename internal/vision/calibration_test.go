@@ -1,0 +1,122 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReliabilityBinsPartition(t *testing.T) {
+	w := testWorld(t)
+	m, _ := ZooModel("resnet50")
+	imgs := w.Corpus(0, 800)
+	bins := w.Reliability(m, imgs, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for i, b := range bins {
+		total += b.Count
+		if b.Lo != float64(i)/10 || b.Hi != float64(i+1)/10 {
+			t.Fatalf("bin %d bounds [%v,%v]", i, b.Lo, b.Hi)
+		}
+		if b.Count > 0 {
+			if b.MeanConfidence < b.Lo-1e-9 || b.MeanConfidence > b.Hi+1e-9 {
+				t.Fatalf("bin %d mean confidence %v outside bounds", i, b.MeanConfidence)
+			}
+			if b.Accuracy < 0 || b.Accuracy > 1 {
+				t.Fatalf("bin %d accuracy %v", i, b.Accuracy)
+			}
+		}
+	}
+	if total != len(imgs) {
+		t.Fatalf("bins cover %d of %d predictions", total, len(imgs))
+	}
+}
+
+func TestECEBounds(t *testing.T) {
+	w := testWorld(t)
+	m, _ := ZooModel("resnet50")
+	imgs := w.Corpus(0, 800)
+	ece := ECE(w.Reliability(m, imgs, 10))
+	if ece < 0 || ece > 1 {
+		t.Fatalf("ECE = %v", ece)
+	}
+	if ECE(nil) != 0 {
+		t.Fatal("empty diagram ECE should be 0")
+	}
+	// The typicality-fused confidence is under-confident at the top;
+	// the audit exists to quantify exactly this. Keep the bound loose.
+	if ece > 0.65 {
+		t.Fatalf("ECE %v implausibly high", ece)
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	w := testWorld(t)
+	m, _ := ZooModel("squeezenet")
+	imgs := w.Corpus(0, 1500)
+	pts, err := w.CoverageCurve(m, imgs, []float64{0.2, 0.4, 0.6, 0.8, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		// Accuracy must not increase with coverage (selective
+		// classification property of a useful confidence signal).
+		if pts[i].Accuracy > pts[i-1].Accuracy+0.02 {
+			t.Fatalf("accuracy rose with coverage: %+v -> %+v", pts[i-1], pts[i])
+		}
+		if pts[i].Threshold > pts[i-1].Threshold+1e-9 {
+			t.Fatalf("threshold rose with coverage")
+		}
+	}
+	// Full coverage equals overall accuracy.
+	wrong := 0
+	for _, img := range imgs {
+		if w.Infer(m, img).Class != img.Label {
+			wrong++
+		}
+	}
+	overall := 1 - float64(wrong)/float64(len(imgs))
+	if math.Abs(pts[4].Accuracy-overall) > 1e-9 {
+		t.Fatalf("coverage-1 accuracy %v != overall %v", pts[4].Accuracy, overall)
+	}
+}
+
+func TestCoverageCurveErrors(t *testing.T) {
+	w := testWorld(t)
+	m, _ := ZooModel("squeezenet")
+	if _, err := w.CoverageCurve(m, nil, []float64{0.5}); err == nil {
+		t.Fatal("empty image set accepted")
+	}
+	if _, err := w.CoverageCurve(m, w.Corpus(0, 10), []float64{1.5}); err == nil {
+		t.Fatal("coverage > 1 accepted")
+	}
+}
+
+func TestTop5BelowTop1(t *testing.T) {
+	w := testWorld(t)
+	imgs := w.Corpus(0, 1000)
+	for _, name := range []string{"squeezenet", "resnet152"} {
+		m, _ := ZooModel(name)
+		wrong := 0
+		for _, img := range imgs {
+			if w.Infer(m, img).Class != img.Label {
+				wrong++
+			}
+		}
+		top1 := float64(wrong) / float64(len(imgs))
+		top5 := w.Top5Error(m, imgs)
+		if top5 >= top1 {
+			t.Fatalf("%s: top-5 error %v not below top-1 %v", name, top5, top1)
+		}
+		if top5 < 0 || top5 > 1 {
+			t.Fatalf("%s: top-5 error %v", name, top5)
+		}
+	}
+	if w.Top5Error(Zoo()[0], nil) != 0 {
+		t.Fatal("empty top-5 should be 0")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+func TestGenerateEmptyOnBadConfig(t *testing.T) {
+	if got := Generate(Config{}); got != nil {
+		t.Fatalf("bad config produced %d arrivals", len(got))
+	}
+}
+
+func TestGeneratePoissonRate(t *testing.T) {
+	cfg := Config{RatePerSec: 100, Duration: 30 * time.Second, CorpusSize: 50, Seed: 1}
+	trace := Generate(cfg)
+	want := 100.0 * 30
+	got := float64(len(trace))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("arrivals %v, want ~%v", got, want)
+	}
+}
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	cfg := Config{RatePerSec: 50, Duration: 10 * time.Second, CorpusSize: 7, Seed: 2}
+	trace := Generate(cfg)
+	for i, a := range trace {
+		if a.At < 0 || a.At >= cfg.Duration {
+			t.Fatalf("arrival %d at %v outside trace", i, a.At)
+		}
+		if i > 0 && trace[i-1].At > a.At {
+			t.Fatal("trace not sorted")
+		}
+		if a.RequestIndex < 0 || a.RequestIndex >= 7 {
+			t.Fatalf("request index %d out of corpus", a.RequestIndex)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{RatePerSec: 20, Duration: 5 * time.Second, CorpusSize: 10, Seed: 3}
+	a, b := Generate(cfg), Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestMixShares(t *testing.T) {
+	cfg := Config{RatePerSec: 200, Duration: 30 * time.Second, CorpusSize: 100, Seed: 4}
+	trace := Generate(cfg)
+	counts := map[float64]int{}
+	for _, a := range trace {
+		counts[a.Tolerance]++
+	}
+	n := float64(len(trace))
+	mix := DefaultMix()
+	for _, c := range mix {
+		got := float64(counts[c.Tolerance]) / n
+		if math.Abs(got-c.Weight) > 0.05 {
+			t.Fatalf("class tol=%v share %.3f, want ~%.2f", c.Tolerance, got, c.Weight)
+		}
+	}
+}
+
+func TestObjectivesAnnotated(t *testing.T) {
+	cfg := Config{RatePerSec: 100, Duration: 5 * time.Second, CorpusSize: 10, Seed: 5}
+	sawCost := false
+	for _, a := range Generate(cfg) {
+		if a.Objective == rulegen.MinimizeCost {
+			sawCost = true
+		}
+	}
+	if !sawCost {
+		t.Fatal("default mix never produced a cost-objective request")
+	}
+}
+
+func TestBurstinessIncreasesVariance(t *testing.T) {
+	base := Config{RatePerSec: 100, Duration: 60 * time.Second, CorpusSize: 10, Seed: 6}
+	burst := base
+	burst.Burstiness = 8
+	varOf := func(trace []Arrival) float64 {
+		// variance of per-second counts
+		counts := map[int]float64{}
+		for _, a := range trace {
+			counts[int(a.At/time.Second)]++
+		}
+		var mean float64
+		for s := 0; s < 60; s++ {
+			mean += counts[s]
+		}
+		mean /= 60
+		var v float64
+		for s := 0; s < 60; s++ {
+			d := counts[s] - mean
+			v += d * d
+		}
+		return v / 60
+	}
+	vp := varOf(Generate(base))
+	vb := varOf(Generate(burst))
+	if vb <= vp*1.5 {
+		t.Fatalf("bursty variance %v not clearly above poisson %v", vb, vp)
+	}
+}

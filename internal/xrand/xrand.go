@@ -1,0 +1,216 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the Tolerance Tiers simulators.
+//
+// Every stochastic component of the reproduction (corpus synthesis,
+// acoustic noise, bootstrap sampling, arrival processes) draws from an
+// explicit *RNG seeded through this package, which makes every experiment
+// bit-reproducible across runs and machines. The generator is
+// xoshiro256** seeded via SplitMix64, the combination recommended by the
+// xoshiro authors; streams derived with Split are statistically
+// independent for our purposes.
+package xrand
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	s [4]uint64
+	// cached spare gaussian value (Box-Muller produces pairs)
+	spare    float64
+	hasSpare bool
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding so that closely related seeds still yield
+// well-distributed xoshiro states.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators built from the
+// same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator labelled by key. The
+// parent's stream is unaffected, so components that split by stable keys
+// stay reproducible regardless of the order in which other components
+// consume randomness.
+func (r *RNG) Split(key uint64) *RNG {
+	// Mix the parent state with the key through SplitMix64.
+	sm := r.s[0] ^ rotl(r.s[2], 17) ^ (key * 0x9e3779b97f4a7c15)
+	c := &RNG{}
+	for i := range c.s {
+		c.s[i] = splitmix64(&sm)
+	}
+	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
+		c.s[0] = 1
+	}
+	return c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Norm returns a standard normal variate (mean 0, stddev 1) using the
+// Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// NormMS returns a normal variate with the given mean and stddev.
+func (r *RNG) NormMS(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// LogNorm returns a log-normal variate where the underlying normal has
+// the given mu and sigma.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.NormMS(mu, sigma))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place via swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples ranks in [0, n) following a Zipf distribution with
+// exponent s (s > 0). Rank 0 is the most probable. The sampler is exact
+// (inverse-CDF over precomputed cumulative weights) and is constructed
+// once per distribution.
+type Zipf struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1
+	return &Zipf{cum: cum}
+}
+
+// N reports the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// P returns the probability of rank i.
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// Sample draws one rank using r.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first cumulative weight >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,178 @@
+// Package toltiers is the public API of the Tolerance Tiers library, a
+// reproduction of "One Size Does Not Fit All: Quantifying and Exposing
+// the Accuracy-Latency Trade-off in Machine Learning Cloud Service APIs
+// via Tolerance Tiers" (Halpern et al., ISPASS 2019).
+//
+// Tolerance Tiers let MLaaS consumers annotate every request with an
+// error tolerance and an optimization objective; the service routes the
+// request through an ensemble of model versions that optimizes the
+// objective while statistically guaranteeing the tolerance. The library
+// contains everything the paper's evaluation needs: a beam-search ASR
+// engine and a CNN-zoo image classifier (both simulated substrates, see
+// DESIGN.md), per-request profiling, ensemble routing policies, the
+// bootstrapped routing-rule generator of the paper's Fig. 7, an HTTP
+// front end with the paper's request annotation, and the experiment
+// harness regenerating every table and figure.
+//
+// # Quickstart
+//
+//	corpus := toltiers.NewSpeechCorpus(2000)
+//	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+//	gen := toltiers.NewRuleGenerator(matrix, nil, toltiers.DefaultGeneratorConfig())
+//	table := gen.Generate(toltiers.ToleranceGrid(0.10, 0.01), toltiers.MinimizeLatency)
+//	registry := toltiers.NewRegistry(corpus.Service, table)
+//	result, outcome, rule, err := registry.Handle(corpus.Requests[0], 0.05, toltiers.MinimizeLatency)
+//
+// See examples/ for runnable scenarios.
+package toltiers
+
+import (
+	"net/http"
+
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/server"
+	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// Core service abstractions.
+type (
+	// Service bundles a domain's versions and evaluator.
+	Service = service.Service
+	// Request is one API request.
+	Request = service.Request
+	// Result is a version's answer.
+	Result = service.Result
+	// Version is one deployable model instantiation.
+	Version = service.Version
+)
+
+// Profiling.
+type (
+	// Matrix is the request x version measurement table.
+	Matrix = profile.Matrix
+	// Category classifies per-request accuracy-latency behaviour.
+	Category = profile.Category
+)
+
+// Routing.
+type (
+	// Policy is one ensemble routing configuration.
+	Policy = ensemble.Policy
+	// Outcome is a policy execution result with accounting.
+	Outcome = ensemble.Outcome
+	// Objective selects what a tier optimizes.
+	Objective = rulegen.Objective
+	// GeneratorConfig parameterizes the routing-rule generator.
+	GeneratorConfig = rulegen.Config
+	// RuleGenerator bootstraps candidate configurations (Fig. 7).
+	RuleGenerator = rulegen.Generator
+	// RuleTable maps tolerances to chosen configurations.
+	RuleTable = rulegen.RuleTable
+	// Registry is the consumer-facing tier registry.
+	Registry = tiers.Registry
+	// AuditReport verifies tier guarantees on held-out traffic.
+	AuditReport = tiers.AuditReport
+)
+
+// Objectives.
+const (
+	// MinimizeLatency optimizes mean response time.
+	MinimizeLatency = rulegen.MinimizeLatency
+	// MinimizeCost optimizes mean invocation cost.
+	MinimizeCost = rulegen.MinimizeCost
+)
+
+// Request behaviour categories (Fig. 2).
+const (
+	Unchanged = profile.Unchanged
+	Improves  = profile.Improves
+	Degrades  = profile.Degrades
+	Varies    = profile.Varies
+)
+
+// SpeechCorpus bundles the ASR service with an utterance corpus.
+type SpeechCorpus = dataset.SpeechCorpus
+
+// VisionCorpus bundles the IC service with an image corpus.
+type VisionCorpus = dataset.VisionCorpus
+
+// NewSpeechCorpus builds the default ASR evaluation corpus with n
+// utterances (n <= 0 selects the experiments' default size).
+func NewSpeechCorpus(n int) *SpeechCorpus {
+	return dataset.NewSpeechCorpus(dataset.SpeechCorpusConfig{N: n})
+}
+
+// NewVisionCorpus builds the default GPU image-classification corpus
+// with n images (n <= 0 selects the experiments' default size).
+func NewVisionCorpus(n int) *VisionCorpus {
+	return dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: n, Device: vision.GPU})
+}
+
+// NewVisionCorpusCPU is NewVisionCorpus on the CPU device profile.
+func NewVisionCorpusCPU(n int) *VisionCorpus {
+	return dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: n, Device: vision.CPU})
+}
+
+// Profile measures every service version against every request.
+func Profile(svc *Service, reqs []*Request) *Matrix { return profile.Build(svc, reqs) }
+
+// DefaultGeneratorConfig returns the paper's generator settings (99.9%
+// confidence, 1/10 bootstrap samples).
+func DefaultGeneratorConfig() GeneratorConfig { return rulegen.DefaultConfig() }
+
+// NewRuleGenerator bootstraps all candidate ensemble configurations over
+// the training rows of m (nil = all rows).
+func NewRuleGenerator(m *Matrix, trainRows []int, cfg GeneratorConfig) *RuleGenerator {
+	return rulegen.New(m, trainRows, cfg)
+}
+
+// ToleranceGrid returns tolerances 0..max in the given step (the paper
+// uses 0.10 and 0.001).
+func ToleranceGrid(max, step float64) []float64 { return rulegen.ToleranceGrid(max, step) }
+
+// NewRegistry builds the consumer-facing tier registry from generated
+// rule tables.
+func NewRegistry(svc *Service, tables ...RuleTable) *Registry {
+	return tiers.NewRegistry(svc, tables...)
+}
+
+// Audit verifies every rule of the table on the given rows of m.
+func Audit(m *Matrix, rows []int, table RuleTable) AuditReport { return tiers.Audit(m, rows, table) }
+
+// NewHTTPHandler exposes a registry over HTTP with the paper's
+// Tolerance/Objective request annotation.
+func NewHTTPHandler(reg *Registry, reqs []*Request) http.Handler { return server.New(reg, reqs) }
+
+// NewClient returns the Go SDK for a Tolerance Tiers endpoint.
+func NewClient(base string, httpClient *http.Client) *client.Client {
+	return client.New(base, httpClient)
+}
+
+// Split partitions [0, n) into train/test index sets.
+func Split(n int, trainFrac float64, seed uint64) (train, test []int) {
+	return dataset.Split(n, trainFrac, seed)
+}
+
+// SaveRuleTable writes a generated rule table to path as JSON, for
+// deployment to serving nodes.
+func SaveRuleTable(path string, t RuleTable) error { return rulegen.SaveTableFile(path, t) }
+
+// LoadRuleTable reads a rule table saved by SaveRuleTable, validating
+// its policies against a service with nVersions versions (0 skips the
+// check).
+func LoadRuleTable(path string, nVersions int) (RuleTable, error) {
+	return rulegen.LoadTableFile(path, nVersions)
+}
+
+// SaveProfile writes a profile matrix to path so expensive corpus
+// profiling can be reused across runs.
+func SaveProfile(path string, m *Matrix) error { return m.SaveFile(path) }
+
+// LoadProfile reads a matrix saved by SaveProfile.
+func LoadProfile(path string) (*Matrix, error) { return profile.LoadFile(path) }
