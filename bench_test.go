@@ -252,18 +252,58 @@ func BenchmarkProfileBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkPolicySimulate measures profile-row policy simulation (the
-// inner loop of the Fig.-7 bootstrap).
+// BenchmarkPolicySimulate measures row-oriented policy simulation (the
+// pre-columnar inner loop of the Fig.-7 bootstrap, kept as the
+// reference path).
 func BenchmarkPolicySimulate(b *testing.B) {
 	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 200, Device: vision.GPU})
 	m := profile.Build(c.Service, c.Requests)
 	p := ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5}
+	rows := make([][]profile.Cell, m.NumRequests())
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o := p.Simulate(m.Cells[i%m.NumRequests()])
+		o := p.Simulate(rows[i%len(rows)])
 		if o.Latency <= 0 {
 			b.Fatal("bad outcome")
 		}
+	}
+}
+
+// BenchmarkEvaluatorTrial measures the columnar bootstrap kernel: one
+// fused trial sum over every training row (the Evaluator replacement for
+// per-row Policy.Simulate). The reported ns/row compares directly with
+// BenchmarkPolicySimulate's ns/op.
+func BenchmarkEvaluatorTrial(b *testing.B) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 200, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	p := ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5}
+	ev := ensemble.NewEvaluator(m, nil)
+	ev.SetBaseline(m.NumVersions() - 1)
+	ev.SetPolicy(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ev.Trial(nil)
+		if t.LatNsSum <= 0 {
+			b.Fatal("bad trial")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(m.NumRequests()), "ns/row")
+}
+
+// BenchmarkEvaluatorSetPolicy measures fusing a policy into the
+// evaluator's outcome columns (paid once per candidate, amortized over
+// every bootstrap trial).
+func BenchmarkEvaluatorSetPolicy(b *testing.B) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 200, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	ev := ensemble.NewEvaluator(m, nil)
+	kinds := []ensemble.Kind{ensemble.Failover, ensemble.Concurrent}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.SetPolicy(ensemble.Policy{Kind: kinds[i%2], Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5})
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/toltiers/toltiers
+
+go 1.24

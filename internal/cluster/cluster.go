@@ -110,6 +110,7 @@ func Simulate(m *profile.Matrix, reg *tiers.Registry, trace []workload.Arrival, 
 		return start, done
 	}
 
+	rowBuf := make([]profile.Cell, m.NumVersions())
 	for _, a := range trace {
 		if a.RequestIndex < 0 || a.RequestIndex >= m.NumRequests() {
 			return stats, fmt.Errorf("cluster: request index %d outside corpus", a.RequestIndex)
@@ -119,7 +120,7 @@ func Simulate(m *profile.Matrix, reg *tiers.Registry, trace []workload.Arrival, 
 			return stats, err
 		}
 		pol := rule.Candidate.Policy
-		row := m.Cells[a.RequestIndex]
+		row := m.ReadRow(a.RequestIndex, rowBuf)
 		var done time.Duration
 		var outcome ensemble.Outcome
 		switch pol.Kind {

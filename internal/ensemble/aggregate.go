@@ -1,7 +1,6 @@
 package ensemble
 
 import (
-	"sort"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/profile"
@@ -20,14 +19,16 @@ type Aggregate struct {
 
 // Evaluate simulates the policy over the given rows of the matrix
 // (nil = all rows) and aggregates the outcomes. This is the paper's
-// `simulate(sample, cfg)` from Fig. 7.
+// `simulate(sample, cfg)` from Fig. 7, kept as the row-oriented
+// reference path; the bootstrap hot loop uses Evaluator instead.
 func Evaluate(m *profile.Matrix, rows []int, p Policy) Aggregate {
 	var agg Aggregate
 	var latSum time.Duration
 	var errSum, invSum, iaasSum float64
 	escalations := 0
+	buf := make([]profile.Cell, m.NumVersions())
 	add := func(i int) {
-		o := p.Simulate(m.Cells[i])
+		o := p.Simulate(m.ReadRow(i, buf))
 		agg.N++
 		errSum += o.Err
 		latSum += o.Latency
@@ -38,7 +39,7 @@ func Evaluate(m *profile.Matrix, rows []int, p Policy) Aggregate {
 		}
 	}
 	if rows == nil {
-		for i := range m.Cells {
+		for i := 0; i < m.NumRequests(); i++ {
 			add(i)
 		}
 	} else {
@@ -82,32 +83,88 @@ func ThresholdGrid(m *profile.Matrix, rows []int, version int, points int) []flo
 	if points < 1 {
 		points = 1
 	}
-	confs := make([]float64, 0, len(rows))
+	nv := m.NumVersions()
+	var confs []float64
 	if rows == nil {
-		for i := range m.Cells {
-			confs = append(confs, m.Cells[i][version].Confidence)
+		confs = make([]float64, 0, m.NumRequests())
+		for i := 0; i < m.NumRequests(); i++ {
+			confs = append(confs, m.Confidence[i*nv+version])
 		}
 	} else {
+		confs = make([]float64, 0, len(rows))
 		for _, i := range rows {
-			confs = append(confs, m.Cells[i][version].Confidence)
+			confs = append(confs, m.Confidence[i*nv+version])
 		}
 	}
 	if len(confs) == 0 {
 		return []float64{0}
 	}
-	sortFloats(confs)
+	// Only points+1 order statistics are needed, so select them instead
+	// of sorting the whole confidence column: successive quickselects
+	// over the narrowing right partition yield exactly the values a full
+	// sort would index. Positions are nondecreasing, so each select can
+	// start past the previous pivot.
+	lo := 0
+	selectAt := func(idx int) float64 {
+		if idx > lo {
+			quickSelect(confs, lo, len(confs)-1, idx)
+			lo = idx
+		} else if lo == 0 && idx == 0 {
+			quickSelect(confs, 0, len(confs)-1, 0)
+		}
+		return confs[idx]
+	}
 	grid := make([]float64, 0, points+2)
 	grid = append(grid, 0) // accept everything
 	for k := 1; k <= points; k++ {
 		q := float64(k) / float64(points+1)
 		idx := int(q * float64(len(confs)-1))
-		v := confs[idx]
-		if len(grid) == 0 || v > grid[len(grid)-1] {
+		// grid always holds the accept-all sentinel, so dedup only needs
+		// to compare against the last entry.
+		if v := selectAt(idx); v > grid[len(grid)-1] {
 			grid = append(grid, v)
 		}
 	}
-	grid = append(grid, confs[len(confs)-1]+1e-9) // escalate everything
+	grid = append(grid, selectAt(len(confs)-1)+1e-9) // escalate everything
 	return grid
 }
 
-func sortFloats(xs []float64) { sort.Float64s(xs) }
+// quickSelect partially orders xs[lo:hi+1] so that xs[k] holds the value
+// a full ascending sort would place there, with everything left of k no
+// greater than it. Hoare partition with median-of-three pivoting.
+func quickSelect(xs []float64, lo, hi, k int) {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}

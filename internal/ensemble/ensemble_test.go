@@ -259,7 +259,7 @@ func TestExecuteMatchesSimulate(t *testing.T) {
 	for _, p := range policies {
 		for i := 0; i < 40; i++ {
 			_, live := p.Execute(svc, reqs[i])
-			sim := p.Simulate(m.Cells[i])
+			sim := p.Simulate(m.Row(i))
 			if live.Err != sim.Err || live.Latency != sim.Latency || live.Escalated != sim.Escalated {
 				t.Fatalf("%v request %d: live %+v != sim %+v", p, i, live, sim)
 			}

@@ -104,14 +104,11 @@ func TestPickBestOnlyAffectsErrorQuick(t *testing.T) {
 // row set.
 func TestThresholdMonotoneQuick(t *testing.T) {
 	rng := xrand.New(0xcafe)
-	rows := make([][]profile.Cell, 200)
-	for i := range rows {
-		rows[i] = randomRow(rng)
-	}
-	m := &profile.Matrix{
-		VersionNames: []string{"fast", "slow"},
-		RequestIDs:   make([]int, len(rows)),
-		Cells:        rows,
+	m := profile.New("", []string{"fast", "slow"}, make([]int, 200))
+	for i := 0; i < m.NumRequests(); i++ {
+		for v, c := range randomRow(rng) {
+			m.SetAt(i, v, c)
+		}
 	}
 	f := func(aRaw, bRaw uint16) bool {
 		lo, hi := float64(aRaw)/65535.0, float64(bRaw)/65535.0

@@ -30,13 +30,13 @@ func (e *Env) A1() []*tablewriter.Table {
 		var sumErr float64
 		var sumLat float64
 		for _, i := range r.test {
-			row := r.m.Cells[i]
+			fast, acc := r.m.At(i, 0), r.m.At(i, best)
 			if rng.Float64() < rate {
-				sumErr += row[best].Err
-				sumLat += float64(row[0].Latency + row[best].Latency)
+				sumErr += acc.Err
+				sumLat += float64(fast.Latency + acc.Latency)
 			} else {
-				sumErr += row[0].Err
-				sumLat += float64(row[0].Latency)
+				sumErr += fast.Err
+				sumLat += float64(fast.Latency)
 			}
 		}
 		n := float64(len(r.test))
@@ -87,8 +87,9 @@ func (e *Env) A2() []*tablewriter.Table {
 		for _, th0 := range []float64{grid0[len(grid0)/3], grid0[2*len(grid0)/3]} {
 			for _, thm := range []float64{gridM[len(gridM)/3], gridM[2*len(gridM)/3]} {
 				var errSum, latSum float64
+				rowBuf := make([]profile.Cell, r.m.NumVersions())
 				for _, i := range r.test {
-					row := r.m.Cells[i]
+					row := r.m.ReadRow(i, rowBuf)
 					switch {
 					case row[0].Confidence >= th0:
 						errSum += row[0].Err

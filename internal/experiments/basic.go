@@ -123,8 +123,8 @@ func (e *Env) E4() []*tablewriter.Table {
 		}
 		seen[cat] = true
 		row := []string{cat.String(), fmt.Sprint(sm.RequestIDs[i])}
-		for v := range sm.Cells[i] {
-			row = append(row, pct(sm.Cells[i][v].Err))
+		for v := 0; v < sm.NumVersions(); v++ {
+			row = append(row, pct(sm.At(i, v).Err))
 		}
 		exemplars.AddStrings(row...)
 		if len(seen) == 4 {

@@ -80,16 +80,15 @@ func (b CategoryBreakdown) Fraction(c Category) float64 {
 	return float64(b.Counts[c]) / float64(b.Total)
 }
 
-// Categorize classifies every request of the matrix.
+// Categorize classifies every request of the matrix. Each row's error
+// vector is a contiguous slice of the Err column, so no copying is
+// needed.
 func (m *Matrix) Categorize() (CategoryBreakdown, []Category) {
-	per := make([]Category, m.NumRequests())
-	b := CategoryBreakdown{Counts: make(map[Category]int), Total: m.NumRequests()}
-	errs := make([]float64, m.NumVersions())
-	for i, row := range m.Cells {
-		for v := range row {
-			errs[v] = row[v].Err
-		}
-		per[i] = Categorize(errs)
+	nr, nv := m.NumRequests(), m.NumVersions()
+	per := make([]Category, nr)
+	b := CategoryBreakdown{Counts: make(map[Category]int), Total: nr}
+	for i := 0; i < nr; i++ {
+		per[i] = Categorize(m.Err[i*nv : (i+1)*nv])
 		b.Counts[per[i]]++
 	}
 	return b, per
@@ -122,12 +121,14 @@ func (m *Matrix) CategoryErrors() CategoryErrors {
 	for _, c := range Categories() {
 		out.ByCategory[c] = make([]float64, nv)
 	}
-	for i, row := range m.Cells {
+	for i := 0; i < m.NumRequests(); i++ {
 		c := per[i]
 		out.Counts[c]++
-		for v := range row {
-			out.All[v] += row[v].Err
-			out.ByCategory[c][v] += row[v].Err
+		row := m.Err[i*nv : (i+1)*nv]
+		by := out.ByCategory[c]
+		for v, e := range row {
+			out.All[v] += e
+			by[v] += e
 		}
 	}
 	n := float64(m.NumRequests())

@@ -4,6 +4,13 @@
 // simulation and the Fig.-7 bootstrap evaluate configurations in
 // microseconds per trial without re-running the engines. It also hosts
 // the per-request accuracy-latency category analysis of Fig. 2/3.
+//
+// Storage is columnar (struct-of-arrays): one flat float64 slice per
+// metric, indexed Index(request, version). The Fig.-7 bootstrap touches
+// a single metric of thousands of (request, version) pairs per trial,
+// so per-metric columns keep that loop inside contiguous cache lines
+// instead of striding over 40-byte Cell structs. Cell and the Row/At
+// accessors remain as a row-major compatibility view.
 package profile
 
 import (
@@ -15,7 +22,8 @@ import (
 	"github.com/toltiers/toltiers/internal/service"
 )
 
-// Cell holds one (request, version) measurement.
+// Cell holds one (request, version) measurement — the row-major view of
+// one matrix entry.
 type Cell struct {
 	// Err is the result's error (WER or 0/1 top-1).
 	Err float64
@@ -29,7 +37,12 @@ type Cell struct {
 	IaaSCost float64
 }
 
-// Matrix is the request x version measurement table.
+// Matrix is the request x version measurement table. The five metric
+// columns are flat slices of length NumRequests()*NumVersions(), laid
+// out row-major: entry (i, v) lives at Index(i, v) = i*NumVersions()+v.
+// Latencies are stored as nanoseconds in float64; they remain exact as
+// long as a single latency stays below 2^53 ns (~104 days), far beyond
+// any simulated processing time.
 type Matrix struct {
 	// Domain records which service was profiled.
 	Domain service.Domain
@@ -38,29 +51,95 @@ type Matrix struct {
 	VersionNames []string
 	// RequestIDs are the row labels.
 	RequestIDs []int
-	// Cells is indexed [request][version].
-	Cells [][]Cell
+
+	// Err is the per-entry error column (WER or 0/1 top-1).
+	Err []float64
+	// LatencyNs is the per-entry processing time in nanoseconds.
+	LatencyNs []float64
+	// Confidence is the per-entry self-assessment column.
+	Confidence []float64
+	// InvCost is the per-entry consumer-side invocation price column.
+	InvCost []float64
+	// IaaSCost is the per-entry provider-side node-time cost column.
+	IaaSCost []float64
+}
+
+// New allocates an empty matrix with the given labels; every metric of
+// every entry starts at zero.
+func New(domain service.Domain, versionNames []string, requestIDs []int) *Matrix {
+	n := len(requestIDs) * len(versionNames)
+	return &Matrix{
+		Domain:       domain,
+		VersionNames: versionNames,
+		RequestIDs:   requestIDs,
+		Err:          make([]float64, n),
+		LatencyNs:    make([]float64, n),
+		Confidence:   make([]float64, n),
+		InvCost:      make([]float64, n),
+		IaaSCost:     make([]float64, n),
+	}
 }
 
 // NumRequests returns the number of rows.
-func (m *Matrix) NumRequests() int { return len(m.Cells) }
+func (m *Matrix) NumRequests() int { return len(m.RequestIDs) }
 
 // NumVersions returns the number of columns.
 func (m *Matrix) NumVersions() int { return len(m.VersionNames) }
+
+// Index returns the flat column offset of entry (request i, version v).
+func (m *Matrix) Index(i, v int) int { return i*len(m.VersionNames) + v }
+
+// At returns entry (i, v) as a Cell (the row-major compatibility view).
+func (m *Matrix) At(i, v int) Cell {
+	k := m.Index(i, v)
+	return Cell{
+		Err:        m.Err[k],
+		Latency:    time.Duration(m.LatencyNs[k]),
+		Confidence: m.Confidence[k],
+		InvCost:    m.InvCost[k],
+		IaaSCost:   m.IaaSCost[k],
+	}
+}
+
+// SetAt stores c at entry (i, v).
+func (m *Matrix) SetAt(i, v int, c Cell) {
+	k := m.Index(i, v)
+	m.Err[k] = c.Err
+	m.LatencyNs[k] = float64(c.Latency)
+	m.Confidence[k] = c.Confidence
+	m.InvCost[k] = c.InvCost
+	m.IaaSCost[k] = c.IaaSCost
+}
+
+// Row materializes row i as a fresh []Cell.
+func (m *Matrix) Row(i int) []Cell {
+	return m.ReadRow(i, make([]Cell, m.NumVersions()))
+}
+
+// ReadRow fills buf with row i and returns it, growing buf if needed.
+// It lets row-oriented callers (legacy simulation, the cluster replayer)
+// reuse one buffer across rows.
+func (m *Matrix) ReadRow(i int, buf []Cell) []Cell {
+	nv := m.NumVersions()
+	if cap(buf) < nv {
+		buf = make([]Cell, nv)
+	}
+	buf = buf[:nv]
+	for v := 0; v < nv; v++ {
+		buf[v] = m.At(i, v)
+	}
+	return buf
+}
 
 // Build profiles every version of svc against every request, in
 // parallel. The result is deterministic: engines are deterministic and
 // rows are assigned by index.
 func Build(svc *service.Service, reqs []*service.Request) *Matrix {
-	m := &Matrix{
-		Domain:       svc.Domain,
-		VersionNames: svc.VersionNames(),
-		RequestIDs:   make([]int, len(reqs)),
-		Cells:        make([][]Cell, len(reqs)),
-	}
+	ids := make([]int, len(reqs))
 	for i, r := range reqs {
-		m.RequestIDs[i] = r.ID
+		ids[i] = r.ID
 	}
+	m := New(svc.Domain, svc.VersionNames(), ids)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -76,19 +155,16 @@ func Build(svc *service.Service, reqs []*service.Request) *Matrix {
 			defer wg.Done()
 			for i := range next {
 				req := reqs[i]
-				row := make([]Cell, len(svc.Versions))
 				for v, ver := range svc.Versions {
 					res := ver.Process(req)
 					plan := ver.Plan()
-					row[v] = Cell{
-						Err:        svc.Evaluator.Error(req, res),
-						Latency:    res.Latency,
-						Confidence: res.Confidence,
-						InvCost:    plan.InvocationCost(),
-						IaaSCost:   plan.IaaSCost(res.Latency),
-					}
+					k := m.Index(i, v)
+					m.Err[k] = svc.Evaluator.Error(req, res)
+					m.LatencyNs[k] = float64(res.Latency)
+					m.Confidence[k] = res.Confidence
+					m.InvCost[k] = plan.InvocationCost()
+					m.IaaSCost[k] = plan.IaaSCost(res.Latency)
 				}
-				m.Cells[i] = row
 			}
 		}()
 	}
@@ -109,23 +185,28 @@ type VersionSummary struct {
 	MeanIaaS    float64
 }
 
+type summaryAcc struct {
+	err, lat, inv, iaas float64
+}
+
 // Summaries returns per-version aggregates over all rows (or the subset
 // of row indices if rows is non-nil).
 func (m *Matrix) Summaries(rows []int) []VersionSummary {
-	out := make([]VersionSummary, m.NumVersions())
+	nv := m.NumVersions()
+	acc := make([]summaryAcc, nv)
 	n := 0
 	accumulate := func(i int) {
 		n++
-		for v := range out {
-			c := m.Cells[i][v]
-			out[v].MeanErr += c.Err
-			out[v].MeanLatency += c.Latency
-			out[v].MeanInvCost += c.InvCost
-			out[v].MeanIaaS += c.IaaSCost
+		base := i * nv
+		for v := 0; v < nv; v++ {
+			acc[v].err += m.Err[base+v]
+			acc[v].lat += m.LatencyNs[base+v]
+			acc[v].inv += m.InvCost[base+v]
+			acc[v].iaas += m.IaaSCost[base+v]
 		}
 	}
 	if rows == nil {
-		for i := range m.Cells {
+		for i := 0; i < m.NumRequests(); i++ {
 			accumulate(i)
 		}
 	} else {
@@ -133,13 +214,14 @@ func (m *Matrix) Summaries(rows []int) []VersionSummary {
 			accumulate(i)
 		}
 	}
+	out := make([]VersionSummary, nv)
 	for v := range out {
 		out[v].Name = m.VersionNames[v]
 		if n > 0 {
-			out[v].MeanErr /= float64(n)
-			out[v].MeanLatency /= time.Duration(n)
-			out[v].MeanInvCost /= float64(n)
-			out[v].MeanIaaS /= float64(n)
+			out[v].MeanErr = acc[v].err / float64(n)
+			out[v].MeanLatency = time.Duration(acc[v].lat) / time.Duration(n)
+			out[v].MeanInvCost = acc[v].inv / float64(n)
+			out[v].MeanIaaS = acc[v].iaas / float64(n)
 		}
 	}
 	return out
@@ -162,15 +244,16 @@ func (m *Matrix) BestVersion(rows []int) int {
 
 // MeanErrOf returns the mean error of version v over rows (nil = all).
 func (m *Matrix) MeanErrOf(v int, rows []int) float64 {
+	nv := m.NumVersions()
 	sum, n := 0.0, 0
 	if rows == nil {
-		for i := range m.Cells {
-			sum += m.Cells[i][v].Err
+		for i := 0; i < m.NumRequests(); i++ {
+			sum += m.Err[i*nv+v]
 			n++
 		}
 	} else {
 		for _, i := range rows {
-			sum += m.Cells[i][v].Err
+			sum += m.Err[i*nv+v]
 			n++
 		}
 	}
@@ -180,22 +263,28 @@ func (m *Matrix) MeanErrOf(v int, rows []int) float64 {
 	return sum / float64(n)
 }
 
-// Validate checks structural invariants (row lengths, value ranges).
+// Validate checks structural invariants (column lengths, value ranges).
 func (m *Matrix) Validate() error {
-	for i, row := range m.Cells {
-		if len(row) != m.NumVersions() {
-			return fmt.Errorf("profile: row %d has %d cells, want %d", i, len(row), m.NumVersions())
+	want := m.NumRequests() * m.NumVersions()
+	for name, col := range map[string][]float64{
+		"err": m.Err, "lat_ns": m.LatencyNs, "conf": m.Confidence,
+		"inv": m.InvCost, "iaas": m.IaaSCost,
+	} {
+		if len(col) != want {
+			return fmt.Errorf("profile: column %s has %d entries, want %d", name, len(col), want)
 		}
-		for v, c := range row {
-			if c.Err < 0 {
-				return fmt.Errorf("profile: negative error at (%d,%d)", i, v)
-			}
-			if c.Latency < 0 {
-				return fmt.Errorf("profile: negative latency at (%d,%d)", i, v)
-			}
-			if c.Confidence < 0 || c.Confidence > 1 {
-				return fmt.Errorf("profile: confidence %v out of range at (%d,%d)", c.Confidence, i, v)
-			}
+	}
+	nv := m.NumVersions()
+	for k := 0; k < want; k++ {
+		i, v := k/nv, k%nv
+		if m.Err[k] < 0 {
+			return fmt.Errorf("profile: negative error at (%d,%d)", i, v)
+		}
+		if m.LatencyNs[k] < 0 {
+			return fmt.Errorf("profile: negative latency at (%d,%d)", i, v)
+		}
+		if m.Confidence[k] < 0 || m.Confidence[k] > 1 {
+			return fmt.Errorf("profile: confidence %v out of range at (%d,%d)", m.Confidence[k], i, v)
 		}
 	}
 	return nil

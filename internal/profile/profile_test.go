@@ -34,9 +34,9 @@ func TestBuildShapeAndValidate(t *testing.T) {
 func TestBuildDeterministicAcrossParallelism(t *testing.T) {
 	a := speechMatrix(t, 30)
 	b := speechMatrix(t, 30)
-	for i := range a.Cells {
-		for v := range a.Cells[i] {
-			if a.Cells[i][v] != b.Cells[i][v] {
+	for i := 0; i < a.NumRequests(); i++ {
+		for v := 0; v < a.NumVersions(); v++ {
+			if a.At(i, v) != b.At(i, v) {
 				t.Fatalf("cell (%d,%d) differs across builds", i, v)
 			}
 		}
@@ -68,7 +68,7 @@ func TestSummariesSubset(t *testing.T) {
 	sums := m.Summaries(rows)
 	manual := 0.0
 	for _, i := range rows {
-		manual += m.Cells[i][0].Err
+		manual += m.At(i, 0).Err
 	}
 	manual /= float64(len(rows))
 	if diff := sums[0].MeanErr - manual; diff > 1e-12 || diff < -1e-12 {
@@ -177,13 +177,12 @@ func TestCategoryErrorsConsistent(t *testing.T) {
 
 func TestLatenciesPositive(t *testing.T) {
 	m := visionMatrix(t, 50)
-	for i := range m.Cells {
-		for v := range m.Cells[i] {
-			if m.Cells[i][v].Latency <= 0 {
+	for i := 0; i < m.NumRequests(); i++ {
+		for v := 0; v < m.NumVersions(); v++ {
+			if lat := m.At(i, v).Latency; lat <= 0 {
 				t.Fatalf("non-positive latency at (%d,%d)", i, v)
-			}
-			if m.Cells[i][v].Latency > time.Second {
-				t.Fatalf("implausible vision latency %v", m.Cells[i][v].Latency)
+			} else if lat > time.Second {
+				t.Fatalf("implausible vision latency %v", lat)
 			}
 		}
 	}

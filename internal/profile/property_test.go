@@ -74,17 +74,11 @@ func TestBestVersionMinimalQuick(t *testing.T) {
 	f := func(_ uint8) bool {
 		nReq := 5 + rng.Intn(20)
 		nVer := 2 + rng.Intn(5)
-		m := &Matrix{
-			VersionNames: make([]string, nVer),
-			RequestIDs:   make([]int, nReq),
-			Cells:        make([][]Cell, nReq),
-		}
-		for i := range m.Cells {
-			row := make([]Cell, nVer)
-			for v := range row {
-				row[v] = Cell{Err: rng.Float64(), Confidence: 0.5}
+		m := New("", make([]string, nVer), make([]int, nReq))
+		for i := 0; i < nReq; i++ {
+			for v := 0; v < nVer; v++ {
+				m.SetAt(i, v, Cell{Err: rng.Float64(), Confidence: 0.5})
 			}
-			m.Cells[i] = row
 		}
 		best := m.BestVersion(nil)
 		bestErr := m.MeanErrOf(best, nil)

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"github.com/toltiers/toltiers/internal/service"
 )
@@ -14,7 +13,9 @@ import (
 // Profiling a large corpus is the most expensive offline step, so
 // matrices can be saved and reloaded. The format is a self-describing
 // JSON-lines stream: a header line followed by one row per request —
-// diffable, append-friendly, and safe to mmap-tail.
+// diffable, append-friendly, and safe to mmap-tail. The on-disk row
+// layout (one array per metric) matches the in-memory columnar layout,
+// so serialization is slicing, not transposition.
 
 // fileHeader is the first line of a serialized matrix.
 type fileHeader struct {
@@ -48,20 +49,17 @@ func (m *Matrix) Write(w io.Writer) error {
 	}); err != nil {
 		return fmt.Errorf("profile: write header: %w", err)
 	}
-	row := fileRow{}
-	for i, cells := range m.Cells {
+	nv := m.NumVersions()
+	row := fileRow{LatNS: make([]int64, nv)}
+	for i := 0; i < m.NumRequests(); i++ {
+		lo, hi := i*nv, (i+1)*nv
 		row.ID = m.RequestIDs[i]
-		row.Err = row.Err[:0]
-		row.LatNS = row.LatNS[:0]
-		row.Conf = row.Conf[:0]
-		row.Inv = row.Inv[:0]
-		row.IaaS = row.IaaS[:0]
-		for _, c := range cells {
-			row.Err = append(row.Err, c.Err)
-			row.LatNS = append(row.LatNS, int64(c.Latency))
-			row.Conf = append(row.Conf, c.Confidence)
-			row.Inv = append(row.Inv, c.InvCost)
-			row.IaaS = append(row.IaaS, c.IaaSCost)
+		row.Err = m.Err[lo:hi]
+		row.Conf = m.Confidence[lo:hi]
+		row.Inv = m.InvCost[lo:hi]
+		row.IaaS = m.IaaSCost[lo:hi]
+		for v, ns := range m.LatencyNs[lo:hi] {
+			row.LatNS[v] = int64(ns)
 		}
 		if err := enc.Encode(&row); err != nil {
 			return fmt.Errorf("profile: write row %d: %w", i, err)
@@ -80,12 +78,7 @@ func Read(r io.Reader) (*Matrix, error) {
 	if h.Format != formatName {
 		return nil, fmt.Errorf("profile: unknown format %q", h.Format)
 	}
-	m := &Matrix{
-		Domain:       service.Domain(h.Domain),
-		VersionNames: h.Versions,
-		RequestIDs:   make([]int, 0, h.Requests),
-		Cells:        make([][]Cell, 0, h.Requests),
-	}
+	m := New(service.Domain(h.Domain), h.Versions, make([]int, h.Requests))
 	nv := len(h.Versions)
 	for i := 0; i < h.Requests; i++ {
 		var row fileRow
@@ -96,18 +89,15 @@ func Read(r io.Reader) (*Matrix, error) {
 			len(row.Inv) != nv || len(row.IaaS) != nv {
 			return nil, fmt.Errorf("profile: row %d arity mismatch", i)
 		}
-		cells := make([]Cell, nv)
-		for v := 0; v < nv; v++ {
-			cells[v] = Cell{
-				Err:        row.Err[v],
-				Latency:    time.Duration(row.LatNS[v]),
-				Confidence: row.Conf[v],
-				InvCost:    row.Inv[v],
-				IaaSCost:   row.IaaS[v],
-			}
+		m.RequestIDs[i] = row.ID
+		lo := i * nv
+		copy(m.Err[lo:lo+nv], row.Err)
+		copy(m.Confidence[lo:lo+nv], row.Conf)
+		copy(m.InvCost[lo:lo+nv], row.Inv)
+		copy(m.IaaSCost[lo:lo+nv], row.IaaS)
+		for v, ns := range row.LatNS {
+			m.LatencyNs[lo+v] = float64(ns)
 		}
-		m.RequestIDs = append(m.RequestIDs, row.ID)
-		m.Cells = append(m.Cells, cells)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err

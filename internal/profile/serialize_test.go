@@ -23,13 +23,13 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if got.NumRequests() != m.NumRequests() || got.NumVersions() != m.NumVersions() {
 		t.Fatalf("shape %dx%d != %dx%d", got.NumRequests(), got.NumVersions(), m.NumRequests(), m.NumVersions())
 	}
-	for i := range m.Cells {
+	for i := 0; i < m.NumRequests(); i++ {
 		if got.RequestIDs[i] != m.RequestIDs[i] {
 			t.Fatalf("row %d id mismatch", i)
 		}
-		for v := range m.Cells[i] {
-			if got.Cells[i][v] != m.Cells[i][v] {
-				t.Fatalf("cell (%d,%d) differs: %+v != %+v", i, v, got.Cells[i][v], m.Cells[i][v])
+		for v := 0; v < m.NumVersions(); v++ {
+			if got.At(i, v) != m.At(i, v) {
+				t.Fatalf("cell (%d,%d) differs: %+v != %+v", i, v, got.At(i, v), m.At(i, v))
 			}
 		}
 	}

@@ -1,0 +1,112 @@
+package rulegen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// fuzzMatrix synthesizes a random profile matrix (coarse grids so
+// confidence/threshold ties and zero errors occur).
+func fuzzMatrix(rng *xrand.RNG, nReq, nVer int) *profile.Matrix {
+	names := make([]string, nVer)
+	ids := make([]int, nReq)
+	for i := range ids {
+		ids[i] = i
+	}
+	m := profile.New("fuzz", names, ids)
+	for i := 0; i < nReq; i++ {
+		for v := 0; v < nVer; v++ {
+			m.SetAt(i, v, profile.Cell{
+				Err:        float64(rng.Intn(5)) / 4,
+				Latency:    time.Duration(1+rng.Intn(300)) * time.Millisecond,
+				Confidence: float64(rng.Intn(9)) / 8,
+				InvCost:    0.1 + rng.Float64(),
+				IaaSCost:   rng.Float64(),
+			})
+		}
+	}
+	return m
+}
+
+// The columnar kernel must generate byte-identical output to the legacy
+// Policy.Simulate/Evaluate path: same candidates (same trial counts,
+// same worst cases, same means — exact float64 equality via DeepEqual)
+// and same rule tables for both objectives, across random matrices,
+// seeds, training subsets, and all three policy kinds incl. PickBest.
+func TestKernelEquivalenceRandomMatrices(t *testing.T) {
+	rng := xrand.New(0xe901)
+	for iter := 0; iter < 12; iter++ {
+		nReq := 30 + rng.Intn(80)
+		nVer := 2 + rng.Intn(4)
+		m := fuzzMatrix(rng, nReq, nVer)
+
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Uint64()
+		cfg.MinTrials = 3 + rng.Intn(5)
+		cfg.MaxTrials = cfg.MinTrials + rng.Intn(40)
+		cfg.ThresholdPoints = 1 + rng.Intn(6)
+		cfg.IncludePickBest = iter%2 == 0
+		cfg.SampleFraction = 0.1 + 0.3*rng.Float64()
+
+		var rows []int
+		if iter%3 == 1 {
+			rows = make([]int, 10+rng.Intn(nReq))
+			for i := range rows {
+				rows[i] = rng.Intn(nReq)
+			}
+		}
+
+		fast := New(m, rows, cfg)
+		legacy := NewLegacyKernel(m, rows, cfg)
+
+		if fast.Best() != legacy.Best() {
+			t.Fatalf("iter %d: best version %d != %d", iter, fast.Best(), legacy.Best())
+		}
+		cf, cl := fast.Candidates(), legacy.Candidates()
+		if len(cf) != len(cl) {
+			t.Fatalf("iter %d: candidate counts %d != %d", iter, len(cf), len(cl))
+		}
+		for i := range cf {
+			if cf[i] != cl[i] {
+				t.Fatalf("iter %d candidate %d (%v):\ncolumnar %+v\nlegacy   %+v",
+					iter, i, cf[i].Policy, cf[i], cl[i])
+			}
+		}
+		tols := ToleranceGrid(0.10, 0.01)
+		for _, obj := range []Objective{MinimizeLatency, MinimizeCost} {
+			tf, tl := fast.Generate(tols, obj), legacy.Generate(tols, obj)
+			if !reflect.DeepEqual(tf, tl) {
+				t.Fatalf("iter %d: %s rule tables differ:\ncolumnar %+v\nlegacy   %+v", iter, obj, tf, tl)
+			}
+		}
+	}
+}
+
+// Equivalence must also hold on a real profiled corpus (the fixture the
+// other generator tests use), not just synthetic matrices.
+func TestKernelEquivalenceProfiledCorpus(t *testing.T) {
+	m := fixtureMatrix(t)
+	cfg := smallConfig()
+	cfg.IncludePickBest = true
+	fast := New(m, nil, cfg)
+	legacy := NewLegacyKernel(m, nil, cfg)
+	if !reflect.DeepEqual(fast.Candidates(), legacy.Candidates()) {
+		cf, cl := fast.Candidates(), legacy.Candidates()
+		for i := range cf {
+			if cf[i] != cl[i] {
+				t.Fatalf("candidate %d (%v):\ncolumnar %+v\nlegacy   %+v", i, cf[i].Policy, cf[i], cl[i])
+			}
+		}
+		t.Fatal("candidates differ")
+	}
+	tols := ToleranceGrid(0.10, 0.001)
+	for _, obj := range []Objective{MinimizeLatency, MinimizeCost} {
+		if !reflect.DeepEqual(fast.Generate(tols, obj), legacy.Generate(tols, obj)) {
+			t.Fatalf("%s rule tables differ", obj)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package rulegen
+
+import "github.com/toltiers/toltiers/internal/profile"
+
+// NewLegacyKernel builds a generator that bootstraps through the
+// row-oriented Policy.Simulate/Evaluate path. Test-only: the
+// kernel-equivalence properties compare its output against New's
+// columnar kernel.
+func NewLegacyKernel(m *profile.Matrix, rows []int, cfg Config) *Generator {
+	return newGenerator(m, rows, cfg, true)
+}

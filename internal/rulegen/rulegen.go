@@ -109,12 +109,20 @@ type Generator struct {
 	cfg        Config
 	best       int // index of the most accurate version on rows
 	candidates []Candidate
+	// legacyKernel drives the bootstrap through the row-oriented
+	// Policy.Simulate path instead of the columnar Evaluator; kept for
+	// the kernel-equivalence tests (see export_test.go).
+	legacyKernel bool
 }
 
 // New builds the generator and immediately bootstraps every candidate
 // configuration (the paper's RoutingRuleGenerator.__init__).
 // rows selects the training subset of m (nil = all rows).
 func New(m *profile.Matrix, rows []int, cfg Config) *Generator {
+	return newGenerator(m, rows, cfg, false)
+}
+
+func newGenerator(m *profile.Matrix, rows []int, cfg Config, legacy bool) *Generator {
 	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
 		panic(fmt.Sprintf("rulegen: confidence %v outside (0,1)", cfg.Confidence))
 	}
@@ -127,7 +135,7 @@ func New(m *profile.Matrix, rows []int, cfg Config) *Generator {
 			rows[i] = i
 		}
 	}
-	g := &Generator{m: m, rows: rows, cfg: cfg, best: m.BestVersion(rows)}
+	g := &Generator{m: m, rows: rows, cfg: cfg, best: m.BestVersion(rows), legacyKernel: legacy}
 	g.bootstrapAll()
 	return g
 }
@@ -152,18 +160,28 @@ func (g *Generator) enumerate() []ensemble.Policy {
 	if maxPrimary <= 0 || maxPrimary > nv {
 		maxPrimary = nv
 	}
+	// Thresholds are enumerated outside secondaries so that consecutive
+	// candidates share a (primary, threshold) pair: the evaluator's
+	// escalation-mask cache then hits across every secondary, kind, and
+	// PickBest variant of the pair.
 	for p := 0; p < maxPrimary; p++ {
 		grid := ensemble.ThresholdGrid(g.m, g.rows, p, g.cfg.ThresholdPoints)
-		for s := p + 1; s < nv; s++ {
-			for _, th := range grid {
-				if th == 0 {
-					continue // identical to Single(p)
-				}
-				for _, kind := range []ensemble.Kind{ensemble.Failover, ensemble.Concurrent} {
-					out = append(out, ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th})
-					if g.cfg.IncludePickBest {
-						out = append(out, ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th, PickBest: true})
-					}
+		for _, th := range grid {
+			if th == 0 {
+				continue // identical to Single(p)
+			}
+			// Within a (primary, secondary, threshold) group the variants
+			// are ordered so every adjacent pair differs in exactly one
+			// dimension (kind or PickBest): the evaluator then patches
+			// one or two fused lanes instead of refilling the table.
+			for s := p + 1; s < nv; s++ {
+				out = append(out,
+					ensemble.Policy{Kind: ensemble.Failover, Primary: p, Secondary: s, Threshold: th},
+					ensemble.Policy{Kind: ensemble.Concurrent, Primary: p, Secondary: s, Threshold: th})
+				if g.cfg.IncludePickBest {
+					out = append(out,
+						ensemble.Policy{Kind: ensemble.Concurrent, Primary: p, Secondary: s, Threshold: th, PickBest: true},
+						ensemble.Policy{Kind: ensemble.Failover, Primary: p, Secondary: s, Threshold: th, PickBest: true})
 				}
 			}
 		}
@@ -173,7 +191,11 @@ func (g *Generator) enumerate() []ensemble.Policy {
 
 // bootstrapAll runs the Fig.-7 bootstrap for every candidate, in
 // parallel. Each candidate draws from its own seeded stream, so the
-// result is independent of scheduling.
+// result is independent of scheduling. Each worker owns a columnar
+// ensemble.Evaluator: the candidate's policy is fused into flat outcome
+// columns once, and every bootstrap trial is then a branch-free sum over
+// those columns (including the per-subset baseline error, which shares
+// the same gather loop instead of re-scanning the matrix).
 func (g *Generator) bootstrapAll() {
 	policies := g.enumerate()
 	test := stats.ConfidenceTest{
@@ -199,30 +221,10 @@ func (g *Generator) bootstrapAll() {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			sub := make([]int, sampleSize)
-			for ci := range next {
-				pol := policies[ci]
-				rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
-				res := stats.Bootstrap(rng, len(g.rows), sampleSize, test, func(subset []int) stats.Trial {
-					for i, idx := range subset {
-						sub[i] = g.rows[idx]
-					}
-					agg := ensemble.Evaluate(g.m, sub, pol)
-					baseline := g.m.MeanErrOf(g.best, sub)
-					deg := ensemble.ErrDegradation(agg.MeanErr, baseline)
-					return stats.Trial{deg, float64(agg.MeanLatency), agg.MeanInvCost, agg.MeanIaaSCost}
-				})
-				g.candidates[ci] = Candidate{
-					Policy:       pol,
-					Trials:       res.Trials,
-					WorstErrDeg:  res.WorstCase[0],
-					WorstLatency: time.Duration(res.WorstCase[1]),
-					WorstInvCost: res.WorstCase[2],
-					MeanErrDeg:   res.Mean[0],
-					MeanLatency:  time.Duration(res.Mean[1]),
-					MeanInvCost:  res.Mean[2],
-					MeanIaaSCost: res.Mean[3],
-				}
+			if g.legacyKernel {
+				g.bootstrapWorkerLegacy(policies, test, sampleSize, next)
+			} else {
+				g.bootstrapWorker(policies, test, sampleSize, next)
 			}
 		}()
 	}
@@ -231,6 +233,65 @@ func (g *Generator) bootstrapAll() {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// bootstrapWorker drains candidate indices using the columnar kernel.
+// Bootstrap subsets index into g.rows, which is exactly the evaluator's
+// local row space, so trial sums need no index remapping at all.
+func (g *Generator) bootstrapWorker(policies []ensemble.Policy, test stats.ConfidenceTest, sampleSize int, next <-chan int) {
+	ev := ensemble.NewEvaluator(g.m, g.rows)
+	ev.SetBaseline(g.best)
+	for ci := range next {
+		pol := policies[ci]
+		ev.SetPolicy(pol)
+		rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
+		res := stats.BootstrapN(rng, len(g.rows), sampleSize, 4, test, func(subset []int, out []float64) {
+			t := ev.Trial(subset)
+			n := float64(t.N)
+			meanErr := t.ErrSum / n
+			baseline := t.BaseErrSum / n
+			out[0] = ensemble.ErrDegradation(meanErr, baseline)
+			out[1] = float64(time.Duration(t.LatNsSum) / time.Duration(t.N))
+			out[2] = t.InvSum / n
+			out[3] = t.IaaSSum / n
+		})
+		g.candidates[ci] = candidateFrom(pol, res)
+	}
+}
+
+// bootstrapWorkerLegacy is the pre-columnar reference path, retained so
+// the kernel-equivalence property tests can assert that both kernels
+// generate identical candidates and rule tables.
+func (g *Generator) bootstrapWorkerLegacy(policies []ensemble.Policy, test stats.ConfidenceTest, sampleSize int, next <-chan int) {
+	sub := make([]int, sampleSize)
+	for ci := range next {
+		pol := policies[ci]
+		rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
+		res := stats.Bootstrap(rng, len(g.rows), sampleSize, test, func(subset []int) stats.Trial {
+			for i, idx := range subset {
+				sub[i] = g.rows[idx]
+			}
+			agg := ensemble.Evaluate(g.m, sub, pol)
+			baseline := g.m.MeanErrOf(g.best, sub)
+			deg := ensemble.ErrDegradation(agg.MeanErr, baseline)
+			return stats.Trial{deg, float64(agg.MeanLatency), agg.MeanInvCost, agg.MeanIaaSCost}
+		})
+		g.candidates[ci] = candidateFrom(pol, res)
+	}
+}
+
+func candidateFrom(pol ensemble.Policy, res stats.BootstrapResult) Candidate {
+	return Candidate{
+		Policy:       pol,
+		Trials:       res.Trials,
+		WorstErrDeg:  res.WorstCase[0],
+		WorstLatency: time.Duration(res.WorstCase[1]),
+		WorstInvCost: res.WorstCase[2],
+		MeanErrDeg:   res.Mean[0],
+		MeanLatency:  time.Duration(res.Mean[1]),
+		MeanInvCost:  res.Mean[2],
+		MeanIaaSCost: res.Mean[3],
+	}
 }
 
 // Rule is the configuration chosen for one tolerance tier.

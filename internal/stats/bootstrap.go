@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"math"
+
 	"github.com/toltiers/toltiers/internal/xrand"
 )
 
@@ -9,10 +11,63 @@ import (
 // configuration on each subset ("trial"), and keeps going until the
 // observed trial metrics are spread widely enough — per the paper's
 // z-score criterion — to trust their extremes as worst cases.
+//
+// The confidence test only ever needs a metric's mean, variance, min
+// and max, so trials are folded into Stream accumulators (Welford's
+// algorithm plus tracked extremes) instead of storing the full history:
+// the per-trial stopping check is O(metrics) rather than the O(trials)
+// re-scan a stored series would need, and a bootstrap run performs no
+// allocation after the first trial.
+
+// Stream accumulates a metric series incrementally: count, running mean
+// and M2 (Welford), and the observed extremes. The zero value is an
+// empty stream.
+type Stream struct {
+	// N is the number of observations.
+	N int
+	// Mean is the running arithmetic mean.
+	Mean float64
+	// M2 is the sum of squared deviations from the running mean.
+	M2 float64
+	// Min and Max are the observed extremes (zero until the first Add).
+	Min float64
+	// Max is the maximum observation.
+	Max float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	s.N++
+	if s.N == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.N)
+	s.M2 += delta * (x - s.Mean)
+}
+
+// Variance returns the population variance (denominator n) of the
+// observations so far.
+func (s *Stream) Variance() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.M2 / float64(s.N)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
 // ConfidenceTest implements the paper's Fig.-7 `confident` predicate.
-// It reports whether the spread of vals is sufficient at the stored
-// confidence level: either the standardized sample reaches beyond
+// It reports whether the spread of a metric series is sufficient at the
+// stored confidence level: either the standardized sample reaches beyond
 // ±ppf(conf), or the total standardized spread exceeds 2·ppf(conf).
 type ConfidenceTest struct {
 	// Level is the confidence level, e.g. 0.999 for the paper's 99.9%.
@@ -43,34 +98,52 @@ func (c ConfidenceTest) bounds() (minT, maxT int) {
 	return minT, maxT
 }
 
-// Confident reports whether the metric series vals has enough spread to
-// stop sampling, following the paper's criterion:
+// ConfidentStream reports whether the accumulated metric stream has
+// enough spread to stop sampling, following the paper's criterion:
 //
 //	(min(z) < -ppf(conf) && max(z) > ppf(conf)) || (max(z)-min(z) > 2*ppf(conf))
 //
-// A series shorter than MinTrials is never confident; a series at or
-// beyond MaxTrials always is. A zero-variance series at MinTrials or
-// later is treated as confident: the metric is constant, so its extreme
-// is already exact.
-func (c ConfidenceTest) Confident(vals []float64) bool {
+// where min(z) = (min-mean)/sd and max(z) = (max-mean)/sd — the only two
+// z-scores the criterion can ever bind on, so the full standardized
+// series is never materialized. A stream shorter than MinTrials is
+// never confident; a stream at or beyond MaxTrials always is. A
+// zero-variance stream at MinTrials or later is treated as confident:
+// the metric is constant, so its extreme is already exact.
+func (c ConfidenceTest) ConfidentStream(s *Stream) bool {
+	return c.confidentStreamZ(s, NormPPF(c.Level))
+}
+
+// confidentStreamZ is ConfidentStream with ppf(Level) precomputed, so
+// the bootstrap loop does not re-derive the constant quantile on every
+// trial of every metric.
+func (c ConfidenceTest) confidentStreamZ(s *Stream, stdevs float64) bool {
 	minT, maxT := c.bounds()
-	if len(vals) < minT {
+	if s.N < minT {
 		return false
 	}
-	if len(vals) >= maxT {
+	if s.N >= maxT {
 		return true
 	}
-	if StdDev(vals) == 0 {
+	sd := s.StdDev()
+	if sd == 0 {
 		return true
 	}
-	zs := ZScores(vals)
-	zmin, _ := Min(zs)
-	zmax, _ := Max(zs)
-	stdevs := NormPPF(c.Level)
+	zmin := (s.Min - s.Mean) / sd
+	zmax := (s.Max - s.Mean) / sd
 	if zmin < -stdevs && zmax > stdevs {
 		return true
 	}
 	return zmax-zmin > 2*stdevs
+}
+
+// Confident is the slice form of ConfidentStream, for callers that hold
+// a materialized series.
+func (c ConfidenceTest) Confident(vals []float64) bool {
+	var s Stream
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return c.ConfidentStream(&s)
 }
 
 // Trial is one bootstrap observation: the metric vector produced by
@@ -90,39 +163,34 @@ type BootstrapResult struct {
 	Mean []float64
 }
 
-// Bootstrap repeatedly invokes simulate on random subsets of size
-// sampleSize drawn (with replacement across trials, without replacement
-// within a trial) from a population of n items, until every metric
-// passes the confidence test. Subset indices are provided to simulate.
-//
-// simulate must return the same number of metrics on every call.
-func Bootstrap(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, simulate func(subset []int) Trial) BootstrapResult {
+// bootstrapCore is the shared trial loop: draw a subset, simulate, fold
+// the metric vector into per-metric streams, stop when every stream is
+// confident. step may return the same backing slice every call.
+func bootstrapCore(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, step func(subset []int) []float64) BootstrapResult {
 	if sampleSize <= 0 || sampleSize > n {
 		sampleSize = n
 	}
-	var series [][]float64 // per-metric history
+	var streams []Stream
 	subset := make([]int, sampleSize)
 	trials := 0
 	_, maxT := test.bounds()
+	stdevs := NormPPF(test.Level)
 	for {
-		// Draw a uniform random subset (partial Fisher-Yates over a
-		// lazily materialized identity permutation is overkill here; a
-		// simple with-replacement draw matches numpy.random.choice as
-		// used in Fig. 7).
-		for i := range subset {
-			subset[i] = rng.Intn(n)
-		}
-		tr := simulate(subset)
+		// Draw a uniform random subset (a with-replacement draw matches
+		// numpy.random.choice as used in Fig. 7; FillIntn's paired
+		// 32-bit reductions keep the draw cheap at bootstrap rates).
+		rng.FillIntn(subset, n)
+		vals := step(subset)
 		trials++
-		if series == nil {
-			series = make([][]float64, len(tr))
+		if streams == nil {
+			streams = make([]Stream, len(vals))
 		}
-		for i, v := range tr {
-			series[i] = append(series[i], v)
+		for i, v := range vals {
+			streams[i].Add(v)
 		}
 		done := true
-		for _, s := range series {
-			if !test.Confident(s) {
+		for i := range streams {
+			if !test.confidentStreamZ(&streams[i], stdevs) {
 				done = false
 				break
 			}
@@ -132,11 +200,67 @@ func Bootstrap(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, simulate 
 		}
 	}
 	res := BootstrapResult{Trials: trials}
-	res.WorstCase = make([]float64, len(series))
-	res.Mean = make([]float64, len(series))
-	for i, s := range series {
-		res.WorstCase[i], _ = Max(s)
-		res.Mean[i] = Mean(s)
+	res.WorstCase = make([]float64, len(streams))
+	res.Mean = make([]float64, len(streams))
+	for i := range streams {
+		res.WorstCase[i] = streams[i].Max
+		res.Mean[i] = streams[i].Mean
+	}
+	return res
+}
+
+// Bootstrap repeatedly invokes simulate on random subsets of size
+// sampleSize drawn (with replacement across trials, without replacement
+// within a trial) from a population of n items, until every metric
+// passes the confidence test. Subset indices are provided to simulate.
+//
+// simulate must return the same number of metrics on every call.
+func Bootstrap(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, simulate func(subset []int) Trial) BootstrapResult {
+	return bootstrapCore(rng, n, sampleSize, test, func(subset []int) []float64 {
+		return simulate(subset)
+	})
+}
+
+// BootstrapN is the allocation-free form of Bootstrap for hot callers:
+// the metric count is declared up front and simulate writes each trial's
+// metrics into a reused out buffer. Apart from the fixed-size buffers
+// allocated before the first trial, the loop performs no allocation.
+// The loop body mirrors bootstrapCore with the step indirection removed
+// — this is the Fig.-7 inner loop, run hundreds of times per candidate.
+func BootstrapN(rng *xrand.RNG, n, sampleSize, nMetrics int, test ConfidenceTest, simulate func(subset []int, out []float64)) BootstrapResult {
+	if sampleSize <= 0 || sampleSize > n {
+		sampleSize = n
+	}
+	streams := make([]Stream, nMetrics)
+	out := make([]float64, nMetrics)
+	subset := make([]int, sampleSize)
+	trials := 0
+	_, maxT := test.bounds()
+	stdevs := NormPPF(test.Level)
+	for {
+		rng.FillIntn(subset, n)
+		simulate(subset, out)
+		trials++
+		for i, v := range out {
+			streams[i].Add(v)
+		}
+		done := true
+		for i := range streams {
+			if !test.confidentStreamZ(&streams[i], stdevs) {
+				done = false
+				break
+			}
+		}
+		if done || trials >= maxT {
+			break
+		}
+	}
+	res := BootstrapResult{Trials: trials}
+	res.WorstCase = make([]float64, nMetrics)
+	res.Mean = make([]float64, nMetrics)
+	for i := range streams {
+		res.WorstCase[i] = streams[i].Max
+		res.Mean[i] = streams[i].Mean
 	}
 	return res
 }

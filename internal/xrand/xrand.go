@@ -93,6 +93,31 @@ func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
+// FillIntn fills dst with near-uniform integers in [0, n), drawing two
+// values from each Uint64 via 32-bit Lemire multiply-shift reductions
+// (bias below n/2^32 — immaterial for any profile-matrix size, n < 2^31
+// required and enforced). The Fig.-7 bootstrap uses this to draw whole
+// subsets: half the generator advances of per-value Intn draws and no
+// 64-bit modulo. The draw differs from Intn's for the same generator
+// state, so the two are distinct deterministic streams; code whose
+// historical draws must not change keeps Intn. It panics if n <= 0 or
+// n >= 2^31.
+func (r *RNG) FillIntn(dst []int, n int) {
+	if n <= 0 || n >= 1<<31 {
+		panic("xrand: FillIntn bound out of range")
+	}
+	un := uint64(n)
+	i := 0
+	for ; i+1 < len(dst); i += 2 {
+		u := r.Uint64()
+		dst[i] = int((u >> 32) * un >> 32)
+		dst[i+1] = int((u & 0xffffffff) * un >> 32)
+	}
+	if i < len(dst) {
+		dst[i] = int((r.Uint64() >> 32) * un >> 32)
+	}
+}
+
 // Int63 returns a non-negative 63-bit integer.
 func (r *RNG) Int63() int64 {
 	return int64(r.Uint64() >> 1)

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmarks and emits a machine-readable BENCH.json
+# baseline so the repository's performance trajectory is tracked over
+# time. Usage:
+#
+#   ./scripts/bench.sh [count] [out.json]
+#
+# count defaults to 3 repetitions; output defaults to ./BENCH.json.
+# Each entry records the mean ns/op (and B/op / allocs/op when the
+# benchmark reports memory) across repetitions.
+set -euo pipefail
+
+COUNT="${1:-3}"
+OUT="${2:-BENCH.json}"
+BENCHES='BenchmarkPolicySimulate$|BenchmarkEvaluatorTrial$|BenchmarkEvaluatorSetPolicy$|BenchmarkRuleGenerator$|BenchmarkRegistryHandle$|BenchmarkProfileBuild$'
+
+cd "$(dirname "$0")/.."
+
+RAW="$(go test -run='^$' -bench="$BENCHES" -benchmem -count="$COUNT" .)"
+
+echo "$RAW" | awk -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    ns[name] += $3; nns[name]++
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")       { bytes[name] += $i; nb[name]++ }
+        if ($(i+1) == "allocs/op")  { allocs[name] += $i; na[name]++ }
+    }
+}
+END {
+    printf "{\n  \"benchmarks\": {\n"
+    n = 0
+    for (name in ns) order[++n] = name
+    # stable output: simple insertion sort by name
+    for (i = 2; i <= n; i++) {
+        key = order[i]
+        for (j = i - 1; j >= 1 && order[j] > key; j--) order[j+1] = order[j]
+        order[j+1] = key
+    }
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %.2f", name, ns[name] / nns[name]
+        if (nb[name] > 0) printf ", \"bytes_per_op\": %.1f", bytes[name] / nb[name]
+        if (na[name] > 0) printf ", \"allocs_per_op\": %.1f", allocs[name] / na[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  },\n  \"repetitions\": %d\n}\n", count
+}' > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
