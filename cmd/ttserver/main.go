@@ -26,6 +26,8 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		confidence = flag.Float64("confidence", 0.999, "rule-generator bootstrap confidence")
 		step       = flag.Float64("step", 0.005, "tolerance grid step")
+		shards     = flag.Int("shards", 0, "candidate-grid shards for the sharded generator (0 = auto)")
+		workers    = flag.Int("workers", 0, "concurrent shard workers (0 = one per shard)")
 	)
 	flag.Parse()
 
@@ -51,15 +53,18 @@ func main() {
 
 	gcfg := toltiers.DefaultGeneratorConfig()
 	gcfg.Confidence = *confidence
-	log.Printf("generating routing rules (confidence %.3f) ...", *confidence)
-	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	log.Printf("generating routing rules (confidence %.3f, shards %d) ...", *confidence, *shards)
+	gen, err := toltiers.ShardedGenerate(matrix, nil, gcfg, *shards, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	grid := toltiers.ToleranceGrid(0.10, *step)
 	reg := toltiers.NewRegistry(svc,
 		gen.Generate(grid, toltiers.MinimizeLatency),
 		gen.Generate(grid, toltiers.MinimizeCost))
 
-	log.Printf("serving %s tolerance tiers on %s", svc.Domain, *addr)
-	if err := http.ListenAndServe(*addr, toltiers.NewHTTPHandler(reg, reqs)); err != nil {
+	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
+	if err := http.ListenAndServe(*addr, toltiers.NewHTTPHandlerWithRuleGen(reg, reqs, matrix)); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -33,3 +33,52 @@ type TierInfo struct {
 	Tolerance float64 `json:"tolerance"`
 	Policy    string  `json:"policy"`
 }
+
+// RuleGenRequest is the JSON body of POST /rules/generate: start a
+// sharded regeneration of the serving node's rule tables. Zero values
+// select the server's defaults; one job runs at a time.
+type RuleGenRequest struct {
+	// Objectives to generate tables for (default: both).
+	Objectives []string `json:"objectives,omitempty"`
+	// Shards / Workers / BatchSize tune the sharded sweep (defaults:
+	// GOMAXPROCS shards, one worker per shard, 32-candidate batches).
+	Shards    int `json:"shards,omitempty"`
+	Workers   int `json:"workers,omitempty"`
+	BatchSize int `json:"batch_size,omitempty"`
+	// Confidence overrides the bootstrap confidence (default 0.999).
+	Confidence float64 `json:"confidence,omitempty"`
+	// Step and MaxTolerance define the tolerance grid (defaults 0.01
+	// and 0.10).
+	Step         float64 `json:"step,omitempty"`
+	MaxTolerance float64 `json:"max_tolerance,omitempty"`
+	// Apply atomically swaps the serving registry to the generated
+	// tables on success; otherwise the job only reports.
+	Apply bool `json:"apply,omitempty"`
+}
+
+// RuleGenAccepted is the 202 response of POST /rules/generate.
+type RuleGenAccepted struct {
+	JobID     int    `json:"job_id"`
+	StatusURL string `json:"status_url"`
+}
+
+// RuleGenStatus is the JSON response of GET /rules/status.
+type RuleGenStatus struct {
+	// State is idle | running | done | failed.
+	State string `json:"state"`
+	JobID int    `json:"job_id,omitempty"`
+	// Done / Total count bootstrapped candidate policies.
+	Done       int      `json:"done"`
+	Total      int      `json:"total"`
+	Shards     int      `json:"shards,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	Objectives []string `json:"objectives,omitempty"`
+	ElapsedMS  float64  `json:"elapsed_ms,omitempty"`
+	// Applied reports whether the serving registry was swapped.
+	Applied bool   `json:"applied,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// MeanTrials / MaxTrials summarize the per-candidate bootstrap
+	// trial distribution of the finished sweep.
+	MeanTrials float64 `json:"mean_trials,omitempty"`
+	MaxTrials  float64 `json:"max_trials,omitempty"`
+}

@@ -80,6 +80,56 @@ func (c *Client) Tiers(ctx context.Context) ([]api.TierInfo, error) {
 	return out, nil
 }
 
+// GenerateRules asks the node to regenerate its routing tables with the
+// sharded generator (POST /rules/generate). The job runs asynchronously;
+// poll RulesStatus for completion.
+func (c *Client) GenerateRules(ctx context.Context, genReq api.RuleGenRequest) (*api.RuleGenAccepted, error) {
+	body, err := json.Marshal(genReq)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/rules/generate", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: generate rules: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	var out api.RuleGenAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode accepted job: %w", err)
+	}
+	return &out, nil
+}
+
+// RulesStatus reports the state of the node's rule-generation job
+// (GET /rules/status).
+func (c *Client) RulesStatus(ctx context.Context) (*api.RuleGenStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/rules/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: rules status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.RuleGenStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode status: %w", err)
+	}
+	return &out, nil
+}
+
 // Healthy reports whether the endpoint answers /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)

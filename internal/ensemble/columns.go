@@ -1,0 +1,121 @@
+package ensemble
+
+import (
+	"math"
+
+	"github.com/toltiers/toltiers/internal/profile"
+)
+
+// ColumnSet holds the per-version metric columns of a profile matrix
+// gathered over a fixed training-row subset, indexed [version][local
+// row]. The gather is O(rows x versions) and was previously paid by
+// every Evaluator (one per bootstrap worker, all gathering identical
+// columns); a ColumnSet is built once per (matrix, rows) pair and shared
+// by any number of evaluators.
+//
+// A ColumnSet is immutable after GatherColumns returns and therefore
+// safe for concurrent use by evaluators on different goroutines — the
+// shard workers of the distributed rule generator all read the same set.
+type ColumnSet struct {
+	rows     int
+	versions int
+	checksum uint64
+	// err/latNs/conf/inv/iaas are the gathered metric columns. They are
+	// package-private so nothing can mutate a shared set; Evaluator reads
+	// them directly.
+	err, latNs, conf, inv, iaas [][]float64
+}
+
+// GatherColumns gathers the metric columns of m over the given training
+// rows (nil = all rows). Local row r of the set corresponds to matrix
+// row rows[r].
+func GatherColumns(m *profile.Matrix, rows []int) *ColumnSet {
+	nv := m.NumVersions()
+	var n int
+	if rows == nil {
+		n = m.NumRequests()
+	} else {
+		n = len(rows)
+	}
+	c := &ColumnSet{
+		rows:     n,
+		versions: nv,
+		err:      make([][]float64, nv),
+		latNs:    make([][]float64, nv),
+		conf:     make([][]float64, nv),
+		inv:      make([][]float64, nv),
+		iaas:     make([][]float64, nv),
+	}
+	for v := 0; v < nv; v++ {
+		c.err[v] = make([]float64, n)
+		c.latNs[v] = make([]float64, n)
+		c.conf[v] = make([]float64, n)
+		c.inv[v] = make([]float64, n)
+		c.iaas[v] = make([]float64, n)
+		for r := 0; r < n; r++ {
+			i := r
+			if rows != nil {
+				i = rows[r]
+			}
+			k := m.Index(i, v)
+			c.err[v][r] = m.Err[k]
+			c.latNs[v][r] = m.LatencyNs[k]
+			c.conf[v][r] = m.Confidence[k]
+			c.inv[v][r] = m.InvCost[k]
+			c.iaas[v][r] = m.IaaSCost[k]
+		}
+	}
+	c.checksum = ColumnChecksum(m, rows)
+	return c
+}
+
+// NumRows returns the number of gathered training rows.
+func (c *ColumnSet) NumRows() int { return c.rows }
+
+// NumVersions returns the number of service versions covered.
+func (c *ColumnSet) NumVersions() int { return c.versions }
+
+// Checksum returns the content hash of the gathered columns (see
+// ColumnChecksum).
+func (c *ColumnSet) Checksum() uint64 { return c.checksum }
+
+// ColumnChecksum hashes the metric content a gather over (m, rows)
+// would produce: FNV-1a over the float64 bit patterns of all five
+// metrics, versions outer, rows inner. Two (matrix, rows) pairs with
+// equal shape but different measurements — or the same rows in a
+// different order — hash differently, which is how a distributed sweep
+// detects a worker deployed over the wrong corpus instead of merging
+// plausible-but-wrong numbers.
+func ColumnChecksum(m *profile.Matrix, rows []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v float64) {
+		h ^= math.Float64bits(v)
+		h *= prime64
+	}
+	nv := m.NumVersions()
+	var n int
+	if rows == nil {
+		n = m.NumRequests()
+	} else {
+		n = len(rows)
+	}
+	for v := 0; v < nv; v++ {
+		for r := 0; r < n; r++ {
+			i := r
+			if rows != nil {
+				i = rows[r]
+			}
+			k := m.Index(i, v)
+			mix(m.Err[k])
+			mix(m.LatencyNs[k])
+			mix(m.Confidence[k])
+			mix(m.InvCost[k])
+			mix(m.IaaSCost[k])
+		}
+	}
+	return h
+}

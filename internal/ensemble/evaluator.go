@@ -20,10 +20,13 @@ import (
 type Evaluator struct {
 	rows int // number of training rows (local indices 0..rows-1)
 
-	// Per-version metric columns gathered over the training rows,
-	// indexed [version][local row]. Gathering once up front makes every
-	// SetPolicy fill a walk over dense slices.
-	err, latNs, conf, inv, iaas [][]float64
+	// cols holds the per-version metric columns gathered over the
+	// training rows, indexed [version][local row]. Gathering once up
+	// front makes every SetPolicy fill a walk over dense slices; the set
+	// is read-only and may be shared with other evaluators
+	// (NewEvaluatorFromColumns), so workers of a sharded sweep don't
+	// re-gather identical columns.
+	cols *ColumnSet
 
 	// Escalation mask cache for the current (primary, threshold) pair,
 	// kept as two dense index lists: accIdx holds the rows the primary's
@@ -90,46 +93,27 @@ type TrialSums struct {
 
 // NewEvaluator gathers the matrix columns for the given training rows
 // (nil = all rows). The gather is O(rows x versions) and paid once; the
-// evaluator is then reused across every candidate policy.
+// evaluator is then reused across every candidate policy. Callers that
+// build many evaluators over the same (matrix, rows) pair should gather
+// once with GatherColumns and use NewEvaluatorFromColumns instead.
 func NewEvaluator(m *profile.Matrix, rows []int) *Evaluator {
-	nv := m.NumVersions()
-	var n int
-	if rows == nil {
-		n = m.NumRequests()
-	} else {
-		n = len(rows)
-	}
-	e := &Evaluator{
+	return NewEvaluatorFromColumns(GatherColumns(m, rows))
+}
+
+// NewEvaluatorFromColumns builds an evaluator over an already-gathered
+// column set, sharing it rather than copying: only the evaluator's
+// mutable scratch (fused outcome table, escalation mask) is allocated.
+// Any number of evaluators may share one set concurrently; the set is
+// never written.
+func NewEvaluatorFromColumns(cols *ColumnSet) *Evaluator {
+	n := cols.NumRows()
+	return &Evaluator{
 		rows:   n,
-		err:    make([][]float64, nv),
-		latNs:  make([][]float64, nv),
-		conf:   make([][]float64, nv),
-		inv:    make([][]float64, nv),
-		iaas:   make([][]float64, nv),
+		cols:   cols,
 		accIdx: make([]int32, 0, n),
 		escIdx: make([]int32, 0, n),
 		out:    make([]float64, n*fusedStride),
 	}
-	for v := 0; v < nv; v++ {
-		e.err[v] = make([]float64, n)
-		e.latNs[v] = make([]float64, n)
-		e.conf[v] = make([]float64, n)
-		e.inv[v] = make([]float64, n)
-		e.iaas[v] = make([]float64, n)
-		for r := 0; r < n; r++ {
-			i := r
-			if rows != nil {
-				i = rows[r]
-			}
-			k := m.Index(i, v)
-			e.err[v][r] = m.Err[k]
-			e.latNs[v][r] = m.LatencyNs[k]
-			e.conf[v][r] = m.Confidence[k]
-			e.inv[v][r] = m.InvCost[k]
-			e.iaas[v][r] = m.IaaSCost[k]
-		}
-	}
-	return e
 }
 
 // NumRows returns the number of training rows the evaluator covers.
@@ -140,7 +124,7 @@ func (e *Evaluator) NumRows() int { return e.rows }
 // writing its error column into the fused table's laneBase — the lane
 // no SetPolicy fill touches.
 func (e *Evaluator) SetBaseline(version int) {
-	for r, b := range e.err[version] {
+	for r, b := range e.cols.err[version] {
 		e.out[r*fusedStride+laneBase] = b
 	}
 }
@@ -154,7 +138,7 @@ func (e *Evaluator) setMask(primary int, threshold float64) {
 		return
 	}
 	e.accIdx, e.escIdx = e.accIdx[:0], e.escIdx[:0]
-	pc := e.conf[primary]
+	pc := e.cols.conf[primary]
 	for r, c := range pc {
 		if c >= threshold {
 			e.accIdx = append(e.accIdx, int32(r))
@@ -175,7 +159,7 @@ func (e *Evaluator) setMask(primary int, threshold float64) {
 // never refills the accepted rows. Patched values are the same floats a
 // full fill would store, so exactness is unaffected.
 func (e *Evaluator) SetPolicy(p Policy) {
-	pe, pl, pv, pi := e.err[p.Primary], e.latNs[p.Primary], e.inv[p.Primary], e.iaas[p.Primary]
+	pe, pl, pv, pi := e.cols.err[p.Primary], e.cols.latNs[p.Primary], e.cols.inv[p.Primary], e.cols.iaas[p.Primary]
 	out := e.out
 	if p.Kind == Single {
 		for r := 0; r < e.rows; r++ {
@@ -225,7 +209,7 @@ func (e *Evaluator) fillAccept(p Policy, out, pe, pl, pv, pi []float64) {
 		}
 		return
 	}
-	sl, sv, si := e.latNs[p.Secondary], e.inv[p.Secondary], e.iaas[p.Secondary]
+	sl, sv, si := e.cols.latNs[p.Secondary], e.cols.inv[p.Secondary], e.cols.iaas[p.Secondary]
 	for _, r32 := range e.accIdx {
 		r := int(r32)
 		f := out[r*fusedStride : r*fusedStride+laneBase]
@@ -254,8 +238,8 @@ func (e *Evaluator) fillAccept(p Policy, out, pe, pl, pv, pi []float64) {
 // (kind, secondary), and the cost/escalation lanes on the secondary
 // alone.
 func (e *Evaluator) fillEscalate(p Policy, out, pe, pl, pv, pi []float64) {
-	se, sl, sv, si := e.err[p.Secondary], e.latNs[p.Secondary], e.inv[p.Secondary], e.iaas[p.Secondary]
-	pc, sc := e.conf[p.Primary], e.conf[p.Secondary]
+	se, sl, sv, si := e.cols.err[p.Secondary], e.cols.latNs[p.Secondary], e.cols.inv[p.Secondary], e.cols.iaas[p.Secondary]
+	pc, sc := e.cols.conf[p.Primary], e.cols.conf[p.Secondary]
 	sameSec := e.escValid && e.escSec == p.Secondary
 	errCurrent := sameSec && e.escPick == p.PickBest
 	latCurrent := sameSec && e.escKind == p.Kind

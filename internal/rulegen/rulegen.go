@@ -109,20 +109,28 @@ type Generator struct {
 	cfg        Config
 	best       int // index of the most accurate version on rows
 	candidates []Candidate
-	// legacyKernel drives the bootstrap through the row-oriented
-	// Policy.Simulate path instead of the columnar Evaluator; kept for
-	// the kernel-equivalence tests (see export_test.go).
-	legacyKernel bool
 }
 
-// New builds the generator and immediately bootstraps every candidate
-// configuration (the paper's RoutingRuleGenerator.__init__).
-// rows selects the training subset of m (nil = all rows).
-func New(m *profile.Matrix, rows []int, cfg Config) *Generator {
-	return newGenerator(m, rows, cfg, false)
+// Plan captures everything the Fig.-7 sweep needs before any bootstrap
+// runs: the validated config, the resolved training rows, the baseline
+// version, and the enumerated candidate policies in their canonical
+// order. A Plan is the unit a distributed generator partitions —
+// bootstrapping every policy of the plan (in any order, on any worker)
+// and assembling the results with FromCandidates yields exactly the
+// generator New builds in-process, because each candidate's bootstrap
+// RNG is seeded from its index in Policies alone.
+type Plan struct {
+	M        *profile.Matrix
+	Rows     []int
+	Cfg      Config
+	Best     int
+	Policies []ensemble.Policy
 }
 
-func newGenerator(m *profile.Matrix, rows []int, cfg Config, legacy bool) *Generator {
+// NewPlan validates cfg, resolves the training rows (nil = all rows of
+// m), selects the baseline version, and enumerates the candidate
+// policies. It panics on a confidence outside (0,1), like New.
+func NewPlan(m *profile.Matrix, rows []int, cfg Config) Plan {
 	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
 		panic(fmt.Sprintf("rulegen: confidence %v outside (0,1)", cfg.Confidence))
 	}
@@ -135,9 +143,42 @@ func newGenerator(m *profile.Matrix, rows []int, cfg Config, legacy bool) *Gener
 			rows[i] = i
 		}
 	}
-	g := &Generator{m: m, rows: rows, cfg: cfg, best: m.BestVersion(rows), legacyKernel: legacy}
-	g.bootstrapAll()
+	p := Plan{M: m, Rows: rows, Cfg: cfg, Best: m.BestVersion(rows)}
+	p.Policies = enumeratePolicies(m, rows, cfg)
+	return p
+}
+
+// New builds the generator and immediately bootstraps every candidate
+// configuration (the paper's RoutingRuleGenerator.__init__).
+// rows selects the training subset of m (nil = all rows).
+func New(m *profile.Matrix, rows []int, cfg Config) *Generator {
+	p := NewPlan(m, rows, cfg)
+	g := fromPlan(p)
+	g.bootstrapAll(p.Policies)
 	return g
+}
+
+func fromPlan(p Plan) *Generator {
+	return &Generator{m: p.M, rows: p.Rows, cfg: p.Cfg, best: p.Best}
+}
+
+// FromCandidates assembles a generator from externally bootstrapped
+// candidates — the merge step of the sharded generator. candidates must
+// hold, at index i, the bootstrap result of p.Policies[i]; any gap or
+// policy mismatch is an error.
+func FromCandidates(p Plan, candidates []Candidate) (*Generator, error) {
+	if len(candidates) != len(p.Policies) {
+		return nil, fmt.Errorf("rulegen: %d candidates for %d planned policies", len(candidates), len(p.Policies))
+	}
+	for i := range candidates {
+		if candidates[i].Policy != p.Policies[i] {
+			return nil, fmt.Errorf("rulegen: candidate %d holds policy %v, plan expects %v",
+				i, candidates[i].Policy, p.Policies[i])
+		}
+	}
+	g := fromPlan(p)
+	g.candidates = candidates
+	return g, nil
 }
 
 // Best returns the index of the most accurate version on the training
@@ -147,16 +188,18 @@ func (g *Generator) Best() int { return g.best }
 // Candidates returns the bootstrapped candidates (read-only).
 func (g *Generator) Candidates() []Candidate { return g.candidates }
 
-// enumerate builds the candidate policy set: every single version, plus
-// Failover and Concurrent pairs (fast primary -> more accurate
-// secondary) across the threshold grid.
-func (g *Generator) enumerate() []ensemble.Policy {
-	nv := g.m.NumVersions()
+// enumeratePolicies builds the candidate policy set: every single
+// version, plus Failover and Concurrent pairs (fast primary -> more
+// accurate secondary) across the threshold grid. The order is canonical:
+// it defines each candidate's global index and therefore its bootstrap
+// seed, for the in-process and the sharded generator alike.
+func enumeratePolicies(m *profile.Matrix, rows []int, cfg Config) []ensemble.Policy {
+	nv := m.NumVersions()
 	var out []ensemble.Policy
 	for v := 0; v < nv; v++ {
 		out = append(out, ensemble.Policy{Kind: ensemble.Single, Primary: v})
 	}
-	maxPrimary := g.cfg.PairPrimaries
+	maxPrimary := cfg.PairPrimaries
 	if maxPrimary <= 0 || maxPrimary > nv {
 		maxPrimary = nv
 	}
@@ -165,7 +208,7 @@ func (g *Generator) enumerate() []ensemble.Policy {
 	// escalation-mask cache then hits across every secondary, kind, and
 	// PickBest variant of the pair.
 	for p := 0; p < maxPrimary; p++ {
-		grid := ensemble.ThresholdGrid(g.m, g.rows, p, g.cfg.ThresholdPoints)
+		grid := ensemble.ThresholdGrid(m, rows, p, cfg.ThresholdPoints)
 		for _, th := range grid {
 			if th == 0 {
 				continue // identical to Single(p)
@@ -178,7 +221,7 @@ func (g *Generator) enumerate() []ensemble.Policy {
 				out = append(out,
 					ensemble.Policy{Kind: ensemble.Failover, Primary: p, Secondary: s, Threshold: th},
 					ensemble.Policy{Kind: ensemble.Concurrent, Primary: p, Secondary: s, Threshold: th})
-				if g.cfg.IncludePickBest {
+				if cfg.IncludePickBest {
 					out = append(out,
 						ensemble.Policy{Kind: ensemble.Concurrent, Primary: p, Secondary: s, Threshold: th, PickBest: true},
 						ensemble.Policy{Kind: ensemble.Failover, Primary: p, Secondary: s, Threshold: th, PickBest: true})
@@ -191,23 +234,15 @@ func (g *Generator) enumerate() []ensemble.Policy {
 
 // bootstrapAll runs the Fig.-7 bootstrap for every candidate, in
 // parallel. Each candidate draws from its own seeded stream, so the
-// result is independent of scheduling. Each worker owns a columnar
-// ensemble.Evaluator: the candidate's policy is fused into flat outcome
-// columns once, and every bootstrap trial is then a branch-free sum over
-// those columns (including the per-subset baseline error, which shares
-// the same gather loop instead of re-scanning the matrix).
-func (g *Generator) bootstrapAll() {
-	policies := g.enumerate()
-	test := stats.ConfidenceTest{
-		Level:     g.cfg.Confidence,
-		MinTrials: g.cfg.MinTrials,
-		MaxTrials: g.cfg.MaxTrials,
-	}
-	sampleSize := int(g.cfg.SampleFraction * float64(len(g.rows)))
-	if sampleSize < 1 {
-		sampleSize = len(g.rows)
-	}
+// result is independent of scheduling. The metric columns are gathered
+// once and shared read-only across workers; each worker owns a columnar
+// ensemble.Evaluator over the shared set, fusing the candidate's policy
+// into flat outcome columns so every bootstrap trial is a branch-free
+// sum (including the per-subset baseline error, which shares the same
+// gather loop instead of re-scanning the matrix).
+func (g *Generator) bootstrapAll(policies []ensemble.Policy) {
 	g.candidates = make([]Candidate, len(policies))
+	cols := ensemble.GatherColumns(g.m, g.rows)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(policies) {
 		workers = len(policies)
@@ -221,10 +256,10 @@ func (g *Generator) bootstrapAll() {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			if g.legacyKernel {
-				g.bootstrapWorkerLegacy(policies, test, sampleSize, next)
-			} else {
-				g.bootstrapWorker(policies, test, sampleSize, next)
+			ev := ensemble.NewEvaluatorFromColumns(cols)
+			ev.SetBaseline(g.best)
+			for ci := range next {
+				g.candidates[ci] = BootstrapCandidate(ev, policies[ci], ci, g.cfg).Candidate(policies[ci])
 			}
 		}()
 	}
@@ -235,62 +270,74 @@ func (g *Generator) bootstrapAll() {
 	wg.Wait()
 }
 
-// bootstrapWorker drains candidate indices using the columnar kernel.
-// Bootstrap subsets index into g.rows, which is exactly the evaluator's
-// local row space, so trial sums need no index remapping at all.
-func (g *Generator) bootstrapWorker(policies []ensemble.Policy, test stats.ConfidenceTest, sampleSize int, next <-chan int) {
-	ev := ensemble.NewEvaluator(g.m, g.rows)
-	ev.SetBaseline(g.best)
-	for ci := range next {
-		pol := policies[ci]
-		ev.SetPolicy(pol)
-		rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
-		res := stats.BootstrapN(rng, len(g.rows), sampleSize, 4, test, func(subset []int, out []float64) {
-			t := ev.Trial(subset)
-			n := float64(t.N)
-			meanErr := t.ErrSum / n
-			baseline := t.BaseErrSum / n
-			out[0] = ensemble.ErrDegradation(meanErr, baseline)
-			out[1] = float64(time.Duration(t.LatNsSum) / time.Duration(t.N))
-			out[2] = t.InvSum / n
-			out[3] = t.IaaSSum / n
-		})
-		g.candidates[ci] = candidateFrom(pol, res)
-	}
+// CandidateStats is the raw bootstrap output for one candidate: the
+// trial count plus one Welford stats.Stream per bootstrapped metric.
+// This is what a shard worker ships back to the coordinator — stream
+// fields (N, Mean, M2, Min, Max) survive a JSON round trip bit-exactly,
+// so a merged rule table is identical to a locally generated one.
+type CandidateStats struct {
+	Trials int
+	// Streams holds, in order: relative error degradation, response
+	// time (float64 nanoseconds), invocation cost, IaaS cost.
+	Streams [4]stats.Stream
 }
 
-// bootstrapWorkerLegacy is the pre-columnar reference path, retained so
-// the kernel-equivalence property tests can assert that both kernels
-// generate identical candidates and rule tables.
-func (g *Generator) bootstrapWorkerLegacy(policies []ensemble.Policy, test stats.ConfidenceTest, sampleSize int, next <-chan int) {
-	sub := make([]int, sampleSize)
-	for ci := range next {
-		pol := policies[ci]
-		rng := xrand.New(g.cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15)
-		res := stats.Bootstrap(rng, len(g.rows), sampleSize, test, func(subset []int) stats.Trial {
-			for i, idx := range subset {
-				sub[i] = g.rows[idx]
-			}
-			agg := ensemble.Evaluate(g.m, sub, pol)
-			baseline := g.m.MeanErrOf(g.best, sub)
-			deg := ensemble.ErrDegradation(agg.MeanErr, baseline)
-			return stats.Trial{deg, float64(agg.MeanLatency), agg.MeanInvCost, agg.MeanIaaSCost}
-		})
-		g.candidates[ci] = candidateFrom(pol, res)
-	}
+// CandidateSeed derives the bootstrap RNG seed of the candidate at the
+// given index of a plan's policy list. The seed depends on the global
+// index alone — not on worker, shard, or batch — which is what makes
+// any partition of the sweep reproduce the monolithic result.
+func CandidateSeed(cfg Config, index int) uint64 {
+	return cfg.Seed + uint64(index)*0x9e3779b97f4a7c15
 }
 
-func candidateFrom(pol ensemble.Policy, res stats.BootstrapResult) Candidate {
+// BootstrapCandidate runs the Fig.-7 bootstrap for one candidate: pol at
+// global plan index, over an evaluator covering the plan's training rows
+// with the plan's baseline set (ev.SetBaseline). cfg must be a plan's
+// validated config. Bootstrap subsets index into the plan rows, which is
+// exactly the evaluator's local row space, so trial sums need no index
+// remapping at all.
+func BootstrapCandidate(ev *ensemble.Evaluator, pol ensemble.Policy, index int, cfg Config) CandidateStats {
+	test := stats.ConfidenceTest{
+		Level:     cfg.Confidence,
+		MinTrials: cfg.MinTrials,
+		MaxTrials: cfg.MaxTrials,
+	}
+	nRows := ev.NumRows()
+	sampleSize := int(cfg.SampleFraction * float64(nRows))
+	if sampleSize < 1 {
+		sampleSize = nRows
+	}
+	ev.SetPolicy(pol)
+	rng := xrand.New(CandidateSeed(cfg, index))
+	streams := stats.BootstrapStreams(rng, nRows, sampleSize, 4, test, func(subset []int, out []float64) {
+		t := ev.Trial(subset)
+		n := float64(t.N)
+		meanErr := t.ErrSum / n
+		baseline := t.BaseErrSum / n
+		out[0] = ensemble.ErrDegradation(meanErr, baseline)
+		out[1] = float64(time.Duration(t.LatNsSum) / time.Duration(t.N))
+		out[2] = t.InvSum / n
+		out[3] = t.IaaSSum / n
+	})
+	cs := CandidateStats{Trials: streams[0].N}
+	copy(cs.Streams[:], streams)
+	return cs
+}
+
+// Candidate summarizes the raw streams into the candidate record the
+// rule table ranks: worst cases are stream maxima, means are stream
+// means — the same floats a stats.BootstrapResult would carry.
+func (cs CandidateStats) Candidate(pol ensemble.Policy) Candidate {
 	return Candidate{
 		Policy:       pol,
-		Trials:       res.Trials,
-		WorstErrDeg:  res.WorstCase[0],
-		WorstLatency: time.Duration(res.WorstCase[1]),
-		WorstInvCost: res.WorstCase[2],
-		MeanErrDeg:   res.Mean[0],
-		MeanLatency:  time.Duration(res.Mean[1]),
-		MeanInvCost:  res.Mean[2],
-		MeanIaaSCost: res.Mean[3],
+		Trials:       cs.Trials,
+		WorstErrDeg:  cs.Streams[0].Max,
+		WorstLatency: time.Duration(cs.Streams[1].Max),
+		WorstInvCost: cs.Streams[2].Max,
+		MeanErrDeg:   cs.Streams[0].Mean,
+		MeanLatency:  time.Duration(cs.Streams[1].Mean),
+		MeanInvCost:  cs.Streams[2].Mean,
+		MeanIaaSCost: cs.Streams[3].Mean,
 	}
 }
 

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/vision"
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// fuzzMatrix synthesizes a random profile matrix (coarse grids so
+// confidence/threshold ties and zero errors occur).
+func fuzzMatrix(rng *xrand.RNG, nReq, nVer int) *profile.Matrix {
+	names := make([]string, nVer)
+	ids := make([]int, nReq)
+	for i := range ids {
+		ids[i] = i
+	}
+	m := profile.New("fuzz", names, ids)
+	for i := 0; i < nReq; i++ {
+		for v := 0; v < nVer; v++ {
+			m.SetAt(i, v, profile.Cell{
+				Err:        float64(rng.Intn(5)) / 4,
+				Latency:    time.Duration(1+rng.Intn(300)) * time.Millisecond,
+				Confidence: float64(rng.Intn(9)) / 8,
+				InvCost:    0.1 + rng.Float64(),
+				IaaSCost:   rng.Float64(),
+			})
+		}
+	}
+	return m
+}
+
+// assertSameGenerator asserts bit-identical output: same baseline, same
+// candidates (same trial counts, same worst cases, same means — exact
+// float64 equality), and same rule tables for both objectives.
+func assertSameGenerator(t *testing.T, tag string, mono, sharded *rulegen.Generator) {
+	t.Helper()
+	if mono.Best() != sharded.Best() {
+		t.Fatalf("%s: best version %d != %d", tag, sharded.Best(), mono.Best())
+	}
+	cm, cs := mono.Candidates(), sharded.Candidates()
+	if len(cm) != len(cs) {
+		t.Fatalf("%s: candidate counts %d != %d", tag, len(cs), len(cm))
+	}
+	for i := range cm {
+		if cm[i] != cs[i] {
+			t.Fatalf("%s: candidate %d (%v):\nsharded    %+v\nmonolithic %+v",
+				tag, i, cm[i].Policy, cs[i], cm[i])
+		}
+	}
+	tols := rulegen.ToleranceGrid(0.10, 0.01)
+	for _, obj := range []rulegen.Objective{rulegen.MinimizeLatency, rulegen.MinimizeCost} {
+		tm, ts := mono.Generate(tols, obj), sharded.Generate(tols, obj)
+		if !reflect.DeepEqual(tm, ts) {
+			t.Fatalf("%s: %s rule tables differ:\nsharded    %+v\nmonolithic %+v", tag, obj, ts, tm)
+		}
+	}
+}
+
+// The sharded generator must be bit-identical to the monolithic
+// rulegen.New for every shard count 1..8 — same candidates, same trial
+// counts, same tie-breaks — across random matrices, seeds, training
+// subsets, and batch sizes.
+func TestShardedEquivalenceShardCounts1To8(t *testing.T) {
+	rng := xrand.New(0x5a4d)
+	for iter := 0; iter < 4; iter++ {
+		nReq := 30 + rng.Intn(60)
+		nVer := 2 + rng.Intn(4)
+		m := fuzzMatrix(rng, nReq, nVer)
+
+		cfg := rulegen.DefaultConfig()
+		cfg.Seed = rng.Uint64()
+		cfg.MinTrials = 3 + rng.Intn(4)
+		cfg.MaxTrials = cfg.MinTrials + rng.Intn(24)
+		cfg.ThresholdPoints = 1 + rng.Intn(5)
+		cfg.IncludePickBest = iter%2 == 0
+		cfg.SampleFraction = 0.1 + 0.3*rng.Float64()
+
+		var rows []int
+		if iter%2 == 1 {
+			rows = make([]int, 10+rng.Intn(nReq))
+			for i := range rows {
+				rows[i] = rng.Intn(nReq)
+			}
+		}
+
+		mono := rulegen.New(m, rows, cfg)
+		for shards := 1; shards <= 8; shards++ {
+			opts := Options{Shards: shards, BatchSize: 1 + rng.Intn(16)}
+			sharded, rep, err := Generate(context.Background(), m, rows, cfg, opts)
+			if err != nil {
+				t.Fatalf("iter %d shards %d: %v", iter, shards, err)
+			}
+			if rep.Candidates != len(mono.Candidates()) {
+				t.Fatalf("iter %d shards %d: report covers %d candidates, want %d",
+					iter, shards, rep.Candidates, len(mono.Candidates()))
+			}
+			if rep.TrialCounts.N != rep.Candidates {
+				t.Fatalf("iter %d shards %d: merged trial stream holds %d candidates, want %d",
+					iter, shards, rep.TrialCounts.N, rep.Candidates)
+			}
+			assertSameGenerator(t, "iter/shards", mono, sharded)
+		}
+	}
+}
+
+// Equivalence must also hold on a real profiled corpus, not just
+// synthetic matrices.
+func TestShardedEquivalenceProfiledCorpus(t *testing.T) {
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 400, Device: vision.CPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 6
+	cfg.MaxTrials = 40
+	cfg.ThresholdPoints = 5
+	mono := rulegen.New(m, nil, cfg)
+	for _, shards := range []int{1, 3, 8} {
+		sharded, _, err := Generate(context.Background(), m, nil, cfg, Options{Shards: shards, BatchSize: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameGenerator(t, "corpus", mono, sharded)
+	}
+}
+
+// The HTTP transport must preserve bit-exactness end to end: candidate
+// streams cross the wire as JSON and the merged table must still equal
+// the monolithic one. Two remote workers split the shards.
+func TestShardedEquivalenceHTTP(t *testing.T) {
+	rng := xrand.New(0xcafe)
+	m := fuzzMatrix(rng, 80, 4)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 4
+	cfg.MaxTrials = 24
+	cfg.ThresholdPoints = 3
+
+	var transports []Transport
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(NewWorkerHandler(NewWorker(m, nil)))
+		defer srv.Close()
+		transports = append(transports, &HTTPTransport{Base: srv.URL, Client: srv.Client()})
+	}
+
+	mono := rulegen.New(m, nil, cfg)
+	for _, shards := range []int{1, 2, 5} {
+		sharded, _, err := Generate(context.Background(), m, nil, cfg,
+			Options{Shards: shards, BatchSize: 4, Transports: transports})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameGenerator(t, "http", mono, sharded)
+	}
+}

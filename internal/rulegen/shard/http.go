@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTP transport: the same batch protocol over POST /shard/run. A
+// remote worker process holds the profiled training set (matrix + row
+// subset deployed alongside it), serves NewWorkerHandler, and the
+// coordinator drives it through HTTPTransport — the Transport interface
+// hides which side of the wire the worker is on. Bit-exactness survives
+// the hop because encoding/json renders float64s in shortest
+// round-trip form.
+
+// workerPath is the batch endpoint served by NewWorkerHandler and
+// called by HTTPTransport.
+const workerPath = "/shard/run"
+
+// NewWorkerHandler exposes w over HTTP. The handler serves
+// POST /shard/run, reading a BatchRequest body and answering the
+// BatchResponse; malformed frames get 400, worker/spec mismatches 409.
+func NewWorkerHandler(w *Worker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+workerPath, func(rw http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(rw, http.StatusBadRequest, "invalid batch request: %v", err)
+			return
+		}
+		resp, err := w.Run(r.Context(), req)
+		if err != nil {
+			httpError(rw, http.StatusConflict, "%v", err)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(resp)
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// HTTPTransport runs batches against a remote worker serving
+// NewWorkerHandler at Base (e.g. "http://worker-3:9090").
+type HTTPTransport struct {
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Run implements Transport by POSTing the batch to the remote worker.
+func (t *HTTPTransport) Run(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("shard: encode batch: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+workerPath, bytes.NewReader(body))
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("shard: worker %s: %w", t.Base, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		return BatchResponse{}, fmt.Errorf("shard: worker %s: status %d: %s", t.Base, hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp BatchResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return BatchResponse{}, fmt.Errorf("shard: decode batch response: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Shard ranges must tile [0, n) exactly, in order, for any shard count,
+// and batch framing must cover each range without gaps or overlaps —
+// the partition is the protocol's determinism anchor.
+func TestPartitionTilesGrid(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1001} {
+		for shards := 1; shards <= 9; shards++ {
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := shardRange(n, shards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d range [%d,%d) inverted", n, shards, s, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: ranges end at %d", n, shards, prev)
+			}
+		}
+	}
+}
+
+// Many evaluators sharing one ColumnSet from concurrent goroutines must
+// each produce the results a private, freshly gathered evaluator
+// produces. Run under -race this doubles as the shared-gather race test
+// (the CI race job runs this package).
+func TestSharedColumnSetConcurrentEvaluators(t *testing.T) {
+	rng := xrand.New(0xc01)
+	m := fuzzMatrix(rng, 120, 4)
+	cols := ensemble.GatherColumns(m, nil)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 4
+	cfg.MaxTrials = 16
+	p := rulegen.NewPlan(m, nil, cfg)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shared := ensemble.NewEvaluatorFromColumns(cols)
+			shared.SetBaseline(p.Best)
+			private := ensemble.NewEvaluator(m, nil)
+			private.SetBaseline(p.Best)
+			// Each goroutine walks the grid from a different offset so
+			// concurrent reads hit different columns at the same time.
+			for i := range p.Policies {
+				ci := (i + g*len(p.Policies)/goroutines) % len(p.Policies)
+				pol := p.Policies[ci]
+				got := rulegen.BootstrapCandidate(shared, pol, ci, p.Cfg)
+				want := rulegen.BootstrapCandidate(private, pol, ci, p.Cfg)
+				if got != want {
+					errs <- errors.New("shared-column evaluator diverged from private evaluator")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A single Worker must serve concurrent batches correctly: its pooled
+// evaluators share the column set, and every batch's results must match
+// the monolithic candidates. Run under -race this exercises the merge
+// path and the evaluator pool.
+func TestWorkerConcurrentBatches(t *testing.T) {
+	rng := xrand.New(0xbee)
+	m := fuzzMatrix(rng, 90, 3)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 4
+	cfg.MaxTrials = 20
+	mono := rulegen.New(m, nil, cfg)
+	sharded, _, err := Generate(context.Background(), m, nil, cfg,
+		Options{Shards: 8, Workers: 8, BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGenerator(t, "concurrent", mono, sharded)
+}
+
+// Progress must be monotone, serialized, and end exactly at the
+// candidate total.
+func TestGenerateProgress(t *testing.T) {
+	rng := xrand.New(0x90)
+	m := fuzzMatrix(rng, 40, 3)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 3
+	cfg.MaxTrials = 8
+	var mu sync.Mutex
+	last, calls := 0, 0
+	_, rep, err := Generate(context.Background(), m, nil, cfg, Options{
+		Shards: 4, BatchSize: 2,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done <= last || done > total {
+				t.Errorf("progress %d after %d (total %d)", done, last, total)
+			}
+			last = done
+			calls++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if last != rep.Candidates {
+		t.Fatalf("progress ended at %d, want %d", last, rep.Candidates)
+	}
+	if calls != rep.Batches {
+		t.Fatalf("progress called %d times for %d batches", calls, rep.Batches)
+	}
+}
+
+// A cancelled context must abort the sweep with the context's error.
+func TestGenerateCancelled(t *testing.T) {
+	rng := xrand.New(0x7)
+	m := fuzzMatrix(rng, 60, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Generate(ctx, m, nil, rulegen.DefaultConfig(), Options{Shards: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// corruptTransport wraps a Worker and tampers with responses, to prove
+// the coordinator validates frames instead of merging whatever arrives.
+type corruptTransport struct {
+	worker  *Worker
+	corrupt func(*BatchResponse)
+}
+
+func (c *corruptTransport) Run(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	resp, err := c.worker.Run(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	c.corrupt(&resp)
+	return resp, nil
+}
+
+func TestMergeRejectsCorruptResponses(t *testing.T) {
+	rng := xrand.New(0xdead)
+	m := fuzzMatrix(rng, 40, 3)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 3
+	cfg.MaxTrials = 8
+	worker := NewWorker(m, nil)
+	cases := []struct {
+		name    string
+		corrupt func(*BatchResponse)
+		wantSub string
+	}{
+		{"wrong job", func(r *BatchResponse) { r.Job = "imposter" }, "framing"},
+		{"wrong seq", func(r *BatchResponse) { r.Seq++ }, "framing"},
+		{"short results", func(r *BatchResponse) { r.Results = r.Results[:len(r.Results)-1] }, "results for"},
+		{"shifted index", func(r *BatchResponse) { r.Results[0].Index++ }, "index"},
+		{"swapped policy", func(r *BatchResponse) { r.Results[0].Policy.Primary ^= 1 }, "policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Generate(context.Background(), m, nil, cfg, Options{
+				Shards:     1,
+				BatchSize:  4,
+				Transports: []Transport{&corruptTransport{worker: worker, corrupt: tc.corrupt}},
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// Workers must reject jobs whose training-set shape does not match the
+// columns they were deployed with, both in-process and over HTTP.
+func TestWorkerRejectsMismatchedSpec(t *testing.T) {
+	rng := xrand.New(0x31)
+	m := fuzzMatrix(rng, 50, 3)
+	other := fuzzMatrix(rng, 30, 3)
+	worker := NewWorker(other, nil) // deployed over the wrong corpus
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 3
+	cfg.MaxTrials = 8
+	_, _, err := Generate(context.Background(), m, nil, cfg,
+		Options{Shards: 1, Transports: []Transport{worker}})
+	if err == nil || !strings.Contains(err.Error(), "training rows") {
+		t.Fatalf("err = %v, want training-row mismatch", err)
+	}
+
+	srv := httptest.NewServer(NewWorkerHandler(worker))
+	defer srv.Close()
+	_, _, err = Generate(context.Background(), m, nil, cfg,
+		Options{Shards: 1, Transports: []Transport{&HTTPTransport{Base: srv.URL, Client: srv.Client()}}})
+	if err == nil || !strings.Contains(err.Error(), "status 409") {
+		t.Fatalf("err = %v, want HTTP 409", err)
+	}
+
+	// Same dimensions, different measurements: the shape checks pass but
+	// the column checksum must catch it.
+	sameShape := NewWorker(fuzzMatrix(rng, 50, 3), nil)
+	_, _, err = Generate(context.Background(), m, nil, cfg,
+		Options{Shards: 1, Transports: []Transport{sameShape}})
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+// The worker handler must reject malformed frames with 400.
+func TestWorkerHandlerRejectsGarbage(t *testing.T) {
+	rng := xrand.New(0x55)
+	srv := httptest.NewServer(NewWorkerHandler(NewWorker(fuzzMatrix(rng, 20, 2), nil)))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+workerPath, "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// Spec carries the shard-invariant parameters of one generation job:
+// everything a worker needs to bootstrap any candidate of the plan,
+// minus the candidates themselves (those stream in per batch). Rows and
+// Versions pin the training-set shape and Checksum its content, so a
+// worker deployed over the wrong corpus — even one with the same
+// dimensions — fails loudly instead of returning plausible numbers.
+type Spec struct {
+	Confidence     float64 `json:"confidence"`
+	SampleFraction float64 `json:"sample_fraction"`
+	MinTrials      int     `json:"min_trials"`
+	MaxTrials      int     `json:"max_trials"`
+	Seed           uint64  `json:"seed"`
+	// Baseline is the most accurate version on the training rows; its
+	// error column is fused into every trial.
+	Baseline int `json:"baseline"`
+	// Rows and Versions are the expected training-set dimensions, and
+	// Checksum the content hash of its gathered columns
+	// (ensemble.ColumnChecksum).
+	Rows     int    `json:"rows"`
+	Versions int    `json:"versions"`
+	Checksum uint64 `json:"checksum"`
+}
+
+// SpecOf derives the wire spec of a validated plan.
+func SpecOf(p rulegen.Plan) Spec {
+	return Spec{
+		Confidence:     p.Cfg.Confidence,
+		SampleFraction: p.Cfg.SampleFraction,
+		MinTrials:      p.Cfg.MinTrials,
+		MaxTrials:      p.Cfg.MaxTrials,
+		Seed:           p.Cfg.Seed,
+		Baseline:       p.Best,
+		Rows:           len(p.Rows),
+		Versions:       p.M.NumVersions(),
+		Checksum:       ensemble.ColumnChecksum(p.M, p.Rows),
+	}
+}
+
+// config reassembles the bootstrap-relevant rulegen.Config fields. The
+// enumeration fields (ThresholdPoints, PairPrimaries, IncludePickBest)
+// are irrelevant on a worker: enumeration happened at the coordinator
+// and candidates arrive explicit.
+func (s Spec) config() rulegen.Config {
+	return rulegen.Config{
+		Confidence:     s.Confidence,
+		SampleFraction: s.SampleFraction,
+		MinTrials:      s.MinTrials,
+		MaxTrials:      s.MaxTrials,
+		Seed:           s.Seed,
+	}
+}
+
+// BatchRequest is one framed unit of streamed shard work: a contiguous
+// slice of the plan's candidate grid. Start is the global plan index of
+// Policies[0]; (Job, Shard, Seq) identify the frame and are echoed in
+// the response so the coordinator can reject crossed wires.
+type BatchRequest struct {
+	Job      string            `json:"job"`
+	Shard    int               `json:"shard"`
+	Seq      int               `json:"seq"`
+	Spec     Spec              `json:"spec"`
+	Start    int               `json:"start"`
+	Policies []ensemble.Policy `json:"policies"`
+}
+
+// CandidateResult is one bootstrapped candidate: its global index and
+// policy (echoed for validation) plus the raw Welford streams. JSON
+// encodes the stream float64s in shortest-round-trip form, so the
+// coordinator reconstructs bit-identical worst cases and means.
+type CandidateResult struct {
+	Index  int                    `json:"index"`
+	Policy ensemble.Policy        `json:"policy"`
+	Stats  rulegen.CandidateStats `json:"stats"`
+}
+
+// BatchResponse answers one BatchRequest, in request candidate order.
+type BatchResponse struct {
+	Job     string            `json:"job"`
+	Shard   int               `json:"shard"`
+	Seq     int               `json:"seq"`
+	Results []CandidateResult `json:"results"`
+}
+
+// Transport executes one batch. Implementations: *Worker (in-process)
+// and *HTTPTransport (remote worker over HTTP); the coordinator treats
+// both identically, which is the seam remote fan-out hangs off.
+type Transport interface {
+	Run(ctx context.Context, req BatchRequest) (BatchResponse, error)
+}
+
+// Worker bootstraps candidate batches over one profiled training set.
+// All of a worker's evaluators share a single read-only column set, so
+// concurrent batches pay no per-batch gather; a Worker is safe for
+// concurrent use and implements Transport directly.
+type Worker struct {
+	cols *ensemble.ColumnSet
+	pool sync.Pool // *ensemble.Evaluator over cols
+}
+
+// NewWorker gathers the training columns of m over rows (nil = all
+// rows) and returns a worker serving batches against them. The worker
+// must be built over the same matrix and row subset as the
+// coordinator's plan — Spec's Rows/Versions dimensions are checked on
+// every batch.
+func NewWorker(m *profile.Matrix, rows []int) *Worker {
+	return NewWorkerFromColumns(ensemble.GatherColumns(m, rows))
+}
+
+// NewWorkerFromColumns builds a worker over an already-gathered column
+// set, sharing it with any other user of the set.
+func NewWorkerFromColumns(cols *ensemble.ColumnSet) *Worker {
+	return &Worker{cols: cols}
+}
+
+// Run bootstraps every candidate of the batch, in order. Each candidate
+// is seeded by its global index, so results are independent of how the
+// grid was partitioned. Run checks ctx between candidates and returns
+// its error once cancelled.
+func (w *Worker) Run(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	if req.Spec.Rows != w.cols.NumRows() {
+		return BatchResponse{}, fmt.Errorf("shard: worker covers %d training rows, job expects %d",
+			w.cols.NumRows(), req.Spec.Rows)
+	}
+	if req.Spec.Versions != w.cols.NumVersions() {
+		return BatchResponse{}, fmt.Errorf("shard: worker covers %d versions, job expects %d",
+			w.cols.NumVersions(), req.Spec.Versions)
+	}
+	if req.Spec.Checksum != w.cols.Checksum() {
+		return BatchResponse{}, fmt.Errorf("shard: worker column checksum %x does not match job's %x (worker deployed over a different corpus or row subset)",
+			w.cols.Checksum(), req.Spec.Checksum)
+	}
+	if req.Spec.Baseline < 0 || req.Spec.Baseline >= w.cols.NumVersions() {
+		return BatchResponse{}, fmt.Errorf("shard: baseline version %d out of range", req.Spec.Baseline)
+	}
+	ev, _ := w.pool.Get().(*ensemble.Evaluator)
+	if ev == nil {
+		ev = ensemble.NewEvaluatorFromColumns(w.cols)
+	}
+	defer w.pool.Put(ev)
+	// A pooled evaluator may hold another job's baseline lane; the
+	// policy lanes self-invalidate via SetPolicy.
+	ev.SetBaseline(req.Spec.Baseline)
+	cfg := req.Spec.config()
+	resp := BatchResponse{Job: req.Job, Shard: req.Shard, Seq: req.Seq,
+		Results: make([]CandidateResult, 0, len(req.Policies))}
+	for i, pol := range req.Policies {
+		if err := ctx.Err(); err != nil {
+			return BatchResponse{}, err
+		}
+		if err := pol.Validate(w.cols.NumVersions()); err != nil {
+			return BatchResponse{}, fmt.Errorf("shard: batch candidate %d: %w", i, err)
+		}
+		index := req.Start + i
+		resp.Results = append(resp.Results, CandidateResult{
+			Index:  index,
+			Policy: pol,
+			Stats:  rulegen.BootstrapCandidate(ev, pol, index, cfg),
+		})
+	}
+	return resp, nil
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/rulegen/shard"
+	"github.com/toltiers/toltiers/internal/stats"
+	"github.com/toltiers/toltiers/internal/tiers"
+)
+
+// Rule-generation endpoints: a serving node regenerates its own routing
+// tables with the sharded generator instead of shipping the corpus to an
+// offline job.
+//
+//	POST /rules/generate   body: api.RuleGenRequest   -> 202 api.RuleGenAccepted
+//	GET  /rules/status                                -> api.RuleGenStatus
+//
+// One job runs at a time (409 while busy); with "apply": true the
+// serving registry is swapped atomically on success, so in-flight
+// /compute requests keep their tables and later ones see the new rules.
+
+// ruleJob tracks one asynchronous generation sweep. Mutable fields are
+// guarded by Server.jobMu.
+type ruleJob struct {
+	id          int
+	req         api.RuleGenRequest
+	objectives  []rulegen.Objective
+	shards      int
+	workers     int
+	started     time.Time
+	finished    time.Time
+	done, total int
+	running     bool
+	applied     bool
+	err         error
+	trials      stats.Stream
+}
+
+func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
+	if s.matrix == nil {
+		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
+		return
+	}
+	var req api.RuleGenRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			return
+		}
+	}
+	objectives := []rulegen.Objective{rulegen.MinimizeLatency, rulegen.MinimizeCost}
+	if len(req.Objectives) > 0 {
+		objectives = objectives[:0]
+		for _, o := range req.Objectives {
+			obj, err := rulegen.ParseObjective(o)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			objectives = append(objectives, obj)
+		}
+	}
+	gcfg := rulegen.DefaultConfig()
+	if req.Confidence != 0 {
+		if req.Confidence <= 0 || req.Confidence >= 1 {
+			httpError(w, http.StatusBadRequest, "confidence %v outside (0,1)", req.Confidence)
+			return
+		}
+		gcfg.Confidence = req.Confidence
+	}
+	step, maxTol := req.Step, req.MaxTolerance
+	if step <= 0 {
+		step = 0.01
+	}
+	if maxTol <= 0 {
+		maxTol = 0.10
+	}
+
+	s.jobMu.Lock()
+	if s.job != nil && s.job.running {
+		s.jobMu.Unlock()
+		httpError(w, http.StatusConflict, "a rule-generation job is already running")
+		return
+	}
+	s.jobSeq++
+	job := &ruleJob{
+		id:         s.jobSeq,
+		req:        req,
+		objectives: objectives,
+		started:    time.Now(),
+		running:    true,
+		// Requested partition shape, shown while running; overwritten
+		// with the resolved values when the sweep finishes.
+		shards:  req.Shards,
+		workers: req.Workers,
+	}
+	s.job = job
+	s.jobMu.Unlock()
+
+	go s.runRuleJob(job, gcfg, step, maxTol)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(api.RuleGenAccepted{JobID: job.id, StatusURL: "/rules/status"})
+}
+
+// runRuleJob executes the sharded sweep and, on success with Apply set,
+// swaps the serving registry.
+func (s *Server) runRuleJob(job *ruleJob, gcfg rulegen.Config, step, maxTol float64) {
+	opts := shard.Options{
+		Shards:    job.req.Shards,
+		Workers:   job.req.Workers,
+		BatchSize: job.req.BatchSize,
+		Progress: func(done, total int) {
+			s.jobMu.Lock()
+			job.done, job.total = done, total
+			s.jobMu.Unlock()
+		},
+	}
+	gen, rep, err := shard.Generate(context.Background(), s.matrix, nil, gcfg, opts)
+
+	// Table generation and the registry swap run before taking jobMu so
+	// status polls and conflict checks never stall behind them.
+	var applied bool
+	if err == nil {
+		grid := rulegen.ToleranceGrid(maxTol, step)
+		tables := make([]rulegen.RuleTable, 0, len(job.objectives))
+		for _, obj := range job.objectives {
+			tables = append(tables, gen.Generate(grid, obj))
+		}
+		if job.req.Apply {
+			s.setRegistry(newRegistryFrom(s.registry(), tables))
+			applied = true
+		}
+	}
+
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	job.finished = time.Now()
+	job.running = false
+	if err != nil {
+		job.err = err
+		return
+	}
+	job.shards, job.workers = rep.Shards, rep.Workers
+	job.trials = rep.TrialCounts
+	job.applied = applied
+}
+
+// newRegistryFrom rebuilds the registry with the generated tables,
+// keeping any objective the job did not regenerate.
+func newRegistryFrom(old *tiers.Registry, generated []rulegen.RuleTable) *tiers.Registry {
+	seen := make(map[rulegen.Objective]bool, len(generated))
+	tables := make([]rulegen.RuleTable, 0, len(generated)+2)
+	for _, t := range generated {
+		tables = append(tables, t)
+		seen[t.Objective] = true
+	}
+	for _, obj := range old.Objectives() {
+		if t, ok := old.Table(obj); ok && !seen[obj] {
+			tables = append(tables, t)
+		}
+	}
+	return tiers.NewRegistry(old.Service(), tables...)
+}
+
+func (s *Server) handleRulesStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.matrix == nil {
+		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
+		return
+	}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	st := api.RuleGenStatus{State: "idle"}
+	if job := s.job; job != nil {
+		st.JobID = job.id
+		st.Done, st.Total = job.done, job.total
+		st.Shards, st.Workers = job.shards, job.workers
+		for _, o := range job.objectives {
+			st.Objectives = append(st.Objectives, string(o))
+		}
+		st.Applied = job.applied
+		switch {
+		case job.running:
+			st.State = "running"
+			st.ElapsedMS = float64(time.Since(job.started)) / float64(time.Millisecond)
+		case job.err != nil:
+			st.State = "failed"
+			st.Error = job.err.Error()
+			st.ElapsedMS = float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
+		default:
+			st.State = "done"
+			st.ElapsedMS = float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
+			st.MeanTrials = job.trials.Mean
+			st.MaxTrials = job.trials.Max
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// testRuleGenServer builds a server with the rule-generation endpoints
+// enabled over a small profiled corpus.
+func testRuleGenServer(t testing.TB) (*Server, *httptest.Server, *dataset.VisionCorpus) {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 300, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 5
+	cfg.MaxTrials = 24
+	cfg.ThresholdPoints = 4
+	cfg.IncludePickBest = false
+	g := rulegen.New(m, nil, cfg)
+	tols := []float64{0, 0.01, 0.05, 0.10}
+	reg := tiers.NewRegistry(c.Service,
+		g.Generate(tols, rulegen.MinimizeLatency),
+		g.Generate(tols, rulegen.MinimizeCost))
+	srv := NewWithRuleGen(reg, c.Requests, m)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, c
+}
+
+// waitForJob polls /rules/status until the job leaves the running state.
+func waitForJob(t *testing.T, cl *client.Client) *api.RuleGenStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.RulesStatus(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" && st.State != "idle" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after deadline", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRulesGenerateAppliesTables(t *testing.T) {
+	_, ts, corpus := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+
+	acc, err := cl.GenerateRules(context.Background(), api.RuleGenRequest{
+		Shards:  3,
+		Workers: 3,
+		Apply:   true,
+		Step:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.JobID == 0 || acc.StatusURL != "/rules/status" {
+		t.Fatalf("accepted = %+v", acc)
+	}
+
+	st := waitForJob(t, cl)
+	if st.State != "done" {
+		t.Fatalf("job ended %q (err %q)", st.State, st.Error)
+	}
+	if !st.Applied {
+		t.Fatal("tables not applied")
+	}
+	if st.Total == 0 || st.Done != st.Total {
+		t.Fatalf("progress %d/%d", st.Done, st.Total)
+	}
+	if st.Shards != 3 || st.Workers != 3 {
+		t.Fatalf("resolved partition = %d shards / %d workers, want 3/3", st.Shards, st.Workers)
+	}
+	if st.MeanTrials < 5 {
+		t.Fatalf("mean trials %v below MinTrials default", st.MeanTrials)
+	}
+	if len(st.Objectives) != 2 {
+		t.Fatalf("objectives = %v", st.Objectives)
+	}
+
+	// The swapped registry must keep serving compute traffic.
+	res, err := cl.Compute(context.Background(), corpus.Requests[1].ID, 0.05, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy == "" {
+		t.Fatal("no policy after registry swap")
+	}
+}
+
+func TestRulesGenerateSingleObjectiveKeepsOther(t *testing.T) {
+	srv, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	if _, err := cl.GenerateRules(context.Background(), api.RuleGenRequest{
+		Objectives: []string{string(rulegen.MinimizeCost)},
+		Apply:      true,
+		Step:       0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitForJob(t, cl)
+	if st.State != "done" || !st.Applied {
+		t.Fatalf("status = %+v", st)
+	}
+	// Both objectives must still be registered after a cost-only swap.
+	objs := srv.registry().Objectives()
+	if len(objs) != 2 {
+		t.Fatalf("registry lost objectives: %v", objs)
+	}
+}
+
+func TestRulesStatusIdle(t *testing.T) {
+	_, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	st, err := cl.RulesStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "idle" {
+		t.Fatalf("state = %q, want idle", st.State)
+	}
+}
+
+func TestRulesGenerateValidation(t *testing.T) {
+	_, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+	if _, err := cl.GenerateRules(ctx, api.RuleGenRequest{Objectives: []string{"warp"}}); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+	if _, err := cl.GenerateRules(ctx, api.RuleGenRequest{Confidence: 1.5}); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+}
+
+func TestRulesGenerateConflictWhileRunning(t *testing.T) {
+	srv, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	// Pin a running job directly so the conflict check is deterministic.
+	srv.jobMu.Lock()
+	srv.job = &ruleJob{id: 99, running: true}
+	srv.jobMu.Unlock()
+	_, err := cl.GenerateRules(context.Background(), api.RuleGenRequest{})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 409 {
+		t.Fatalf("err = %v, want 409", err)
+	}
+	srv.jobMu.Lock()
+	srv.job = nil
+	srv.jobMu.Unlock()
+}
+
+func TestRulesEndpointsDisabledWithoutMatrix(t *testing.T) {
+	ts, _ := testServer(t) // plain New: no matrix
+	cl := client.New(ts.URL, ts.Client())
+	_, err := cl.GenerateRules(context.Background(), api.RuleGenRequest{})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("generate err = %v, want 503", err)
+	}
+	_, err = cl.RulesStatus(context.Background())
+	apiErr, ok = err.(*client.APIError)
+	if !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("status err = %v, want 503", err)
+	}
+}

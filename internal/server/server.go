@@ -22,8 +22,10 @@ import (
 	"github.com/toltiers/toltiers/internal/api"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
+	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
@@ -31,15 +33,32 @@ import (
 
 // Server serves one registry over a request corpus.
 type Server struct {
-	reg  *tiers.Registry
-	reqs []*service.Request
-	byID map[int]*service.Request
-	mux  *http.ServeMux
+	regMu sync.RWMutex
+	reg   *tiers.Registry
+	reqs  []*service.Request
+	byID  map[int]*service.Request
+	mux   *http.ServeMux
+
+	// matrix is the profiled training corpus backing the rule-generation
+	// endpoints; nil disables them (see rules.go).
+	matrix *profile.Matrix
+	jobMu  sync.Mutex
+	job    *ruleJob
+	jobSeq int
 }
 
-// New builds the HTTP handler.
+// New builds the HTTP handler. The /rules endpoints answer 503 until a
+// training matrix is supplied via NewWithRuleGen.
 func New(reg *tiers.Registry, reqs []*service.Request) *Server {
-	s := &Server{reg: reg, reqs: reqs, byID: make(map[int]*service.Request, len(reqs))}
+	return NewWithRuleGen(reg, reqs, nil)
+}
+
+// NewWithRuleGen builds the HTTP handler with the rule-generation
+// endpoints enabled: m is the profiled corpus the sharded generator
+// sweeps when POST /rules/generate asks this node to rebuild its
+// tables.
+func NewWithRuleGen(reg *tiers.Registry, reqs []*service.Request, m *profile.Matrix) *Server {
+	s := &Server{reg: reg, reqs: reqs, byID: make(map[int]*service.Request, len(reqs)), matrix: m}
 	for _, r := range reqs {
 		s.byID[r.ID] = r
 	}
@@ -47,8 +66,24 @@ func New(reg *tiers.Registry, reqs []*service.Request) *Server {
 	mux.HandleFunc("POST /compute", s.handleCompute)
 	mux.HandleFunc("GET /tiers", s.handleTiers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /rules/generate", s.handleRulesGenerate)
+	mux.HandleFunc("GET /rules/status", s.handleRulesStatus)
 	s.mux = mux
 	return s
+}
+
+// registry returns the serving registry; a finished generation job with
+// "apply" swaps it, so readers always go through here.
+func (s *Server) registry() *tiers.Registry {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.reg
+}
+
+func (s *Server) setRegistry(reg *tiers.Registry) {
+	s.regMu.Lock()
+	s.reg = reg
+	s.regMu.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
@@ -90,7 +125,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	res, out, rule, err := s.reg.Handle(req, tol, obj)
+	res, out, rule, err := s.registry().Handle(req, tol, obj)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -119,10 +154,11 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTiers(w http.ResponseWriter, _ *http.Request) {
 	var infos []api.TierInfo
-	for _, obj := range s.reg.Objectives() {
+	reg := s.registry()
+	for _, obj := range reg.Objectives() {
 		// Present the canonical 1/5/10% anchor tiers plus the strictest.
 		for _, tol := range []float64{0, 0.01, 0.05, 0.10} {
-			rule, err := s.reg.Resolve(tol, obj)
+			rule, err := reg.Resolve(tol, obj)
 			if err != nil {
 				continue
 			}
@@ -143,7 +179,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":  "ok",
 		"corpus":  len(s.reqs),
 		"domain":  string(domainOf(s.reqs)),
-		"objs":    len(s.reg.Objectives()),
+		"objs":    len(s.registry().Objectives()),
 		"version": "toltiers-1",
 	})
 }

@@ -53,6 +53,35 @@ func (s *Stream) Add(x float64) {
 	s.M2 += delta * (x - s.Mean)
 }
 
+// Merge folds the observations of o into s, as if every observation o
+// absorbed had been Added to s (Chan et al.'s parallel Welford
+// combination). Count, Min and Max merge exactly; Mean and M2 are
+// combined in floating point and may differ from sequential accumulation
+// in the last bits — Merge is therefore used for cross-shard summary
+// statistics, never on the bit-exact rule-generation path, where every
+// candidate's streams are accumulated whole on one worker.
+func (s *Stream) Merge(o Stream) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	n1, n2 := float64(s.N), float64(o.N)
+	delta := o.Mean - s.Mean
+	n := n1 + n2
+	s.Mean += delta * n2 / n
+	s.M2 += o.M2 + delta*delta*n1*n2/n
+	s.N += o.N
+}
+
 // Variance returns the population variance (denominator n) of the
 // observations so far.
 func (s *Stream) Variance() float64 {
@@ -221,13 +250,21 @@ func Bootstrap(rng *xrand.RNG, n, sampleSize int, test ConfidenceTest, simulate 
 	})
 }
 
-// BootstrapN is the allocation-free form of Bootstrap for hot callers:
-// the metric count is declared up front and simulate writes each trial's
-// metrics into a reused out buffer. Apart from the fixed-size buffers
-// allocated before the first trial, the loop performs no allocation.
-// The loop body mirrors bootstrapCore with the step indirection removed
-// — this is the Fig.-7 inner loop, run hundreds of times per candidate.
-func BootstrapN(rng *xrand.RNG, n, sampleSize, nMetrics int, test ConfidenceTest, simulate func(subset []int, out []float64)) BootstrapResult {
+// BootstrapStreams is the allocation-free form of Bootstrap for hot
+// callers: the metric count is declared up front, simulate writes each
+// trial's metrics into a reused out buffer, and the raw per-metric
+// Stream accumulators come back unsummarized — each stream's N is the
+// trial count, its Max the worst case, its Mean the across-trial mean.
+// Apart from the fixed-size buffers allocated before the first trial,
+// the loop performs no allocation.
+// Streams are what the sharded rule generator ships over the wire — a
+// shard worker bootstraps a candidate whole and the coordinator reads
+// the same extremes and means a local run would, bit for bit (Stream
+// fields round-trip exactly through JSON's shortest-form float64
+// encoding). The loop body mirrors bootstrapCore with the step
+// indirection removed — this is the Fig.-7 inner loop, run hundreds of
+// times per candidate.
+func BootstrapStreams(rng *xrand.RNG, n, sampleSize, nMetrics int, test ConfidenceTest, simulate func(subset []int, out []float64)) []Stream {
 	if sampleSize <= 0 || sampleSize > n {
 		sampleSize = n
 	}
@@ -255,12 +292,5 @@ func BootstrapN(rng *xrand.RNG, n, sampleSize, nMetrics int, test ConfidenceTest
 			break
 		}
 	}
-	res := BootstrapResult{Trials: trials}
-	res.WorstCase = make([]float64, nMetrics)
-	res.Mean = make([]float64, nMetrics)
-	for i := range streams {
-		res.WorstCase[i] = streams[i].Max
-		res.Mean[i] = streams[i].Mean
-	}
-	return res
+	return streams
 }

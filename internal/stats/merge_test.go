@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Merging streams over a split series must agree with one stream over
+// the whole series: exactly for N/Min/Max, and to floating-point
+// accuracy for Mean/M2 (Chan et al.'s combination reorders the sums, so
+// last-bit drift is expected — which is why Merge stays off the
+// bit-exact rule-table path).
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	rng := xrand.New(0x3117)
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormMS(float64(rng.Intn(10)), 1+rng.Float64()*5)
+		}
+		var whole Stream
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		// Split into 1..6 chunks, accumulate each, merge in order.
+		chunks := 1 + rng.Intn(6)
+		var merged Stream
+		lo := 0
+		for c := 0; c < chunks; c++ {
+			hi := (c + 1) * n / chunks
+			var part Stream
+			for _, x := range xs[lo:hi] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+			lo = hi
+		}
+		if merged.N != whole.N || merged.Min != whole.Min || merged.Max != whole.Max {
+			t.Fatalf("iter %d: N/Min/Max (%d,%v,%v) != (%d,%v,%v)",
+				iter, merged.N, merged.Min, merged.Max, whole.N, whole.Min, whole.Max)
+		}
+		if rel := math.Abs(merged.Mean-whole.Mean) / math.Max(1, math.Abs(whole.Mean)); rel > 1e-12 {
+			t.Fatalf("iter %d: mean %v != %v (rel %v)", iter, merged.Mean, whole.Mean, rel)
+		}
+		if rel := math.Abs(merged.M2-whole.M2) / math.Max(1, whole.M2); rel > 1e-9 {
+			t.Fatalf("iter %d: M2 %v != %v (rel %v)", iter, merged.M2, whole.M2, rel)
+		}
+	}
+}
+
+// Merging with an empty stream must be the identity in both directions.
+func TestStreamMergeEmpty(t *testing.T) {
+	var a Stream
+	for _, x := range []float64{3, -1, 4} {
+		a.Add(x)
+	}
+	before := a
+	a.Merge(Stream{})
+	if a != before {
+		t.Fatalf("merge with empty changed stream: %+v", a)
+	}
+	var b Stream
+	b.Merge(before)
+	if b != before {
+		t.Fatalf("empty.Merge(s) = %+v, want %+v", b, before)
+	}
+}

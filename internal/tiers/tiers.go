@@ -34,6 +34,12 @@ func NewRegistry(svc *service.Service, tables ...rulegen.RuleTable) *Registry {
 // Service returns the underlying service.
 func (r *Registry) Service() *service.Service { return r.svc }
 
+// Table returns the rule table registered for obj.
+func (r *Registry) Table(obj rulegen.Objective) (rulegen.RuleTable, bool) {
+	t, ok := r.tables[obj]
+	return t, ok
+}
+
 // Objectives lists the registered objectives.
 func (r *Registry) Objectives() []rulegen.Objective {
 	out := make([]rulegen.Objective, 0, len(r.tables))

@@ -12,7 +12,7 @@ set -euo pipefail
 
 COUNT="${1:-3}"
 OUT="${2:-BENCH.json}"
-BENCHES='BenchmarkPolicySimulate$|BenchmarkEvaluatorTrial$|BenchmarkEvaluatorSetPolicy$|BenchmarkRuleGenerator$|BenchmarkRegistryHandle$|BenchmarkProfileBuild$'
+BENCHES='BenchmarkPolicySimulate$|BenchmarkEvaluatorTrial$|BenchmarkEvaluatorSetPolicy$|BenchmarkRuleGenerator$|BenchmarkShardedRuleGenerator$|BenchmarkColumnGather$|BenchmarkRegistryHandle$|BenchmarkProfileBuild$'
 
 cd "$(dirname "$0")/.."
 

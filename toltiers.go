@@ -27,6 +27,7 @@
 package toltiers
 
 import (
+	"context"
 	"net/http"
 
 	"github.com/toltiers/toltiers/internal/client"
@@ -34,6 +35,7 @@ import (
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/rulegen/shard"
 	"github.com/toltiers/toltiers/internal/server"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
@@ -147,6 +149,20 @@ func NewRuleGenerator(m *Matrix, trainRows []int, cfg GeneratorConfig) *RuleGene
 	return rulegen.New(m, trainRows, cfg)
 }
 
+// ShardedGenerate runs the rule generator's candidate sweep sharded:
+// the candidate grid is split into `shards` deterministic partitions
+// whose batches stream to `workers` concurrent executors sharing one
+// gathered column set (0 = auto for either). The result is proven
+// bit-identical to NewRuleGenerator's — same candidates, trial counts,
+// and tie-breaks — by the equivalence tests in internal/rulegen/shard.
+func ShardedGenerate(m *Matrix, trainRows []int, cfg GeneratorConfig, shards, workers int) (*RuleGenerator, error) {
+	g, _, err := shard.Generate(context.Background(), m, trainRows, cfg, shard.Options{
+		Shards:  shards,
+		Workers: workers,
+	})
+	return g, err
+}
+
 // ToleranceGrid returns tolerances 0..max in the given step (the paper
 // uses 0.10 and 0.001).
 func ToleranceGrid(max, step float64) []float64 { return rulegen.ToleranceGrid(max, step) }
@@ -163,6 +179,14 @@ func Audit(m *Matrix, rows []int, table RuleTable) AuditReport { return tiers.Au
 // NewHTTPHandler exposes a registry over HTTP with the paper's
 // Tolerance/Objective request annotation.
 func NewHTTPHandler(reg *Registry, reqs []*Request) http.Handler { return server.New(reg, reqs) }
+
+// NewHTTPHandlerWithRuleGen is NewHTTPHandler plus the rule-generation
+// endpoints (POST /rules/generate, GET /rules/status): the node can
+// regenerate its routing tables in place with the sharded generator
+// sweeping the given profiled matrix.
+func NewHTTPHandlerWithRuleGen(reg *Registry, reqs []*Request, m *Matrix) http.Handler {
+	return server.NewWithRuleGen(reg, reqs, m)
+}
 
 // NewClient returns the Go SDK for a Tolerance Tiers endpoint.
 func NewClient(base string, httpClient *http.Client) *client.Client {
