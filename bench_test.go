@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -377,6 +378,64 @@ func BenchmarkColumnGather(b *testing.B) {
 				b.Fatal("bad evaluator")
 			}
 		}
+	})
+}
+
+// BenchmarkDispatch measures the online tier-execution runtime over
+// replay backends: resolve-free dispatch of one failover tier,
+// serially and under parallel load. The acceptance floor for the
+// runtime is 50k replay dispatches/sec (20 µs/op) on a CI-class
+// machine; the serial path runs roughly an order of magnitude inside
+// that.
+func BenchmarkDispatch(b *testing.B) {
+	corpus := toltiers.NewVisionCorpus(400)
+	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 20
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	table := gen.Generate(toltiers.ToleranceGrid(0.10, 0.01), toltiers.MinimizeLatency)
+	rule, ok := table.Lookup(0.05)
+	if !ok {
+		b.Fatal("no 5% tier")
+	}
+	d := toltiers.NewDispatcher(toltiers.NewReplayBackends(matrix), toltiers.DispatchOptions{})
+	reqs := toltiers.ReplayRequests(matrix)
+	ticket := toltiers.DispatchTicket{
+		Tier:   toltiers.DispatchTierKey(toltiers.MinimizeLatency, rule.Tolerance),
+		Policy: rule.Candidate.Policy,
+	}
+	ctx := context.Background()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Do(ctx, reqs[i%len(reqs)], ticket); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatches/sec")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		var idx int64
+		var failures int64
+		b.RunParallel(func(pb *testing.PB) {
+			// b.Fatal must not run on a RunParallel worker goroutine;
+			// record failures and report after the pool drains.
+			for pb.Next() {
+				i := int(atomic.AddInt64(&idx, 1))
+				if _, err := d.Do(ctx, reqs[i%len(reqs)], ticket); err != nil {
+					atomic.AddInt64(&failures, 1)
+					return
+				}
+			}
+		})
+		if failures > 0 {
+			b.Fatalf("%d dispatch failures", failures)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatches/sec")
 	})
 }
 

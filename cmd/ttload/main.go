@@ -1,0 +1,303 @@
+// Command ttload is a closed-loop load generator for the tolerance-tier
+// dispatch runtime. It synthesizes an annotated arrival trace (Poisson
+// or bursty, drawn from the paper's consumer mix), drives it at a
+// target RPS through a bounded worker pool, and reports achieved
+// latency percentiles per tier.
+//
+// Two targets are supported:
+//
+//   - In-process replay (default): the corpus is profiled, rule tables
+//     are generated, and requests dispatch through ReplayBackends — the
+//     full runtime (limiters, hedging, telemetry) without any engine or
+//     network, sustaining hundreds of thousands of dispatches/sec.
+//   - A remote endpoint (-target http://host:port): requests go through
+//     POST /dispatch with the same annotations.
+//
+// Examples:
+//
+//	ttload -service vision -corpus 1000 -rps 5000 -duration 5s
+//	ttload -rps 800 -deadline-ms 30 -sleep-scale 1 -concurrency 64
+//	ttload -target http://localhost:8080 -rps 200 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/toltiers/toltiers"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/stats"
+	"github.com/toltiers/toltiers/internal/tablewriter"
+	"github.com/toltiers/toltiers/internal/workload"
+)
+
+type tierSeries struct {
+	wallMS      []float64
+	simulatedMS []float64
+	escalated   int
+	hedged      int
+	misses      int
+	failures    int
+}
+
+// collector accumulates per-tier latency series across workers.
+type collector struct {
+	mu    sync.Mutex
+	tiers map[string]*tierSeries
+}
+
+func (c *collector) observe(tier string, wall time.Duration, simulated time.Duration, escalated, hedged, missed bool) {
+	c.mu.Lock()
+	ts := c.tiers[tier]
+	if ts == nil {
+		ts = &tierSeries{}
+		c.tiers[tier] = ts
+	}
+	ts.wallMS = append(ts.wallMS, float64(wall)/1e6)
+	ts.simulatedMS = append(ts.simulatedMS, float64(simulated)/1e6)
+	if escalated {
+		ts.escalated++
+	}
+	if hedged {
+		ts.hedged++
+	}
+	if missed {
+		ts.misses++
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) fail(tier string) {
+	c.mu.Lock()
+	ts := c.tiers[tier]
+	if ts == nil {
+		ts = &tierSeries{}
+		c.tiers[tier] = ts
+	}
+	ts.failures++
+	c.mu.Unlock()
+}
+
+func main() {
+	var (
+		target      = flag.String("target", "", "remote endpoint URL (empty = in-process replay dispatch)")
+		svcName     = flag.String("service", "vision", "service for in-process mode: asr | vision | vision-cpu")
+		corpusN     = flag.Int("corpus", 1000, "corpus size to profile (in-process mode; remote mode reads the target's corpus from /healthz)")
+		rps         = flag.Float64("rps", 2000, "target mean arrival rate")
+		duration    = flag.Duration("duration", 5*time.Second, "trace length")
+		concurrency = flag.Int("concurrency", 32, "closed-loop worker pool size")
+		burstiness  = flag.Float64("burst", 1, "arrival burstiness (>1 enables the two-state modulated process)")
+		deadlineMS  = flag.Float64("deadline-ms", 0, "per-request latency budget in ms (0 = none; arms hedging)")
+		sleepScale  = flag.Float64("sleep-scale", 0, "replay backends occupy wall time for latency*scale (in-process mode)")
+		perBackend  = flag.Int("max-per-backend", 0, "per-backend concurrency limit (in-process mode, 0 = unlimited)")
+		step        = flag.Float64("step", 0.01, "tolerance grid step for rule generation (in-process mode)")
+		seed        = flag.Uint64("seed", 0x10ad, "trace seed")
+	)
+	flag.Parse()
+
+	budget := time.Duration(*deadlineMS * float64(time.Millisecond))
+
+	var issue func(ctx context.Context, arr workload.Arrival, col *collector)
+	var disp *dispatch.Dispatcher
+	corpusSize := *corpusN
+	if *target == "" {
+		var reqs []*toltiers.Request
+		disp, reqs = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend)
+		corpusSize = len(reqs)
+		reg := mustRegistry(*svcName, *corpusN, *step)
+		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
+			// The report keys by the *requested* annotation so successes
+			// and failures of one consumer class always share a row; the
+			// dispatcher's own telemetry keys by the resolved tier.
+			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
+			rule, err := reg.Resolve(arr.Tolerance, arr.Objective)
+			if err != nil {
+				col.fail(tier)
+				return
+			}
+			start := time.Now()
+			o, err := disp.Do(ctx, reqs[arr.RequestIndex%len(reqs)], dispatch.Ticket{
+				Tier:   dispatch.TierKey(string(arr.Objective), rule.Tolerance),
+				Policy: rule.Candidate.Policy,
+				Budget: budget,
+			})
+			if err != nil {
+				col.fail(tier)
+				return
+			}
+			col.observe(tier, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded)
+		}
+	} else {
+		cl := client.New(*target, nil)
+		st, err := cl.Health(context.Background())
+		if err != nil {
+			log.Fatalf("target not healthy: %v", err)
+		}
+		// Size the trace to the corpus the target actually serves, so
+		// request IDs never 404 on a corpus-size mismatch.
+		if st.Corpus > 0 {
+			corpusSize = st.Corpus
+		}
+		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
+			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
+			start := time.Now()
+			res, err := cl.Dispatch(ctx, arr.RequestIndex, arr.Tolerance, arr.Objective, budget)
+			if err != nil {
+				col.fail(tier)
+				return
+			}
+			col.observe(tier, time.Since(start),
+				time.Duration(res.LatencyMS*float64(time.Millisecond)),
+				res.Escalated, res.Hedged, res.DeadlineExceeded)
+		}
+	}
+
+	trace := workload.Generate(workload.Config{
+		RatePerSec: *rps,
+		Duration:   *duration,
+		CorpusSize: corpusSize,
+		Burstiness: *burstiness,
+		Seed:       *seed,
+	})
+	if len(trace) == 0 {
+		log.Fatal("empty trace: check -rps/-duration/-corpus")
+	}
+
+	log.Printf("driving %d arrivals over %v at target %.0f rps with %d workers ...",
+		len(trace), *duration, *rps, *concurrency)
+	col := &collector{tiers: make(map[string]*tierSeries)}
+	ctx := context.Background()
+	next := make(chan workload.Arrival, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for arr := range next {
+				// Open-loop pacing to the trace clock, closed-loop
+				// back-pressure from the bounded pool: a saturated pool
+				// falls behind rather than piling up unbounded work.
+				if wait := arr.At - time.Since(start); wait > 0 {
+					time.Sleep(wait)
+				}
+				issue(ctx, arr, col)
+			}
+		}()
+	}
+	for _, arr := range trace {
+		next <- arr
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(col, elapsed)
+	if disp != nil {
+		reportTelemetry(disp)
+	}
+}
+
+func quantile(xs []float64, q float64) float64 {
+	v, err := stats.Quantile(xs, q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func report(col *collector, elapsed time.Duration) {
+	keys := make([]string, 0, len(col.tiers))
+	total := 0
+	for k, ts := range col.tiers {
+		keys = append(keys, k)
+		total += len(ts.wallMS) + ts.failures
+	}
+	sort.Strings(keys)
+	t := tablewriter.New(
+		fmt.Sprintf("ttload — %d requests in %v (%.0f achieved rps)", total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds()),
+		"tier", "n", "wall p50 (ms)", "wall p95 (ms)", "wall p99 (ms)", "svc p50 (ms)", "svc p95 (ms)", "escalated", "hedged", "deadline miss", "fail")
+	for _, k := range keys {
+		ts := col.tiers[k]
+		t.AddStrings(k, fmt.Sprint(len(ts.wallMS)),
+			fmt.Sprintf("%.3f", quantile(ts.wallMS, 0.50)),
+			fmt.Sprintf("%.3f", quantile(ts.wallMS, 0.95)),
+			fmt.Sprintf("%.3f", quantile(ts.wallMS, 0.99)),
+			fmt.Sprintf("%.2f", quantile(ts.simulatedMS, 0.50)),
+			fmt.Sprintf("%.2f", quantile(ts.simulatedMS, 0.95)),
+			fmt.Sprint(ts.escalated), fmt.Sprint(ts.hedged), fmt.Sprint(ts.misses), fmt.Sprint(ts.failures))
+	}
+	t.Caption = "tiers key by requested annotation; wall = end-to-end dispatch time at the generator; svc = reported service latency"
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func reportTelemetry(d *dispatch.Dispatcher) {
+	snap := d.Snapshot()
+	t := tablewriter.New("runtime telemetry (per backend)",
+		"backend", "invocations", "mean lat (ms)", "p95 lat (ms)", "invocation $", "IaaS $")
+	for _, b := range snap.Backends {
+		t.AddStrings(b.Backend, fmt.Sprint(b.Invocations),
+			fmt.Sprintf("%.2f", b.MeanLatencyMS), fmt.Sprintf("%.2f", b.P95LatencyMS),
+			fmt.Sprintf("%.4f", b.InvocationUSD), fmt.Sprintf("%.6f", b.IaaSUSD))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildReplayRuntime profiles the corpus and assembles the replay
+// dispatcher.
+func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBackend int) (*dispatch.Dispatcher, []*toltiers.Request) {
+	matrix := mustMatrix(svcName, corpusN)
+	backends := toltiers.NewReplayBackends(matrix)
+	if sleepScale > 0 {
+		for _, b := range backends {
+			b.(*dispatch.ReplayBackend).SleepScale = sleepScale
+		}
+	}
+	d := toltiers.NewDispatcher(backends, toltiers.DispatchOptions{MaxConcurrentPerBackend: perBackend})
+	return d, toltiers.ReplayRequests(matrix)
+}
+
+// corpus/profile/registry construction, cached per process run.
+var (
+	matrixOnce sync.Once
+	matrix     *toltiers.Matrix
+	svcCached  *toltiers.Service
+)
+
+func mustMatrix(svcName string, corpusN int) *toltiers.Matrix {
+	matrixOnce.Do(func() {
+		svc, reqs, err := toltiers.NewCorpusByName(svcName, corpusN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		svcCached = svc
+		log.Printf("profiling %d requests of %s ...", len(reqs), svcCached.Domain)
+		matrix = toltiers.Profile(svcCached, reqs)
+	})
+	return matrix
+}
+
+func mustRegistry(svcName string, corpusN int, step float64) *toltiers.Registry {
+	m := mustMatrix(svcName, corpusN)
+	log.Printf("generating rule tables (step %g) ...", step)
+	gen, err := toltiers.ShardedGenerate(m, nil, toltiers.DefaultGeneratorConfig(), 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := toltiers.ToleranceGrid(0.10, step)
+	return toltiers.NewRegistry(svcCached,
+		gen.Generate(grid, toltiers.MinimizeLatency),
+		gen.Generate(grid, toltiers.MinimizeCost))
+}

@@ -31,20 +31,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var svc *toltiers.Service
-	var reqs []*toltiers.Request
-	switch *svcName {
-	case "asr":
-		c := toltiers.NewSpeechCorpus(*corpusN)
-		svc, reqs = c.Service, c.Requests
-	case "vision":
-		c := toltiers.NewVisionCorpus(*corpusN)
-		svc, reqs = c.Service, c.Requests
-	case "vision-cpu":
-		c := toltiers.NewVisionCorpusCPU(*corpusN)
-		svc, reqs = c.Service, c.Requests
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -service %q\n", *svcName)
+	svc, reqs, err := toltiers.NewCorpusByName(*svcName, *corpusN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

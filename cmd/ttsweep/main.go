@@ -1,10 +1,20 @@
-// Command ttsweep reproduces how the paper's ASR service versions were
-// produced (§III-A): "exhaustively sweeping (i.e. grid search) of the
-// heuristic values" and keeping the Pareto-optimal points. It sweeps the
-// decoder's pruning heuristics over a grid, measures WER and work on a
-// corpus, prints the frontier, and suggests seven evenly spaced presets.
+// Command ttsweep runs the repository's two exhaustive grid sweeps.
+//
+// The default heuristics mode reproduces how the paper's ASR service
+// versions were produced (§III-A): "exhaustively sweeping (i.e. grid
+// search) of the heuristic values" and keeping the Pareto-optimal
+// points. It sweeps the decoder's pruning heuristics over a grid,
+// measures WER and work on a corpus, prints the frontier, and suggests
+// seven evenly spaced presets.
+//
+// The policies mode sweeps every candidate ensemble routing policy of a
+// profiled service on held-out rows through the columnar
+// toltiers.PolicyEvaluator — one gather, then a fused fill-and-sum per
+// configuration instead of a per-row simulation scan — and prints the
+// held-out accuracy-latency Pareto frontier.
 //
 //	ttsweep -corpus 600 -top 7
+//	ttsweep -mode policies -service vision -corpus 2000
 package main
 
 import (
@@ -12,8 +22,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"github.com/toltiers/toltiers"
 	"github.com/toltiers/toltiers/internal/asr"
+	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/metrics"
 	"github.com/toltiers/toltiers/internal/speech"
 	"github.com/toltiers/toltiers/internal/tablewriter"
@@ -27,10 +40,23 @@ type point struct {
 
 func main() {
 	var (
-		corpusN = flag.Int("corpus", 600, "utterances to decode per grid point")
-		top     = flag.Int("top", 7, "presets to suggest from the frontier")
+		mode      = flag.String("mode", "heuristics", "sweep to run: heuristics | policies")
+		corpusN   = flag.Int("corpus", 600, "corpus size (utterances per grid point, or requests to profile)")
+		top       = flag.Int("top", 7, "presets to suggest from the frontier (heuristics mode)")
+		svcName   = flag.String("service", "vision", "service for policies mode: asr | vision | vision-cpu")
+		trainFrac = flag.Float64("train-frac", 0.7, "training fraction for the threshold grid (policies mode)")
+		points    = flag.Int("thresholds", 15, "confidence thresholds per ensemble pair (policies mode)")
 	)
 	flag.Parse()
+
+	if *mode == "policies" {
+		sweepPolicies(*svcName, *corpusN, *trainFrac, *points)
+		return
+	}
+	if *mode != "heuristics" {
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
 
 	lm := speech.NewLanguageModel(speech.DefaultLMConfig())
 	am := speech.NewAcousticModel(lm.VocabSize(), speech.DefaultAcousticConfig())
@@ -116,4 +142,93 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// policyPoint is one evaluated ensemble configuration.
+type policyPoint struct {
+	policy ensemble.Policy
+	agg    toltiers.PolicyAggregate
+}
+
+// sweepPolicies profiles the service, enumerates every candidate
+// routing policy (singles plus failover/concurrent pairs across the
+// train-quantile threshold grid, with and without PickBest), and
+// evaluates each configuration on the held-out rows through one
+// toltiers.PolicyEvaluator. This replaces the per-configuration
+// ensemble.Evaluate row scans such a sweep used to need: the column
+// gather is paid once, thresholds are enumerated outside secondaries so
+// the evaluator's escalation-mask cache hits across variants, and every
+// aggregate is bit-identical to the row-oriented path.
+func sweepPolicies(svcName string, corpusN int, trainFrac float64, points int) {
+	svc, reqs, err := toltiers.NewCorpusByName(svcName, corpusN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "profiling %d requests across %d versions of %s ...\n",
+		len(reqs), len(svc.Versions), svc.Domain)
+	m := toltiers.Profile(svc, reqs)
+	train, test := toltiers.Split(m.NumRequests(), trainFrac, 0x53eeb)
+
+	ev := toltiers.NewPolicyEvaluator(m, test)
+	nv := m.NumVersions()
+	var pts []policyPoint
+	evaluate := func(p ensemble.Policy) {
+		ev.SetPolicy(p)
+		pts = append(pts, policyPoint{policy: p, agg: ev.Aggregate(nil)})
+	}
+	start := time.Now()
+	for v := 0; v < nv; v++ {
+		evaluate(ensemble.Policy{Kind: ensemble.Single, Primary: v})
+	}
+	for p := 0; p < nv; p++ {
+		// Thresholds outer, secondaries inner: consecutive configurations
+		// share the (primary, threshold) escalation mask.
+		for _, th := range ensemble.ThresholdGrid(m, train, p, points) {
+			if th == 0 {
+				continue
+			}
+			for s := p + 1; s < nv; s++ {
+				for _, kind := range []ensemble.Kind{ensemble.Failover, ensemble.Concurrent} {
+					evaluate(ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th})
+					evaluate(ensemble.Policy{Kind: kind, Primary: p, Secondary: s, Threshold: th, PickBest: true})
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Held-out Pareto frontier over (mean latency, mean error).
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].agg.MeanLatency != pts[j].agg.MeanLatency {
+			return pts[i].agg.MeanLatency < pts[j].agg.MeanLatency
+		}
+		return pts[i].agg.MeanErr < pts[j].agg.MeanErr
+	})
+	var frontier []policyPoint
+	bestErr := 1e18
+	for _, pt := range pts {
+		if pt.agg.MeanErr < bestErr {
+			frontier = append(frontier, pt)
+			bestErr = pt.agg.MeanErr
+		}
+	}
+
+	t := tablewriter.New(
+		fmt.Sprintf("policy grid sweep (%s) — held-out Pareto frontier (%d of %d configurations, %d test rows)",
+			svcName, len(frontier), len(pts), len(test)),
+		"policy", "mean err", "mean latency (ms)", "inv cost ($)", "escalation rate")
+	for _, pt := range frontier {
+		t.AddStrings(pt.policy.String(),
+			fmt.Sprintf("%.4f", pt.agg.MeanErr),
+			fmt.Sprintf("%.2f", float64(pt.agg.MeanLatency)/1e6),
+			fmt.Sprintf("%.5f", pt.agg.MeanInvCost),
+			fmt.Sprintf("%.3f", pt.agg.EscalationRate))
+	}
+	t.Caption = fmt.Sprintf("evaluated %d configurations through the fused policy evaluator in %v (%.1f µs/config)",
+		len(pts), elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(len(pts)))
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -34,6 +34,91 @@ type TierInfo struct {
 	Policy    string  `json:"policy"`
 }
 
+// HealthStatus is the JSON response of GET /healthz.
+type HealthStatus struct {
+	Status string `json:"status"`
+	// Corpus is the size of the served request corpus (request IDs are
+	// corpus IDs; load generators size their traces from this).
+	Corpus     int    `json:"corpus"`
+	Domain     string `json:"domain"`
+	Objectives int    `json:"objs"`
+	Version    string `json:"version"`
+}
+
+// DispatchRequest is the JSON body of POST /dispatch — the runtime
+// tier-execution path. The tier annotation travels in the Tolerance and
+// Objective headers, like /compute.
+type DispatchRequest struct {
+	// RequestID selects the corpus input to process.
+	RequestID int `json:"request_id"`
+	// DeadlineMS is the per-request latency budget in milliseconds.
+	// 0 disables the deadline (and with it, hedging).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+// DispatchResult is the JSON response of POST /dispatch.
+type DispatchResult struct {
+	ComputeResult
+	// Backend names the backend whose result was returned.
+	Backend string `json:"backend"`
+	// Started counts backends that began processing (1 or 2).
+	Started int `json:"started"`
+	// Hedged reports that the secondary was fired early because the
+	// primary's observed latency quantile would not make the deadline.
+	Hedged bool `json:"hedged,omitempty"`
+	// DeadlineExceeded reports that the response latency overran the
+	// request's budget.
+	DeadlineExceeded bool `json:"deadline_exceeded,omitempty"`
+	// IaaSUSD is the provider-side node-time cost of the dispatch.
+	IaaSUSD float64 `json:"iaas_usd"`
+}
+
+// TierTelemetry is one tier's online serving statistics in
+// GET /telemetry.
+type TierTelemetry struct {
+	// Tier keys the tier as "objective/tolerance".
+	Tier     string `json:"tier"`
+	Requests int64  `json:"requests"`
+	// Escalations, Hedges, DeadlineMisses and EscalationFailures count
+	// runtime events; Graded counts requests whose error was known.
+	Escalations        int64 `json:"escalations"`
+	Hedges             int64 `json:"hedges,omitempty"`
+	DeadlineMisses     int64 `json:"deadline_misses,omitempty"`
+	EscalationFailures int64 `json:"escalation_failures,omitempty"`
+	Graded             int64 `json:"graded"`
+	// MeanErr is the online mean task error over graded requests.
+	MeanErr float64 `json:"mean_err"`
+	// MeanLatencyMS / MaxLatencyMS summarize reported response latency.
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	MaxLatencyMS  float64 `json:"max_latency_ms"`
+	// MeanCostUSD is the mean consumer-side invocation cost.
+	MeanCostUSD float64 `json:"mean_cost_usd"`
+}
+
+// BackendTelemetry is one backend's online statistics in GET /telemetry.
+type BackendTelemetry struct {
+	Backend     string `json:"backend"`
+	Invocations int64  `json:"invocations"`
+	// MeanLatencyMS / P95LatencyMS summarize observed backend latency
+	// (P95 is the hedging estimate; 0 until enough observations).
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	P95LatencyMS  float64 `json:"p95_latency_ms"`
+	// InvocationUSD / IaaSUSD are the backend's accumulated billing
+	// totals (IaaS credits early termination of cancelled hedges).
+	InvocationUSD float64 `json:"invocation_usd"`
+	IaaSUSD       float64 `json:"iaas_usd"`
+}
+
+// TelemetrySnapshot is the JSON response of GET /telemetry.
+type TelemetrySnapshot struct {
+	// Requests counts dispatches since the runtime started.
+	Requests int64 `json:"requests"`
+	// Failures counts dispatches that returned no result at all.
+	Failures int64              `json:"failures,omitempty"`
+	Tiers    []TierTelemetry    `json:"tiers"`
+	Backends []BackendTelemetry `json:"backends"`
+}
+
 // RuleGenRequest is the JSON body of POST /rules/generate: start a
 // sharded regeneration of the serving node's rule tables. Zero values
 // select the server's defaults; one job runs at a time.
@@ -64,7 +149,7 @@ type RuleGenAccepted struct {
 
 // RuleGenStatus is the JSON response of GET /rules/status.
 type RuleGenStatus struct {
-	// State is idle | running | done | failed.
+	// State is idle | running | cancelling | done | failed | cancelled.
 	State string `json:"state"`
 	JobID int    `json:"job_id,omitempty"`
 	// Done / Total count bootstrapped candidate policies.

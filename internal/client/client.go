@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/rulegen"
@@ -57,6 +58,83 @@ func (c *Client) Compute(ctx context.Context, requestID int, tolerance float64, 
 		return nil, fmt.Errorf("client: decode result: %w", err)
 	}
 	return &out, nil
+}
+
+// Dispatch sends one annotated request through the online
+// tier-execution runtime (POST /dispatch). deadline is the per-request
+// latency budget (0 = none; arming it also arms deadline hedging).
+func (c *Client) Dispatch(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, deadline time.Duration) (*api.DispatchResult, error) {
+	body, err := json.Marshal(api.DispatchRequest{
+		RequestID:  requestID,
+		DeadlineMS: float64(deadline) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/dispatch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
+	req.Header.Set("Objective", string(objective))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: dispatch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.DispatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode dispatch result: %w", err)
+	}
+	return &out, nil
+}
+
+// Telemetry fetches the runtime's online per-tier/per-backend serving
+// statistics (GET /telemetry).
+func (c *Client) Telemetry(ctx context.Context) (*api.TelemetrySnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/telemetry", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: telemetry: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.TelemetrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode telemetry: %w", err)
+	}
+	return &out, nil
+}
+
+// CancelRules cancels the node's running rule-generation job
+// (DELETE /rules/generate). The job winds down asynchronously; poll
+// RulesStatus until it leaves "cancelling" — normally for "cancelled",
+// or for "done" when the sweep finished before the cancel landed (a
+// lost race; the job's tables stand).
+func (c *Client) CancelRules(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/rules/generate", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: cancel rules: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
 }
 
 // Tiers lists the offered tiers.
@@ -132,20 +210,30 @@ func (c *Client) RulesStatus(ctx context.Context) (*api.RuleGenStatus, error) {
 
 // Healthy reports whether the endpoint answers /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
+	_, err := c.Health(ctx)
+	return err
+}
+
+// Health fetches the endpoint's /healthz status — notably the served
+// corpus size, which load generators use to bound their request IDs.
+func (c *Client) Health(ctx context.Context) (*api.HealthStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: healthz: %w", err)
+		return nil, fmt.Errorf("client: healthz: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
+		return nil, decodeError(resp)
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-	return nil
+	var out api.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode healthz: %w", err)
+	}
+	return &out, nil
 }
 
 // APIError is a non-200 response from the service.

@@ -90,6 +90,15 @@ func (b *Billing) AddInvocation(p Plan, d time.Duration) {
 	b.IaaSTotal += p.IaaSCost(d)
 }
 
+// AddPriced records one invocation whose costs were already computed —
+// the online dispatcher bills final amounts (e.g. an early-terminated
+// hedge's pro-rated node time) rather than re-pricing from a plan.
+func (b *Billing) AddPriced(invCost, iaasCost float64) {
+	b.Invocations++
+	b.InvocationTotal += invCost
+	b.IaaSTotal += iaasCost
+}
+
 // Merge adds other's totals into b.
 func (b *Billing) Merge(other Billing) {
 	b.Invocations += other.Invocations

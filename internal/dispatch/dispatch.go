@@ -1,0 +1,414 @@
+// Package dispatch is the online tier-execution runtime: it runs
+// tolerance-tier routing policies against live backends at request time.
+// Where ensemble.Policy.Simulate replays a policy over profiled rows and
+// Policy.Execute drives service versions synchronously, the Dispatcher
+// is the serving-side seam — it invokes the primary backend, evaluates
+// the escalation condition on the live result, and escalates (or
+// hedges) to the secondary under a per-request deadline budget, with
+// per-backend concurrency limiters and online Welford telemetry plus
+// billing accounting.
+//
+// The outcome arithmetic is the paper's: for any backend set that
+// reports the same latencies, confidences and costs as a profile
+// matrix, a dispatched request produces exactly the Outcome that
+// Policy.Simulate computes for that row (the replay-convergence tests
+// in this package pin this, per request and in aggregate). Deadline
+// hedging is the one deliberate departure: when a request carries a
+// latency budget that the primary's observed p95 says a sequential
+// escalation cannot make, the dispatcher fires the secondary
+// concurrently — trading the failover tier's cost saving for the
+// deadline, and recording the hedge in telemetry.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Options parameterizes a Dispatcher. The zero value is a sane runtime:
+// unlimited per-backend concurrency, hedging enabled at the 95th
+// latency percentile.
+type Options struct {
+	// MaxConcurrentPerBackend caps in-flight invocations per backend
+	// (0 = unlimited). Requests beyond the cap queue on the limiter and
+	// honor context cancellation while waiting.
+	MaxConcurrentPerBackend int
+	// HedgeQuantile is the observed-latency quantile the hedging
+	// decision consults (default 0.95).
+	HedgeQuantile float64
+	// DisableHedging turns deadline-aware hedging off: failover tiers
+	// always escalate sequentially, deadlines only mark outcomes.
+	DisableHedging bool
+}
+
+// Ticket carries one request's resolved tier through the dispatcher.
+type Ticket struct {
+	// Tier keys telemetry, canonically "objective/tolerance"
+	// (TierKey builds it from a resolved rule).
+	Tier string
+	// Policy is the tier's routing configuration.
+	Policy ensemble.Policy
+	// Budget is the per-request deadline on reported response latency
+	// (0 = none). A budget both arms the hedging decision and marks
+	// DeadlineExceeded on outcomes that overrun it.
+	Budget time.Duration
+}
+
+// TierKey renders the canonical telemetry key of a tier.
+func TierKey(objective string, tolerance float64) string {
+	return fmt.Sprintf("%s/%g", objective, tolerance)
+}
+
+// Outcome is the result of dispatching one request.
+type Outcome struct {
+	// Result is the returned backend result.
+	Result service.Result
+	// Err is the result's task error, or NaN when ungraded.
+	Err float64
+	// Latency is the end-to-end reported response latency, combined
+	// across legs with the policy's arithmetic (failover sums, hedges
+	// take the max on escalation).
+	Latency time.Duration
+	// InvCost and IaaSCost account every started invocation, crediting
+	// early termination of a cancelled hedge's node time.
+	InvCost  float64
+	IaaSCost float64
+	// Escalated reports the secondary's result was used.
+	Escalated bool
+	// Hedged reports a deadline-forced hedge: a Failover tier whose
+	// secondary was fired before the primary's confidence was known
+	// because the budget ruled out sequential escalation. A Concurrent
+	// policy firing both legs is its normal behaviour, not a hedge.
+	Hedged bool
+	// DeadlineExceeded reports Latency overran the ticket's budget.
+	DeadlineExceeded bool
+	// Started counts backend invocations that began processing
+	// (issued to the backend), whether or not they completed.
+	Started int
+	// Backend names the backend whose result was returned.
+	Backend string
+}
+
+// Dispatcher executes tier policies against a fixed backend list, where
+// backend index i serves version i of the profiled service. It is safe
+// for concurrent use.
+type Dispatcher struct {
+	backends []Backend
+	sems     []semaphore
+	trackers []*latencyTracker
+	tel      *Telemetry
+	hedging  bool
+}
+
+// New builds a dispatcher over the backends.
+func New(backends []Backend, opts Options) *Dispatcher {
+	q := opts.HedgeQuantile
+	if q <= 0 || q >= 1 {
+		q = 0.95
+	}
+	d := &Dispatcher{
+		backends: backends,
+		sems:     make([]semaphore, len(backends)),
+		trackers: make([]*latencyTracker, len(backends)),
+		hedging:  !opts.DisableHedging,
+	}
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name()
+		d.sems[i] = newSemaphore(opts.MaxConcurrentPerBackend)
+		d.trackers[i] = newLatencyTracker(q)
+	}
+	d.tel = newTelemetry(names)
+	return d
+}
+
+// Telemetry returns the dispatcher's online statistics.
+func (d *Dispatcher) Telemetry() *Telemetry { return d.tel }
+
+// Snapshot renders the wire view of the telemetry, including the
+// per-backend hedging estimates.
+func (d *Dispatcher) Snapshot() api.TelemetrySnapshot {
+	return d.tel.snapshot(func(i int) float64 { return d.trackers[i].estimate() })
+}
+
+// P95 returns the observed latency quantile estimate of one backend in
+// nanoseconds (NaN until enough observations).
+func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
+
+// Do dispatches one request through its resolved tier.
+func (d *Dispatcher) Do(ctx context.Context, req *service.Request, t Ticket) (Outcome, error) {
+	p := t.Policy
+	if err := p.Validate(len(d.backends)); err != nil {
+		return Outcome{}, err
+	}
+	var (
+		o   Outcome
+		err error
+	)
+	switch p.Kind {
+	case ensemble.Single:
+		o, err = d.doSingle(ctx, req, p)
+	case ensemble.Concurrent:
+		o, err = d.doHedged(ctx, req, t, p, false)
+	case ensemble.Failover:
+		if d.shouldHedge(p, t.Budget) {
+			o, err = d.doHedged(ctx, req, t, p, true)
+		} else {
+			o, err = d.doFailover(ctx, req, t, p)
+		}
+	default:
+		err = fmt.Errorf("dispatch: unknown policy kind %d", p.Kind)
+	}
+	if err != nil {
+		d.tel.observeFailure()
+		return Outcome{}, err
+	}
+	if t.Budget > 0 && o.Latency > t.Budget {
+		o.DeadlineExceeded = true
+	}
+	d.tel.observeOutcome(t.Tier, o)
+	return o, nil
+}
+
+// shouldHedge decides whether a failover tier's secondary must be fired
+// early: the request carries a deadline and the observed latency
+// quantiles say the sequential path (primary, then secondary on
+// escalation) would not make it. Until both backends have latency
+// history the dispatcher stays sequential.
+func (d *Dispatcher) shouldHedge(p ensemble.Policy, budget time.Duration) bool {
+	if !d.hedging || budget <= 0 {
+		return false
+	}
+	pp := d.trackers[p.Primary].estimate()
+	sp := d.trackers[p.Secondary].estimate()
+	if math.IsNaN(pp) || math.IsNaN(sp) {
+		return false
+	}
+	return pp+sp > float64(budget)
+}
+
+// invoke runs one backend leg under its concurrency limiter and feeds
+// the latency tracker. started reports whether the backend was actually
+// issued the request (false when the leg died queued on the limiter) —
+// billing and Started accounting key off it. Billing itself is recorded
+// by the caller once final amounts (e.g. a cancelled hedge's pro-rated
+// node time) are known.
+func (d *Dispatcher) invoke(ctx context.Context, idx int, req *service.Request) (resp Response, started bool, err error) {
+	if err := d.sems[idx].acquire(ctx); err != nil {
+		return Response{}, false, err
+	}
+	resp, err = d.backends[idx].Invoke(ctx, req)
+	d.sems[idx].release()
+	if err != nil {
+		return Response{}, true, fmt.Errorf("dispatch: backend %s: %w", d.backends[idx].Name(), err)
+	}
+	d.trackers[idx].observe(float64(resp.Result.Latency))
+	return resp, true, nil
+}
+
+// soloOutcome assembles an outcome answered by one leg's response.
+func (d *Dispatcher) soloOutcome(r Response, idx int, escalated, hedged bool) Outcome {
+	return Outcome{
+		Result:    r.Result,
+		Err:       r.Err,
+		Latency:   r.Result.Latency,
+		InvCost:   r.InvCost,
+		IaaSCost:  r.IaaSCost,
+		Escalated: escalated,
+		Hedged:    hedged,
+		Started:   1,
+		Backend:   d.backends[idx].Name(),
+	}
+}
+
+// escalatedOutcome assembles the two-leg escalated outcome: the
+// secondary's result unless PickBest keeps the more confident primary.
+// lat is the policy's combined latency — the legs' sum for sequential
+// failover, their max for hedged execution.
+func (d *Dispatcher) escalatedOutcome(p ensemble.Policy, pr, sr Response, lat time.Duration, hedged bool) Outcome {
+	chosen, chosenErr, backend := sr.Result, sr.Err, p.Secondary
+	if p.PickBest && pr.Result.Confidence > sr.Result.Confidence {
+		chosen, chosenErr, backend = pr.Result, pr.Err, p.Primary
+	}
+	return Outcome{
+		Result:    chosen,
+		Err:       chosenErr,
+		Latency:   lat,
+		InvCost:   pr.InvCost + sr.InvCost,
+		IaaSCost:  pr.IaaSCost + sr.IaaSCost,
+		Escalated: true,
+		Hedged:    hedged,
+		Started:   2,
+		Backend:   d.backends[backend].Name(),
+	}
+}
+
+func (d *Dispatcher) doSingle(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
+	r, _, err := d.invoke(ctx, p.Primary, req)
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tel.observeInvocation(p.Primary, r.Result.Latency, r.InvCost, r.IaaSCost)
+	return d.soloOutcome(r, p.Primary, false, false), nil
+}
+
+// doFailover is the sequential path: primary first, secondary only when
+// the primary's live confidence misses the threshold. A failed primary
+// escalates unconditionally (the tier contract outranks the latency
+// saving); a failed escalation degrades to the primary's low-confidence
+// result rather than failing the request.
+func (d *Dispatcher) doFailover(ctx context.Context, req *service.Request, t Ticket, p ensemble.Policy) (Outcome, error) {
+	pr, pstarted, perr := d.invoke(ctx, p.Primary, req)
+	if perr != nil {
+		sr, _, serr := d.invoke(ctx, p.Secondary, req)
+		if serr != nil {
+			return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, serr)
+		}
+		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		o := d.soloOutcome(sr, p.Secondary, true, false)
+		if pstarted {
+			o.Started = 2
+		}
+		return o, nil
+	}
+	d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	if pr.Result.Confidence >= p.Threshold {
+		return d.soloOutcome(pr, p.Primary, false, false), nil
+	}
+	sr, _, serr := d.invoke(ctx, p.Secondary, req)
+	if serr != nil {
+		if ctx.Err() != nil {
+			// The request itself was cancelled mid-escalation; propagate
+			// rather than degrading (and do not blame the backend).
+			return Outcome{}, serr
+		}
+		d.tel.observeEscalationFailure(t.Tier)
+		return d.soloOutcome(pr, p.Primary, false, false), nil
+	}
+	d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	return d.escalatedOutcome(p, pr, sr, pr.Result.Latency+sr.Result.Latency, false), nil
+}
+
+// doHedged fires both legs at once — the Concurrent policy kind, and a
+// failover tier whose deadline forced a hedge.
+//
+// For the Concurrent policy kind the dispatcher waits for both legs,
+// like Policy.Execute: the outcome's accounting (including the early
+// termination credit that bills a cancelled secondary's node pro rata
+// for min(latencies)) replays Policy.Simulate's arithmetic exactly,
+// which the replay-convergence tests pin.
+//
+// A deadline-forced hedge additionally *cancels* the secondary's
+// context the moment the primary returns confident, so a wall-clock
+// backend (a sleeping replay, a queued limiter slot) stops occupying
+// its node instead of stretching the response to max(latencies) — the
+// entire point of hedging under a budget. A secondary that aborts on
+// that cancel before producing a result is billed from its plan for
+// the primary's service time; hedge outcomes have no offline
+// counterpart (the failover tier predicts sequential execution), so no
+// bit-exactness contract is broken.
+func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticket, p ensemble.Policy, deadlineHedge bool) (Outcome, error) {
+	type leg struct {
+		resp    Response
+		started bool
+		err     error
+	}
+	secCtx, secCancel := context.WithCancel(ctx)
+	defer secCancel()
+	secCh := make(chan leg, 1)
+	go func() {
+		r, started, e := d.invoke(secCtx, p.Secondary, req)
+		secCh <- leg{r, started, e}
+	}()
+	pr, pstarted, perr := d.invoke(ctx, p.Primary, req)
+	if deadlineHedge && perr == nil && pr.Result.Confidence >= p.Threshold {
+		// The primary's confident result terminates the hedge early.
+		secCancel()
+	}
+	sl := <-secCh
+	if deadlineHedge && perr == nil && pr.Result.Confidence >= p.Threshold &&
+		sl.err != nil && errors.Is(sl.err, context.Canceled) && ctx.Err() == nil {
+		// The secondary aborted on our cancel before producing a result.
+		// If the backend had actually started processing it is billed
+		// from its plan, its node busy for at most the primary's service
+		// time; a leg that died queued on the limiter never reached the
+		// backend and costs nothing.
+		d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		o := d.soloOutcome(pr, p.Primary, false, true)
+		if sl.started {
+			secPlan := d.backends[p.Secondary].Plan()
+			secInv := secPlan.InvocationCost()
+			secIaaS := secPlan.IaaSCost(pr.Result.Latency)
+			d.tel.observeBilled(p.Secondary, secInv, secIaaS)
+			o.InvCost += secInv
+			o.IaaSCost += secIaaS
+			o.Started = 2
+		}
+		return o, nil
+	}
+	switch {
+	case perr != nil && sl.err != nil:
+		return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, sl.err)
+	case perr != nil:
+		sr := sl.resp
+		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		o := d.soloOutcome(sr, p.Secondary, true, deadlineHedge)
+		if pstarted {
+			o.Started = 2
+		}
+		return o, nil
+	case sl.err != nil:
+		if ctx.Err() != nil {
+			// The request itself was cancelled; propagate rather than
+			// degrading (and do not blame the backend).
+			return Outcome{}, sl.err
+		}
+		d.tel.observeEscalationFailure(t.Tier)
+		d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		o := d.soloOutcome(pr, p.Primary, false, deadlineHedge)
+		if sl.started {
+			o.Started = 2
+		}
+		return o, nil
+	}
+	sr := sl.resp
+	d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	if pr.Result.Confidence >= p.Threshold {
+		// Early termination: the secondary's node was busy for
+		// min(latencies); bill its IaaS pro rata (the same float64
+		// operations as Policy.Simulate's Concurrent branch).
+		cancelled := sr.Result.Latency
+		if pr.Result.Latency < cancelled {
+			cancelled = pr.Result.Latency
+		}
+		den := sr.Result.Latency
+		if den < 1 {
+			den = 1
+		}
+		partialIaaS := sr.IaaSCost * float64(cancelled) / float64(den)
+		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, partialIaaS)
+		return Outcome{
+			Result:   pr.Result,
+			Err:      pr.Err,
+			Latency:  pr.Result.Latency,
+			InvCost:  pr.InvCost + sr.InvCost,
+			IaaSCost: pr.IaaSCost + partialIaaS,
+			Hedged:   deadlineHedge,
+			Started:  2,
+			Backend:  d.backends[p.Primary].Name(),
+		}, nil
+	}
+	d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	lat := pr.Result.Latency
+	if sr.Result.Latency > lat {
+		lat = sr.Result.Latency
+	}
+	return d.escalatedOutcome(p, pr, sr, lat, deadlineHedge), nil
+}

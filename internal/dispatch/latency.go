@@ -1,0 +1,80 @@
+package dispatch
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// latencyTracker keeps a sliding window of a backend's recently observed
+// latencies and a cached upper quantile of it, for the dispatcher's
+// deadline-aware hedging decision. The cache is refreshed every
+// refreshEvery observations rather than per lookup: hedging reads the
+// quantile on every deadline-annotated request, and sorting the window
+// at request rate would dominate a replay dispatch.
+type latencyTracker struct {
+	mu       sync.Mutex
+	window   []float64 // ring buffer of latency observations (ns)
+	next     int       // ring write position
+	total    int       // lifetime observation count
+	count    int       // observations since the last refresh
+	quantile float64
+	cached   float64 // NaN until trackerMinSamples observations
+	scratch  []float64
+}
+
+const (
+	trackerWindow  = 128
+	trackerRefresh = 16
+	// trackerMinSamples gates the estimate: a single cold-start outlier
+	// must not arm (or suppress) hedging for every following request.
+	trackerMinSamples = 8
+)
+
+func newLatencyTracker(quantile float64) *latencyTracker {
+	return &latencyTracker{
+		window:   make([]float64, 0, trackerWindow),
+		quantile: quantile,
+		cached:   math.NaN(),
+		scratch:  make([]float64, 0, trackerWindow),
+	}
+}
+
+// observe folds one latency observation (in ns) into the window.
+func (t *latencyTracker) observe(ns float64) {
+	t.mu.Lock()
+	if len(t.window) < trackerWindow {
+		t.window = append(t.window, ns)
+	} else {
+		t.window[t.next] = ns
+	}
+	t.next = (t.next + 1) % trackerWindow
+	t.total++
+	t.count++
+	if t.total >= trackerMinSamples && (t.count >= trackerRefresh || t.total == trackerMinSamples) {
+		t.refreshLocked()
+	}
+	t.mu.Unlock()
+}
+
+// refreshLocked recomputes the cached quantile from the current window
+// (nearest-rank over the sorted scratch copy).
+func (t *latencyTracker) refreshLocked() {
+	t.count = 0
+	if len(t.window) == 0 {
+		return
+	}
+	t.scratch = append(t.scratch[:0], t.window...)
+	sort.Float64s(t.scratch)
+	idx := int(t.quantile * float64(len(t.scratch)-1))
+	t.cached = t.scratch[idx]
+}
+
+// estimate returns the cached latency quantile in ns, or NaN when too
+// few observations have arrived to say anything.
+func (t *latencyTracker) estimate() float64 {
+	t.mu.Lock()
+	v := t.cached
+	t.mu.Unlock()
+	return v
+}

@@ -1,0 +1,117 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// ReplayBackend serves one version column of a profile matrix as a live
+// backend: invoking it with a profiled request returns exactly the
+// measured confidence, latency, error, and costs of that (request,
+// version) cell. It is the offline substrate for the dispatch runtime —
+// load tests and convergence tests drive the real dispatcher, limiters,
+// hedging and telemetry included, without running any engine, and the
+// outcomes are deterministic because the matrix is.
+//
+// By default Invoke returns immediately and only *reports* the profiled
+// latency (the dispatcher combines reported latencies with the same
+// arithmetic as offline simulation). A positive SleepScale additionally
+// occupies wall-clock time for latency*SleepScale, so closed-loop load
+// generators exercise real queueing against the concurrency limiters.
+type ReplayBackend struct {
+	m       *profile.Matrix
+	version int
+	rowOf   map[int]int
+	// SleepScale > 0 makes Invoke sleep latency*SleepScale (ctx-aware).
+	SleepScale float64
+	plan       costmodel.Plan
+}
+
+// NewReplayBackends builds one replay backend per version of m, sharing
+// a single request-ID index. Backend index i replays version column i,
+// matching the index space of tier policies generated from m.
+func NewReplayBackends(m *profile.Matrix) []Backend {
+	rowOf := make(map[int]int, m.NumRequests())
+	for r, id := range m.RequestIDs {
+		rowOf[id] = r
+	}
+	out := make([]Backend, m.NumVersions())
+	for v := range out {
+		out[v] = &ReplayBackend{m: m, version: v, rowOf: rowOf, plan: replayPlan(m, v)}
+	}
+	return out
+}
+
+// replayPlan reconstructs the version's price plan from its columns: the
+// per-invocation price is constant per version, and the node rate is
+// recovered from any cell with non-zero latency.
+func replayPlan(m *profile.Matrix, v int) costmodel.Plan {
+	var p costmodel.Plan
+	if m.NumRequests() > 0 {
+		k := m.Index(0, v)
+		p.PerInvocation = costmodel.Rate(m.InvCost[k])
+		for i := 0; i < m.NumRequests(); i++ {
+			k = m.Index(i, v)
+			if lat := time.Duration(m.LatencyNs[k]); lat > 0 {
+				p.NodeHourly = costmodel.Rate(m.IaaSCost[k] / lat.Hours())
+				break
+			}
+		}
+	}
+	return p
+}
+
+// Name implements Backend.
+func (b *ReplayBackend) Name() string { return "replay:" + b.m.VersionNames[b.version] }
+
+// Plan implements Backend.
+func (b *ReplayBackend) Plan() costmodel.Plan { return b.plan }
+
+// Invoke implements Backend by looking up the request's profiled cell.
+// Unknown request IDs are an error: replay only covers the profiled
+// corpus.
+func (b *ReplayBackend) Invoke(ctx context.Context, req *service.Request) (Response, error) {
+	row, ok := b.rowOf[req.ID]
+	if !ok {
+		return Response{}, fmt.Errorf("dispatch: request %d not in replay corpus", req.ID)
+	}
+	k := b.m.Index(row, b.version)
+	lat := time.Duration(b.m.LatencyNs[k])
+	if b.SleepScale > 0 {
+		t := time.NewTimer(time.Duration(float64(lat) * b.SleepScale))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return Response{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Result: service.Result{
+			Class:      -1,
+			Confidence: b.m.Confidence[k],
+			Latency:    lat,
+		},
+		Err:      b.m.Err[k],
+		InvCost:  b.m.InvCost[k],
+		IaaSCost: b.m.IaaSCost[k],
+	}, nil
+}
+
+// ReplayRequests synthesizes the request list a replay dispatcher
+// serves: one payload-less request per profiled row, carrying only the
+// corpus ID (replay backends never look at payloads).
+func ReplayRequests(m *profile.Matrix) []*service.Request {
+	out := make([]*service.Request, m.NumRequests())
+	for i, id := range m.RequestIDs {
+		out[i] = &service.Request{ID: id}
+	}
+	return out
+}

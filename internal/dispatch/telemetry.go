@@ -1,0 +1,191 @@
+package dispatch
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/stats"
+)
+
+// Telemetry accumulates the dispatcher's online serving statistics:
+// per-tier Welford streams of task error and response latency, runtime
+// event counters, and per-backend latency streams plus costmodel.Billing
+// accounting. It is the live counterpart of the offline bootstrap — the
+// same means the Fig.-7 generator predicts per tier are measured here on
+// real traffic, which is what the replay-convergence test pins.
+//
+// All methods are safe for concurrent use.
+type Telemetry struct {
+	mu       sync.Mutex
+	requests int64
+	failures int64
+	tiers    map[string]*tierStats
+	backends []backendStats
+}
+
+type tierStats struct {
+	requests           int64
+	escalations        int64
+	hedges             int64
+	deadlineMisses     int64
+	escalationFailures int64
+	err                stats.Stream // graded requests only
+	latNs              stats.Stream
+	inv                stats.Stream
+}
+
+type backendStats struct {
+	name    string
+	latNs   stats.Stream
+	billing costmodel.Billing
+}
+
+// newTelemetry sizes the per-backend slots from the backend list.
+func newTelemetry(names []string) *Telemetry {
+	t := &Telemetry{tiers: make(map[string]*tierStats), backends: make([]backendStats, len(names))}
+	for i, n := range names {
+		t.backends[i].name = n
+	}
+	return t
+}
+
+// observeOutcome folds one finished dispatch into the tier's streams.
+func (t *Telemetry) observeOutcome(tier string, o Outcome) {
+	t.mu.Lock()
+	t.requests++
+	ts := t.tiers[tier]
+	if ts == nil {
+		ts = &tierStats{}
+		t.tiers[tier] = ts
+	}
+	ts.requests++
+	if o.Escalated {
+		ts.escalations++
+	}
+	if o.Hedged {
+		ts.hedges++
+	}
+	if o.DeadlineExceeded {
+		ts.deadlineMisses++
+	}
+	if !math.IsNaN(o.Err) {
+		ts.err.Add(o.Err)
+	}
+	ts.latNs.Add(float64(o.Latency))
+	ts.inv.Add(o.InvCost)
+	t.mu.Unlock()
+}
+
+// observeEscalationFailure counts a secondary invocation that failed
+// after the primary had already answered (the dispatcher degrades to the
+// primary's result).
+func (t *Telemetry) observeEscalationFailure(tier string) {
+	t.mu.Lock()
+	ts := t.tiers[tier]
+	if ts == nil {
+		ts = &tierStats{}
+		t.tiers[tier] = ts
+	}
+	ts.escalationFailures++
+	t.mu.Unlock()
+}
+
+// observeFailure counts a dispatch that produced no result at all.
+func (t *Telemetry) observeFailure() {
+	t.mu.Lock()
+	t.requests++
+	t.failures++
+	t.mu.Unlock()
+}
+
+// observeInvocation records one completed backend invocation: its
+// reported service latency and its final billed costs (IaaS after any
+// early-termination credit).
+func (t *Telemetry) observeInvocation(backend int, latency time.Duration, invCost, iaasCost float64) {
+	t.mu.Lock()
+	b := &t.backends[backend]
+	b.latNs.Add(float64(latency))
+	b.billing.AddPriced(invCost, iaasCost)
+	t.mu.Unlock()
+}
+
+// observeBilled records a started-but-unfinished invocation (a
+// cancelled hedge): it is billed and counted, but contributes no
+// latency observation — the backend never reported one, and folding a
+// surrogate in would corrupt the backend's latency telemetry.
+func (t *Telemetry) observeBilled(backend int, invCost, iaasCost float64) {
+	t.mu.Lock()
+	t.backends[backend].billing.AddPriced(invCost, iaasCost)
+	t.mu.Unlock()
+}
+
+// TierMeans returns the online mean task error and response latency of
+// one tier key ("objective/tolerance"), with the graded-request count —
+// what convergence tests compare against offline predictions.
+func (t *Telemetry) TierMeans(tier string) (meanErr float64, meanLatency time.Duration, graded int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.tiers[tier]
+	if ts == nil {
+		return 0, 0, 0
+	}
+	return ts.err.Mean, time.Duration(ts.latNs.Mean), ts.err.N
+}
+
+// Billing returns the accumulated billing of one backend index.
+func (t *Telemetry) Billing(backend int) costmodel.Billing {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.backends[backend].billing
+}
+
+// snapshot renders the wire view. trackerP95 supplies the dispatcher's
+// cached per-backend hedging estimates (ns; NaN when unknown).
+func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.TelemetrySnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := api.TelemetrySnapshot{Requests: t.requests, Failures: t.failures}
+	keys := make([]string, 0, len(t.tiers))
+	for k := range t.tiers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ts := t.tiers[k]
+		snap.Tiers = append(snap.Tiers, api.TierTelemetry{
+			Tier:               k,
+			Requests:           ts.requests,
+			Escalations:        ts.escalations,
+			Hedges:             ts.hedges,
+			DeadlineMisses:     ts.deadlineMisses,
+			EscalationFailures: ts.escalationFailures,
+			Graded:             int64(ts.err.N),
+			MeanErr:            ts.err.Mean,
+			MeanLatencyMS:      ts.latNs.Mean / 1e6,
+			MaxLatencyMS:       ts.latNs.Max / 1e6,
+			MeanCostUSD:        ts.inv.Mean,
+		})
+	}
+	for i := range t.backends {
+		b := &t.backends[i]
+		p95 := 0.0
+		if trackerP95 != nil {
+			if v := trackerP95(i); !math.IsNaN(v) {
+				p95 = v / 1e6
+			}
+		}
+		snap.Backends = append(snap.Backends, api.BackendTelemetry{
+			Backend:       b.name,
+			Invocations:   int64(b.billing.Invocations),
+			MeanLatencyMS: b.latNs.Mean / 1e6,
+			P95LatencyMS:  p95,
+			InvocationUSD: b.billing.InvocationTotal,
+			IaaSUSD:       b.billing.IaaSTotal,
+		})
+	}
+	return snap
+}

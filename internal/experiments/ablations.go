@@ -22,7 +22,7 @@ func (e *Env) A1() []*tablewriter.Table {
 		best := r.gen.Best()
 		grid := ensemble.ThresholdGrid(r.m, r.train, 0, 9)
 		th := grid[len(grid)/2]
-		gated := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
+		gated := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
 
 		// Random escalation at the same rate.
 		rng := xrand.New(0xab1a7e)
@@ -40,9 +40,9 @@ func (e *Env) A1() []*tablewriter.Table {
 			}
 		}
 		n := float64(len(r.test))
-		always := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: 2})
-		fast := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Single, Primary: 0})
-		baseline := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Single, Primary: best})
+		always := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: 2})
+		fast := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Single, Primary: 0})
+		baseline := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Single, Primary: best})
 
 		t := tablewriter.New(fmt.Sprintf("A1 — value of the confidence gate (%s, failover v1->best)", r.name),
 			"router", "mean err", "err deg vs best", "mean latency (ms)", "escalation rate")
@@ -79,7 +79,7 @@ func (e *Env) A2() []*tablewriter.Table {
 		}
 		var pts []point
 		for _, th := range grid0 {
-			agg := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
+			agg := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
 			pts = append(pts, point{fmt.Sprintf("2-ver θ=%.2f", th), agg.MeanErr, float64(agg.MeanLatency)})
 		}
 		// Three-version ladder: v0 -> mid at θ0, then mid -> best at θm,
@@ -164,8 +164,8 @@ func (e *Env) A4() []*tablewriter.Table {
 		t := tablewriter.New(fmt.Sprintf("A4 — Seq(FO) vs Conc(ET) under both billing models (%s)", r.name),
 			"threshold", "FO latency (ms)", "ET latency (ms)", "FO inv cost ($)", "ET inv cost ($)", "FO IaaS ($)", "ET IaaS ($)")
 		for _, th := range grid[1 : len(grid)-1] {
-			fo := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
-			et := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: best, Threshold: th})
+			fo := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th})
+			et := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: best, Threshold: th})
 			t.AddStrings(fmt.Sprintf("%.3f", th),
 				ms(fo.MeanLatency), ms(et.MeanLatency),
 				fmt.Sprintf("%.5f", fo.MeanInvCost), fmt.Sprintf("%.5f", et.MeanInvCost),
@@ -185,14 +185,14 @@ func (e *Env) A5() []*tablewriter.Table {
 	var out []*tablewriter.Table
 	for _, r := range e.tierRuns() {
 		best := r.gen.Best()
-		baseline := ensemble.Evaluate(r.m, r.test, ensemble.Policy{Kind: ensemble.Single, Primary: best})
+		baseline := r.heldOutAgg(ensemble.Policy{Kind: ensemble.Single, Primary: best})
 		t := tablewriter.New(fmt.Sprintf("A5 — result selection on escalation (%s)", r.name),
 			"policy", "mean err", "err deg vs best single", "beats best single")
 		grid := ensemble.ThresholdGrid(r.m, r.train, 0, 9)
 		for _, th := range []float64{grid[len(grid)/2], grid[len(grid)-2]} {
 			for _, pick := range []bool{false, true} {
 				p := ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: best, Threshold: th, PickBest: pick}
-				agg := ensemble.Evaluate(r.m, r.test, p)
+				agg := r.heldOutAgg(p)
 				deg := ensemble.ErrDegradation(agg.MeanErr, baseline.MeanErr)
 				t.AddStrings(p.String(), pct(agg.MeanErr), pct(deg), yesNo(deg < 0))
 			}

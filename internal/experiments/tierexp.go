@@ -24,6 +24,19 @@ type tierRun struct {
 	costTable rulegen.RuleTable
 	latAudit  tiers.AuditReport
 	costAudit tiers.AuditReport
+	// heldOut is the columnar policy evaluator over the test rows: the
+	// experiments' per-configuration held-out sweeps go through it
+	// instead of row-oriented ensemble.Evaluate scans (bit-identical
+	// aggregates, one gather). Not safe for concurrent use — the
+	// experiment methods evaluate sequentially.
+	heldOut *ensemble.Evaluator
+}
+
+// heldOutAgg evaluates one policy on the run's held-out rows through
+// the shared columnar evaluator.
+func (r *tierRun) heldOutAgg(p ensemble.Policy) ensemble.Aggregate {
+	r.heldOut.SetPolicy(p)
+	return r.heldOut.Aggregate(nil)
 }
 
 var tierRunNames = []string{"ASR", "IC-cpu", "IC-gpu"}
@@ -43,7 +56,8 @@ func (e *Env) tierRuns() []*tierRun {
 				train, test := dataset.Split(m.NumRequests(), e.Scale.TrainFrac, 0x59117+uint64(i))
 				g := rulegen.New(m, train, e.Scale.Gen)
 				grid := e.ToleranceGrid()
-				r := &tierRun{name: name, m: m, train: train, test: test, gen: g}
+				r := &tierRun{name: name, m: m, train: train, test: test, gen: g,
+					heldOut: ensemble.NewEvaluator(m, test)}
 				r.latTable = g.Generate(grid, rulegen.MinimizeLatency)
 				r.costTable = g.Generate(grid, rulegen.MinimizeCost)
 				r.latAudit = tiers.Audit(m, test, r.latTable)
@@ -68,9 +82,9 @@ func (e *Env) E6() []*tablewriter.Table {
 			fmt.Sprintf("E6 / Fig. 5 — ensemble policy anatomy at the 5%% tier (%s)", r.name),
 			"policy", "mean latency (ms)", "latency vs OSFA", "inv cost ($)", "cost vs OSFA", "IaaS cost ($)", "escalation rate", "worst-case err deg")
 		osfa := ensemble.Policy{Kind: ensemble.Single, Primary: r.gen.Best()}
-		base := ensemble.Evaluate(r.m, r.test, osfa)
+		base := r.heldOutAgg(osfa)
 		add := func(label string, c rulegen.Candidate) {
-			agg := ensemble.Evaluate(r.m, r.test, c.Policy)
+			agg := r.heldOutAgg(c.Policy)
 			t.AddStrings(label+" "+c.Policy.String(),
 				ms(agg.MeanLatency), pct(1-float64(agg.MeanLatency)/float64(base.MeanLatency)),
 				fmt.Sprintf("%.5f", agg.MeanInvCost), pct(1-agg.MeanInvCost/base.MeanInvCost),

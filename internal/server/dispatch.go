@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// Runtime tier-execution endpoints: where POST /compute answers from
+// the simulated service clock, POST /dispatch runs the resolved tier
+// through the online dispatcher — per-backend concurrency limiters,
+// deadline budgets, hedging, and live telemetry — and GET /telemetry
+// serves the accumulated per-tier/per-backend statistics.
+//
+//	POST /dispatch
+//	  Tolerance: 0.05
+//	  Objective: response-time
+//	  body: {"request_id": 1234, "deadline_ms": 40}
+//	GET /telemetry -> api.TelemetrySnapshot
+
+// parseAnnotation reads the §IV-A tier annotation headers shared by
+// /compute and /dispatch. A missing Objective defaults to
+// response-time; errors are already written to w.
+func parseAnnotation(w http.ResponseWriter, r *http.Request) (float64, rulegen.Objective, bool) {
+	tolHeader := r.Header.Get("Tolerance")
+	if tolHeader == "" {
+		httpError(w, http.StatusBadRequest, "missing Tolerance header")
+		return 0, "", false
+	}
+	tol, err := strconv.ParseFloat(tolHeader, 64)
+	if err != nil || tol < 0 {
+		httpError(w, http.StatusBadRequest, "invalid Tolerance header %q", tolHeader)
+		return 0, "", false
+	}
+	objHeader := r.Header.Get("Objective")
+	if objHeader == "" {
+		objHeader = string(rulegen.MinimizeLatency)
+	}
+	obj, err := rulegen.ParseObjective(objHeader)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid Objective header %q", objHeader)
+		return 0, "", false
+	}
+	return tol, obj, true
+}
+
+func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	tol, obj, ok := parseAnnotation(w, r)
+	if !ok {
+		return
+	}
+	var body api.DispatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if body.DeadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, "negative deadline_ms %v", body.DeadlineMS)
+		return
+	}
+	req, found := s.byID[body.RequestID]
+	if !found {
+		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
+		return
+	}
+	rule, err := s.registry().Resolve(tol, obj)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	ticket := dispatch.Ticket{
+		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
+		Policy: rule.Candidate.Policy,
+		Budget: time.Duration(body.DeadlineMS * float64(time.Millisecond)),
+	}
+	out, err := s.disp.Do(r.Context(), req, ticket)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp := api.DispatchResult{
+		ComputeResult:    computeResult(req, out.Result, rule, obj, out.Latency, out.InvCost, out.Escalated),
+		Backend:          out.Backend,
+		Started:          out.Started,
+		Hedged:           out.Hedged,
+		DeadlineExceeded: out.DeadlineExceeded,
+		IaaSUSD:          out.IaaSCost,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
+	w.Header().Set("X-Toltiers-Backend", out.Backend)
+	w.Header().Set("X-Toltiers-Latency-MS", strconv.FormatFloat(resp.LatencyMS, 'f', 3, 64))
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// computeResult assembles the shared wire payload of /compute and
+// /dispatch from a routed result.
+func computeResult(req *service.Request, res service.Result, rule rulegen.Rule, obj rulegen.Objective,
+	latency time.Duration, invCost float64, escalated bool) api.ComputeResult {
+	out := api.ComputeResult{
+		Confidence: res.Confidence,
+		Tier:       rule.Tolerance,
+		Objective:  string(obj),
+		Policy:     rule.Candidate.Policy.String(),
+		LatencyMS:  float64(latency) / float64(time.Millisecond),
+		CostUSD:    invCost,
+		Escalated:  escalated,
+	}
+	if req.Utterance != nil {
+		out.Transcript = res.Transcript
+	} else {
+		c := res.Class
+		out.Class = &c
+	}
+	return out
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.disp.Snapshot())
+}

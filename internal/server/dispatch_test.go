@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+func TestDispatchRoundTrip(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	res, err := cl.Dispatch(context.Background(), corpus.Requests[5].ID, 0.05, rulegen.MinimizeLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != 0.05 {
+		t.Fatalf("tier = %v", res.Tier)
+	}
+	if res.Backend == "" || res.Started < 1 {
+		t.Fatalf("runtime fields missing: %+v", res)
+	}
+	if res.Class == nil || res.LatencyMS <= 0 || res.CostUSD <= 0 {
+		t.Fatalf("payload/accounting missing: %+v", res)
+	}
+	if res.Hedged {
+		t.Fatal("hedged without a deadline")
+	}
+}
+
+func TestDispatchDeadlineMarking(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	// A 1ns budget is always overrun; the outcome must say so rather
+	// than fail.
+	res, err := cl.Dispatch(context.Background(), corpus.Requests[0].ID, 0.10, rulegen.MinimizeLatency, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineExceeded {
+		t.Fatalf("1ns deadline not marked exceeded: %+v", res)
+	}
+}
+
+func TestDispatchValidation(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+	if _, err := cl.Dispatch(ctx, 1<<30, 0.05, rulegen.MinimizeLatency, 0); err == nil {
+		t.Fatal("unknown request id accepted")
+	}
+	if _, err := cl.Dispatch(ctx, corpus.Requests[0].ID, 0.05, "warp", 0); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+	if _, err := cl.Dispatch(ctx, corpus.Requests[0].ID, 0.05, rulegen.MinimizeLatency, -time.Second); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}
+
+func TestTelemetryEndpoint(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Traffic through both paths lands in the same runtime telemetry.
+	if _, err := cl.Compute(ctx, corpus.Requests[1].ID, 0.05, rulegen.MinimizeLatency); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Dispatch(ctx, corpus.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := cl.Telemetry(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != 4 {
+		t.Fatalf("telemetry requests = %d, want 4", snap.Requests)
+	}
+	var tier *api.TierTelemetry
+	for i := range snap.Tiers {
+		if snap.Tiers[i].Tier == "response-time/0.05" {
+			tier = &snap.Tiers[i]
+		}
+	}
+	if tier == nil {
+		t.Fatalf("tier key missing from %+v", snap.Tiers)
+	}
+	if tier.Requests != 4 || tier.Graded != 4 {
+		t.Fatalf("tier telemetry = %+v", tier)
+	}
+	if tier.MeanLatencyMS <= 0 || tier.MeanCostUSD <= 0 {
+		t.Fatalf("tier means = %+v", tier)
+	}
+	if len(snap.Backends) == 0 {
+		t.Fatal("no backend telemetry")
+	}
+	invocations := int64(0)
+	for _, b := range snap.Backends {
+		invocations += b.Invocations
+	}
+	if invocations < 4 {
+		t.Fatalf("backend invocations = %d", invocations)
+	}
+}

@@ -98,6 +98,110 @@ func TestMetricsConcurrentSafety(t *testing.T) {
 	}
 }
 
+// TestInstrumentConcurrentRequests drives the full middleware stack —
+// status recorder, metrics counters, access logging — from many
+// concurrent HTTP clients and checks no observation is lost. Run under
+// -race (the CI race job does), this pins the middleware's concurrency
+// safety end to end, not just the Metrics struct in isolation.
+func TestInstrumentConcurrentRequests(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/compute" {
+			w.WriteHeader(http.StatusTeapot)
+		}
+	})
+	m := NewMetrics()
+	var sb syncBuffer
+	logger := log.New(&sb, "", 0)
+	ts := httptest.NewServer(Instrument(inner, m, logger))
+	defer ts.Close()
+
+	const (
+		clients = 16
+		perEach = 25
+	)
+	paths := []string{"/compute", "/tiers", "/metrics"}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				req, _ := http.NewRequest("GET", ts.URL+paths[(g+i)%len(paths)], nil)
+				req.Header.Set("Tolerance", "0.05")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				m.ObserveTier("response-time/0.05")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := m.Snapshot()
+	// /metrics is served by the middleware itself and not counted; the
+	// other paths must account for every request exactly once.
+	want := int64(0)
+	for g := 0; g < clients; g++ {
+		for i := 0; i < perEach; i++ {
+			if paths[(g+i)%len(paths)] != "/metrics" {
+				want++
+			}
+		}
+	}
+	if snap.Handled != want {
+		t.Fatalf("handled = %d, want %d", snap.Handled, want)
+	}
+	var counted int64
+	for _, k := range snap.SortedKeys() {
+		counted += snap.Requests[k]
+	}
+	if counted != want {
+		t.Fatalf("per-key counts sum to %d, want %d", counted, want)
+	}
+	if snap.TierHits["response-time/0.05"] != clients*perEach {
+		t.Fatalf("tier hits = %d", snap.TierHits["response-time/0.05"])
+	}
+	// Log lines must be whole: the log.Logger serializes writes, so
+	// every line is exactly one request record.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if int64(len(lines)) != want {
+		t.Fatalf("%d log lines, want %d", len(lines), want)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "GET /") || !strings.Contains(line, `tol="0.05"`) {
+			t.Fatalf("malformed log line: %q", line)
+		}
+	}
+}
+
+// syncBuffer is a race-safe strings.Builder for the logger: log.Logger
+// serializes Output calls, but the test's final read would still race
+// an in-flight handler without the mutex.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
 func TestSortedKeysAndItoa(t *testing.T) {
 	m := NewMetrics()
 	m.observe("b", 0)

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -17,12 +18,16 @@ import (
 // tables with the sharded generator instead of shipping the corpus to an
 // offline job.
 //
-//	POST /rules/generate   body: api.RuleGenRequest   -> 202 api.RuleGenAccepted
-//	GET  /rules/status                                -> api.RuleGenStatus
+//	POST   /rules/generate   body: api.RuleGenRequest  -> 202 api.RuleGenAccepted
+//	GET    /rules/status                               -> api.RuleGenStatus
+//	DELETE /rules/generate   cancels the running job   -> 202
 //
 // One job runs at a time (409 while busy); with "apply": true the
 // serving registry is swapped atomically on success, so in-flight
 // /compute requests keep their tables and later ones see the new rules.
+// DELETE cancels through the job's context: the sharded sweep stops at
+// the next batch boundary, nothing is applied, and /rules/status
+// reports "cancelling" until the workers drain, then "cancelled".
 
 // ruleJob tracks one asynchronous generation sweep. Mutable fields are
 // guarded by Server.jobMu.
@@ -37,6 +42,8 @@ type ruleJob struct {
 	done, total int
 	running     bool
 	applied     bool
+	cancel      context.CancelFunc
+	cancelled   bool
 	err         error
 	trials      stats.Stream
 }
@@ -88,12 +95,14 @@ func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobSeq++
+	ctx, cancel := context.WithCancel(context.Background())
 	job := &ruleJob{
 		id:         s.jobSeq,
 		req:        req,
 		objectives: objectives,
 		started:    time.Now(),
 		running:    true,
+		cancel:     cancel,
 		// Requested partition shape, shown while running; overwritten
 		// with the resolved values when the sweep finishes.
 		shards:  req.Shards,
@@ -102,7 +111,7 @@ func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
 	s.job = job
 	s.jobMu.Unlock()
 
-	go s.runRuleJob(job, gcfg, step, maxTol)
+	go s.runRuleJob(ctx, job, gcfg, step, maxTol)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -110,8 +119,10 @@ func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
 }
 
 // runRuleJob executes the sharded sweep and, on success with Apply set,
-// swaps the serving registry.
-func (s *Server) runRuleJob(job *ruleJob, gcfg rulegen.Config, step, maxTol float64) {
+// swaps the serving registry. A cancelled context (DELETE
+// /rules/generate) stops the sweep at the next batch boundary and marks
+// the job cancelled instead of failed.
+func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Config, step, maxTol float64) {
 	opts := shard.Options{
 		Shards:    job.req.Shards,
 		Workers:   job.req.Workers,
@@ -122,12 +133,18 @@ func (s *Server) runRuleJob(job *ruleJob, gcfg rulegen.Config, step, maxTol floa
 			s.jobMu.Unlock()
 		},
 	}
-	gen, rep, err := shard.Generate(context.Background(), s.matrix, nil, gcfg, opts)
+	gen, rep, err := shard.Generate(ctx, s.matrix, nil, gcfg, opts)
 
-	// Table generation and the registry swap run before taking jobMu so
-	// status polls and conflict checks never stall behind them.
+	// A cancel that arrived after the sweep's last batch but before the
+	// tables are built still wins: DELETE promised nothing would be
+	// applied. (Checked under jobMu; the swap below deliberately runs
+	// outside the lock so status polls never stall behind it.)
+	s.jobMu.Lock()
+	cancelRequested := job.cancelled
+	s.jobMu.Unlock()
+
 	var applied bool
-	if err == nil {
+	if err == nil && !cancelRequested {
 		grid := rulegen.ToleranceGrid(maxTol, step)
 		tables := make([]rulegen.RuleTable, 0, len(job.objectives))
 		for _, obj := range job.objectives {
@@ -143,13 +160,55 @@ func (s *Server) runRuleJob(job *ruleJob, gcfg rulegen.Config, step, maxTol floa
 	defer s.jobMu.Unlock()
 	job.finished = time.Now()
 	job.running = false
+	job.cancel() // release the context resources
 	if err != nil {
-		job.err = err
+		if errors.Is(err, context.Canceled) {
+			job.cancelled = true
+		} else {
+			// A real failure outranks a concurrently requested cancel:
+			// reporting a clean "cancelled" would hide the error.
+			job.err = err
+			job.cancelled = false
+		}
 		return
 	}
+	if cancelRequested {
+		// The sweep finished under the cancel's feet, but the promise
+		// holds: nothing was generated or applied.
+		job.cancelled = true
+		return
+	}
+	// A cancel that landed after the pre-generate check lost the race:
+	// the job completed (and possibly applied), and reports "done".
+	job.cancelled = false
 	job.shards, job.workers = rep.Shards, rep.Workers
 	job.trials = rep.TrialCounts
 	job.applied = applied
+}
+
+// handleRulesCancel cancels the running generation job via its context.
+func (s *Server) handleRulesCancel(w http.ResponseWriter, _ *http.Request) {
+	if s.matrix == nil {
+		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
+		return
+	}
+	s.jobMu.Lock()
+	job := s.job
+	running := job != nil && job.running
+	if running {
+		job.cancelled = true
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	s.jobMu.Unlock()
+	if !running {
+		httpError(w, http.StatusConflict, "no rule-generation job is running")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]any{"job_id": job.id, "state": "cancelling"})
 }
 
 // newRegistryFrom rebuilds the registry with the generated tables,
@@ -186,9 +245,15 @@ func (s *Server) handleRulesStatus(w http.ResponseWriter, _ *http.Request) {
 		}
 		st.Applied = job.applied
 		switch {
+		case job.running && job.cancelled:
+			st.State = "cancelling"
+			st.ElapsedMS = float64(time.Since(job.started)) / float64(time.Millisecond)
 		case job.running:
 			st.State = "running"
 			st.ElapsedMS = float64(time.Since(job.started)) / float64(time.Millisecond)
+		case job.cancelled:
+			st.State = "cancelled"
+			st.ElapsedMS = float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
 		case job.err != nil:
 			st.State = "failed"
 			st.Error = job.err.Error()

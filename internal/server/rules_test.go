@@ -178,4 +178,63 @@ func TestRulesEndpointsDisabledWithoutMatrix(t *testing.T) {
 	if !ok || apiErr.StatusCode != 503 {
 		t.Fatalf("status err = %v, want 503", err)
 	}
+	if err = cl.CancelRules(context.Background()); err == nil {
+		t.Fatal("cancel without matrix accepted")
+	}
+}
+
+func TestRulesCancelRunningJob(t *testing.T) {
+	_, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Nothing to cancel while idle.
+	if err := cl.CancelRules(ctx); err == nil {
+		t.Fatal("cancel with no running job accepted")
+	}
+
+	// Single worker, one candidate per batch: the sweep takes many
+	// batch boundaries, so a cancel issued right after acceptance lands
+	// long before completion.
+	if _, err := cl.GenerateRules(ctx, api.RuleGenRequest{
+		Shards:    1,
+		Workers:   1,
+		BatchSize: 1,
+		Apply:     true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CancelRules(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := waitForJob(t, cl)
+	if st.State == "cancelling" {
+		// The workers were still draining; wait for the terminal state.
+		deadline := time.Now().Add(30 * time.Second)
+		for st.State == "cancelling" {
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck cancelling")
+			}
+			time.Sleep(10 * time.Millisecond)
+			var err error
+			if st, err = cl.RulesStatus(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st.State != "cancelled" {
+		t.Fatalf("job ended %q (err %q), want cancelled", st.State, st.Error)
+	}
+	if st.Applied {
+		t.Fatal("cancelled job applied tables")
+	}
+
+	// A cancelled job releases the one-at-a-time slot: a fresh sweep
+	// must be accepted and run to completion.
+	if _, err := cl.GenerateRules(ctx, api.RuleGenRequest{Step: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if st = waitForJob(t, cl); st.State != "done" {
+		t.Fatalf("follow-up job ended %q", st.State)
+	}
 }

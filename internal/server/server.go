@@ -17,16 +17,14 @@ package server
 
 import (
 	"encoding/json"
-
 	"fmt"
-	"github.com/toltiers/toltiers/internal/api"
 	"net/http"
 	"strconv"
 	"sync"
-	"time"
 
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/profile"
-	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
 )
@@ -38,6 +36,12 @@ type Server struct {
 	reqs  []*service.Request
 	byID  map[int]*service.Request
 	mux   *http.ServeMux
+
+	// disp is the online tier-execution runtime: /compute and /dispatch
+	// both route through it, so live telemetry covers all traffic. The
+	// dispatcher wraps the registry's service versions; registry swaps
+	// (rule regeneration) change tables, not backends.
+	disp *dispatch.Dispatcher
 
 	// matrix is the profiled training corpus backing the rule-generation
 	// endpoints; nil disables them (see rules.go).
@@ -62,15 +66,23 @@ func NewWithRuleGen(reg *tiers.Registry, reqs []*service.Request, m *profile.Mat
 	for _, r := range reqs {
 		s.byID[r.ID] = r
 	}
+	s.disp = dispatch.New(dispatch.NewServiceBackends(reg.Service()), dispatch.Options{})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compute", s.handleCompute)
+	mux.HandleFunc("POST /dispatch", s.handleDispatch)
+	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /tiers", s.handleTiers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /rules/generate", s.handleRulesGenerate)
 	mux.HandleFunc("GET /rules/status", s.handleRulesStatus)
+	mux.HandleFunc("DELETE /rules/generate", s.handleRulesCancel)
 	s.mux = mux
 	return s
 }
+
+// Dispatcher exposes the server's tier-execution runtime (load
+// generators embed the server and drive it directly).
+func (s *Server) Dispatcher() *dispatch.Dispatcher { return s.disp }
 
 // registry returns the serving registry; a finished generation job with
 // "apply" swaps it, so readers always go through here.
@@ -96,23 +108,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
-	tolHeader := r.Header.Get("Tolerance")
-	if tolHeader == "" {
-		httpError(w, http.StatusBadRequest, "missing Tolerance header")
-		return
-	}
-	tol, err := strconv.ParseFloat(tolHeader, 64)
-	if err != nil || tol < 0 {
-		httpError(w, http.StatusBadRequest, "invalid Tolerance header %q", tolHeader)
-		return
-	}
-	objHeader := r.Header.Get("Objective")
-	if objHeader == "" {
-		objHeader = string(rulegen.MinimizeLatency)
-	}
-	obj, err := rulegen.ParseObjective(objHeader)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid Objective header %q", objHeader)
+	tol, obj, ok := parseAnnotation(w, r)
+	if !ok {
 		return
 	}
 	var body api.ComputeRequest
@@ -120,31 +117,28 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	req, ok := s.byID[body.RequestID]
-	if !ok {
+	req, found := s.byID[body.RequestID]
+	if !found {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	res, out, rule, err := s.registry().Handle(req, tol, obj)
+	rule, err := s.registry().Resolve(tol, obj)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	resp := api.ComputeResult{
-		Confidence: res.Confidence,
-		Tier:       rule.Tolerance,
-		Objective:  string(obj),
-		Policy:     rule.Candidate.Policy.String(),
-		LatencyMS:  float64(out.Latency) / float64(time.Millisecond),
-		CostUSD:    out.InvCost,
-		Escalated:  out.Escalated,
+	// /compute routes through the dispatcher (no deadline, no hedging),
+	// reproducing Registry.Handle's outcome while feeding telemetry.
+	ticket := dispatch.Ticket{
+		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
+		Policy: rule.Candidate.Policy,
 	}
-	if req.Utterance != nil {
-		resp.Transcript = res.Transcript
-	} else {
-		c := res.Class
-		resp.Class = &c
+	out, err := s.disp.Do(r.Context(), req, ticket)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
 	}
+	resp := computeResult(req, out.Result, rule, obj, out.Latency, out.InvCost, out.Escalated)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
 	w.Header().Set("X-Toltiers-Latency-MS", strconv.FormatFloat(resp.LatencyMS, 'f', 3, 64))
@@ -175,12 +169,12 @@ func (s *Server) handleTiers(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":  "ok",
-		"corpus":  len(s.reqs),
-		"domain":  string(domainOf(s.reqs)),
-		"objs":    len(s.registry().Objectives()),
-		"version": "toltiers-1",
+	_ = json.NewEncoder(w).Encode(api.HealthStatus{
+		Status:     "ok",
+		Corpus:     len(s.reqs),
+		Domain:     string(domainOf(s.reqs)),
+		Objectives: len(s.registry().Objectives()),
+		Version:    "toltiers-1",
 	})
 }
 

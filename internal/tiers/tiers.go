@@ -111,11 +111,20 @@ type AuditReport struct {
 // (held-out traffic) and checks the tolerance guarantees. The baseline
 // is the table's recorded most-accurate version, evaluated on the same
 // rows.
+//
+// The per-rule sweep runs through one columnar ensemble.Evaluator over
+// the audit rows instead of per-configuration row scans: the gather is
+// paid once and each rule is a policy fill plus a fused sum, with
+// aggregates bit-identical to ensemble.Evaluate (the kernel's property
+// tests pin this).
 func Audit(m *profile.Matrix, rows []int, table rulegen.RuleTable) AuditReport {
 	report := AuditReport{Objective: table.Objective}
-	baseAgg := ensemble.Evaluate(m, rows, ensemble.Policy{Kind: ensemble.Single, Primary: table.Best})
+	ev := ensemble.NewEvaluator(m, rows)
+	ev.SetPolicy(ensemble.Policy{Kind: ensemble.Single, Primary: table.Best})
+	baseAgg := ev.Aggregate(nil)
 	for _, rule := range table.Rules {
-		agg := ensemble.Evaluate(m, rows, rule.Candidate.Policy)
+		ev.SetPolicy(rule.Candidate.Policy)
+		agg := ev.Aggregate(nil)
 		deg := ensemble.ErrDegradation(agg.MeanErr, baseAgg.MeanErr)
 		e := AuditEntry{
 			Tolerance:        rule.Tolerance,

@@ -28,10 +28,12 @@ package toltiers
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 
 	"github.com/toltiers/toltiers/internal/client"
 	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
@@ -89,6 +91,30 @@ type (
 	AuditReport = tiers.AuditReport
 )
 
+// Online tier execution (the dispatch runtime).
+type (
+	// Backend is one live invocable deployment the dispatcher routes
+	// tier policies over.
+	Backend = dispatch.Backend
+	// BackendResponse is one backend invocation's answer with its
+	// accounting.
+	BackendResponse = dispatch.Response
+	// Dispatcher executes tolerance-tier policies against live backends
+	// at request time: escalation on live confidence, per-backend
+	// concurrency limiters, deadline-aware hedging, online telemetry.
+	Dispatcher = dispatch.Dispatcher
+	// DispatchOptions parameterizes a Dispatcher.
+	DispatchOptions = dispatch.Options
+	// DispatchTicket carries one request's resolved tier through the
+	// dispatcher.
+	DispatchTicket = dispatch.Ticket
+	// DispatchOutcome is the result of dispatching one request.
+	DispatchOutcome = dispatch.Outcome
+	// RuntimeTelemetry is the dispatcher's online per-tier/per-backend
+	// serving statistics.
+	RuntimeTelemetry = dispatch.Telemetry
+)
+
 // Objectives.
 const (
 	// MinimizeLatency optimizes mean response time.
@@ -126,6 +152,25 @@ func NewVisionCorpus(n int) *VisionCorpus {
 // NewVisionCorpusCPU is NewVisionCorpus on the CPU device profile.
 func NewVisionCorpusCPU(n int) *VisionCorpus {
 	return dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: n, Device: vision.CPU})
+}
+
+// NewCorpusByName builds one of the standard evaluation corpora by its
+// CLI name — "asr", "vision", or "vision-cpu" — with n requests (n <= 0
+// selects the experiments' default size). It is the shared service
+// selector of the ttserver/ttload/ttsweep binaries.
+func NewCorpusByName(name string, n int) (*Service, []*Request, error) {
+	switch name {
+	case "asr":
+		c := NewSpeechCorpus(n)
+		return c.Service, c.Requests, nil
+	case "vision":
+		c := NewVisionCorpus(n)
+		return c.Service, c.Requests, nil
+	case "vision-cpu":
+		c := NewVisionCorpusCPU(n)
+		return c.Service, c.Requests, nil
+	}
+	return nil, nil, fmt.Errorf("toltiers: unknown service %q (want asr | vision | vision-cpu)", name)
 }
 
 // Profile measures every service version against every request.
@@ -186,6 +231,32 @@ func NewHTTPHandler(reg *Registry, reqs []*Request) http.Handler { return server
 // sweeping the given profiled matrix.
 func NewHTTPHandlerWithRuleGen(reg *Registry, reqs []*Request, m *Matrix) http.Handler {
 	return server.NewWithRuleGen(reg, reqs, m)
+}
+
+// NewDispatcher builds the online tier-execution runtime over the
+// backends (backend index i serves version i of the profiled service).
+func NewDispatcher(backends []Backend, opts DispatchOptions) *Dispatcher {
+	return dispatch.New(backends, opts)
+}
+
+// NewServiceBackends wraps every version of a live service as dispatch
+// backends, graded through the service evaluator.
+func NewServiceBackends(svc *Service) []Backend { return dispatch.NewServiceBackends(svc) }
+
+// NewReplayBackends serves a profile matrix's version columns as
+// deterministic dispatch backends: the whole runtime — limiters,
+// hedging, telemetry — is testable and load-testable offline, and
+// replay dispatch provably converges to the offline tier predictions.
+func NewReplayBackends(m *Matrix) []Backend { return dispatch.NewReplayBackends(m) }
+
+// ReplayRequests synthesizes the payload-less request list a replay
+// dispatcher serves (one request per profiled row).
+func ReplayRequests(m *Matrix) []*Request { return dispatch.ReplayRequests(m) }
+
+// DispatchTierKey renders the canonical telemetry key of a tier,
+// "objective/tolerance".
+func DispatchTierKey(obj Objective, tolerance float64) string {
+	return dispatch.TierKey(string(obj), tolerance)
 }
 
 // NewClient returns the Go SDK for a Tolerance Tiers endpoint.
