@@ -13,11 +13,20 @@
 //   - A remote endpoint (-target http://host:port): requests go through
 //     POST /dispatch with the same annotations.
 //
+// With -batch N, arrivals of one consumer class are grouped into
+// N-item batches (dispatched when the last arrival of the group lands)
+// and issued through the batched runtime path — Dispatcher.DoBatch in
+// process, POST /dispatch/batch against a remote target — which
+// amortizes the per-request limiter/telemetry/HTTP costs and reports
+// the same per-item percentiles.
+//
 // Examples:
 //
 //	ttload -service vision -corpus 1000 -rps 5000 -duration 5s
 //	ttload -rps 800 -deadline-ms 30 -sleep-scale 1 -concurrency 64
 //	ttload -target http://localhost:8080 -rps 200 -duration 10s
+//	ttload -rps 200000 -batch 64 -duration 5s
+//	ttload -target http://localhost:8080 -rps 5000 -batch 128
 package main
 
 import (
@@ -99,12 +108,17 @@ func main() {
 		perBackend  = flag.Int("max-per-backend", 0, "per-backend concurrency limit (in-process mode, 0 = unlimited)")
 		step        = flag.Float64("step", 0.01, "tolerance grid step for rule generation (in-process mode)")
 		seed        = flag.Uint64("seed", 0x10ad, "trace seed")
+		batchN      = flag.Int("batch", 1, "group arrivals of one consumer class into batches of this size (1 = per-request dispatch)")
 	)
 	flag.Parse()
+	if *batchN < 1 {
+		log.Fatal("-batch must be >= 1")
+	}
 
 	budget := time.Duration(*deadlineMS * float64(time.Millisecond))
 
 	var issue func(ctx context.Context, arr workload.Arrival, col *collector)
+	var issueBatch func(ctx context.Context, arrs []workload.Arrival, col *collector)
 	var disp *dispatch.Dispatcher
 	corpusSize := *corpusN
 	if *target == "" {
@@ -134,6 +148,40 @@ func main() {
 			}
 			col.observe(tier, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded)
 		}
+		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
+			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
+			rule, err := reg.Resolve(arrs[0].Tolerance, arrs[0].Objective)
+			if err != nil {
+				for range arrs {
+					col.fail(tier)
+				}
+				return
+			}
+			batchReqs := make([]*toltiers.Request, len(arrs))
+			for i, arr := range arrs {
+				batchReqs[i] = reqs[arr.RequestIndex%len(reqs)]
+			}
+			start := time.Now()
+			outs, errs, err := disp.DoBatch(ctx, batchReqs, dispatch.Ticket{
+				Tier:   dispatch.TierKey(string(arrs[0].Objective), rule.Tolerance),
+				Policy: rule.Candidate.Policy,
+				Budget: budget,
+			}, nil, nil)
+			wall := time.Since(start)
+			if err != nil {
+				for range arrs {
+					col.fail(tier)
+				}
+				return
+			}
+			for i, o := range outs {
+				if errs[i] != nil {
+					col.fail(tier)
+					continue
+				}
+				col.observe(tier, wall, o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded)
+			}
+		}
 	} else {
 		cl := client.New(*target, nil)
 		st, err := cl.Health(context.Background())
@@ -157,6 +205,31 @@ func main() {
 				time.Duration(res.LatencyMS*float64(time.Millisecond)),
 				res.Escalated, res.Hedged, res.DeadlineExceeded)
 		}
+		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
+			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
+			ids := make([]int, len(arrs))
+			for i, arr := range arrs {
+				ids[i] = arr.RequestIndex
+			}
+			start := time.Now()
+			res, err := cl.DispatchBatch(ctx, ids, arrs[0].Tolerance, arrs[0].Objective, budget)
+			wall := time.Since(start)
+			if err != nil {
+				for range arrs {
+					col.fail(tier)
+				}
+				return
+			}
+			for _, item := range res.Items {
+				if item.Error != "" {
+					col.fail(tier)
+					continue
+				}
+				col.observe(tier, wall,
+					time.Duration(item.LatencyMS*float64(time.Millisecond)),
+					item.Escalated, item.Hedged, item.DeadlineExceeded)
+			}
+		}
 	}
 
 	trace := workload.Generate(workload.Config{
@@ -170,39 +243,96 @@ func main() {
 		log.Fatal("empty trace: check -rps/-duration/-corpus")
 	}
 
-	log.Printf("driving %d arrivals over %v at target %.0f rps with %d workers ...",
-		len(trace), *duration, *rps, *concurrency)
+	log.Printf("driving %d arrivals over %v at target %.0f rps with %d workers (batch %d) ...",
+		len(trace), *duration, *rps, *concurrency, *batchN)
 	col := &collector{tiers: make(map[string]*tierSeries)}
 	ctx := context.Background()
-	next := make(chan workload.Arrival, *concurrency)
 	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for arr := range next {
-				// Open-loop pacing to the trace clock, closed-loop
-				// back-pressure from the bounded pool: a saturated pool
-				// falls behind rather than piling up unbounded work.
-				if wait := arr.At - time.Since(start); wait > 0 {
-					time.Sleep(wait)
+	var start time.Time
+	if *batchN > 1 {
+		jobs := batchTrace(trace, *batchN)
+		next := make(chan []workload.Arrival, *concurrency)
+		start = time.Now()
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for arrs := range next {
+					// A batch is complete — and dispatchable — when its
+					// last arrival lands.
+					if wait := arrs[len(arrs)-1].At - time.Since(start); wait > 0 {
+						time.Sleep(wait)
+					}
+					issueBatch(ctx, arrs, col)
 				}
-				issue(ctx, arr, col)
-			}
-		}()
+			}()
+		}
+		for _, j := range jobs {
+			next <- j
+		}
+		close(next)
+	} else {
+		next := make(chan workload.Arrival, *concurrency)
+		start = time.Now()
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for arr := range next {
+					// Open-loop pacing to the trace clock, closed-loop
+					// back-pressure from the bounded pool: a saturated pool
+					// falls behind rather than piling up unbounded work.
+					if wait := arr.At - time.Since(start); wait > 0 {
+						time.Sleep(wait)
+					}
+					issue(ctx, arr, col)
+				}
+			}()
+		}
+		for _, arr := range trace {
+			next <- arr
+		}
+		close(next)
 	}
-	for _, arr := range trace {
-		next <- arr
-	}
-	close(next)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(col, elapsed)
+	report(col, elapsed, *batchN)
 	if disp != nil {
 		reportTelemetry(disp)
 	}
+}
+
+// batchTrace groups a time-ordered trace into per-consumer-class
+// batches of up to n arrivals, in completion order (a batch completes
+// when its last arrival lands; the trailing partial batch of each class
+// flushes at trace end). Every batch carries one (tolerance, objective)
+// annotation, matching the one-tier-per-batch wire contract.
+func batchTrace(trace []workload.Arrival, n int) [][]workload.Arrival {
+	pending := make(map[string][]workload.Arrival)
+	var out [][]workload.Arrival
+	for _, arr := range trace {
+		key := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
+		p := append(pending[key], arr)
+		if len(p) == n {
+			out = append(out, p)
+			pending[key] = nil
+			continue
+		}
+		pending[key] = p
+	}
+	// Flush partials deterministically (sorted by class key).
+	keys := make([]string, 0, len(pending))
+	for k, p := range pending {
+		if len(p) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, pending[k])
+	}
+	return out
 }
 
 func quantile(xs []float64, q float64) float64 {
@@ -213,7 +343,7 @@ func quantile(xs []float64, q float64) float64 {
 	return v
 }
 
-func report(col *collector, elapsed time.Duration) {
+func report(col *collector, elapsed time.Duration, batchN int) {
 	keys := make([]string, 0, len(col.tiers))
 	total := 0
 	for k, ts := range col.tiers {
@@ -235,6 +365,9 @@ func report(col *collector, elapsed time.Duration) {
 			fmt.Sprint(ts.escalated), fmt.Sprint(ts.hedged), fmt.Sprint(ts.misses), fmt.Sprint(ts.failures))
 	}
 	t.Caption = "tiers key by requested annotation; wall = end-to-end dispatch time at the generator; svc = reported service latency"
+	if batchN > 1 {
+		t.Caption = fmt.Sprintf("tiers key by requested annotation; wall = whole-batch dispatch time (batch %d, every item of a batch shares it); svc = reported service latency", batchN)
+	}
 	if err := t.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -73,6 +73,36 @@ type DispatchResult struct {
 	IaaSUSD float64 `json:"iaas_usd"`
 }
 
+// DispatchBatchRequest is the JSON body of POST /dispatch/batch: many
+// corpus requests dispatched through one resolved tier in a single
+// round trip, amortizing the HTTP, resolve, limiter and telemetry
+// costs. The tier annotation travels in the Tolerance and Objective
+// headers, like /dispatch; every request ID must be in the corpus (the
+// batch is rejected whole otherwise, matching /dispatch's 404).
+type DispatchBatchRequest struct {
+	// RequestIDs select the corpus inputs to process, in order.
+	RequestIDs []int `json:"request_ids"`
+	// DeadlineMS is the per-request latency budget in milliseconds,
+	// applied to every item (0 disables deadlines and hedging).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+// DispatchBatchItem is one item's result in a batch response: the
+// DispatchResult it would have received from POST /dispatch, or an
+// error message when its backend legs failed (other items still ran).
+type DispatchBatchItem struct {
+	DispatchResult
+	Error string `json:"error,omitempty"`
+}
+
+// DispatchBatchResult is the JSON response of POST /dispatch/batch.
+// Items align with the request's RequestIDs.
+type DispatchBatchResult struct {
+	Items []DispatchBatchItem `json:"items"`
+	// Failed counts items that carry an Error.
+	Failed int `json:"failed,omitempty"`
+}
+
 // TierTelemetry is one tier's online serving statistics in
 // GET /telemetry.
 type TierTelemetry struct {

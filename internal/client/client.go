@@ -93,6 +93,45 @@ func (c *Client) Dispatch(ctx context.Context, requestID int, tolerance float64,
 	return &out, nil
 }
 
+// DispatchBatch sends many annotated corpus requests through the online
+// tier-execution runtime in one round trip (POST /dispatch/batch),
+// amortizing the HTTP, tier-resolve and runtime transaction costs.
+// Items align with requestIDs; a per-item backend failure is reported
+// in its item's Error while the rest of the batch completes. deadline
+// applies to every item (0 = none).
+func (c *Client) DispatchBatch(ctx context.Context, requestIDs []int, tolerance float64, objective rulegen.Objective, deadline time.Duration) (*api.DispatchBatchResult, error) {
+	body, err := json.Marshal(api.DispatchBatchRequest{
+		RequestIDs: requestIDs,
+		DeadlineMS: float64(deadline) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/dispatch/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
+	req.Header.Set("Objective", string(objective))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: dispatch batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.DispatchBatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode batch result: %w", err)
+	}
+	if len(out.Items) != len(requestIDs) {
+		return nil, fmt.Errorf("client: batch returned %d items for %d requests", len(out.Items), len(requestIDs))
+	}
+	return &out, nil
+}
+
 // Telemetry fetches the runtime's online per-tier/per-backend serving
 // statistics (GET /telemetry).
 func (c *Client) Telemetry(ctx context.Context) (*api.TelemetrySnapshot, error) {

@@ -18,6 +18,12 @@
 // escalation cannot make, the dispatcher fires the secondary
 // concurrently — trading the failover tier's cost saving for the
 // deadline, and recording the hedge in telemetry.
+//
+// The steady-state request path is engineered to scale with cores:
+// telemetry commits take one uncontended sharded lock per request (per
+// batch for DoBatch), hedging estimates are single atomic loads, and a
+// replay dispatch allocates nothing once the call pools are warm — the
+// alloc-regression tests in this package pin that.
 package dispatch
 
 import (
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
@@ -38,7 +45,8 @@ import (
 type Options struct {
 	// MaxConcurrentPerBackend caps in-flight invocations per backend
 	// (0 = unlimited). Requests beyond the cap queue on the limiter and
-	// honor context cancellation while waiting.
+	// honor context cancellation while waiting. A batch dispatched with
+	// DoBatch leases one slot per leg for the whole batch.
 	MaxConcurrentPerBackend int
 	// HedgeQuantile is the observed-latency quantile the hedging
 	// decision consults (default 0.95).
@@ -46,6 +54,11 @@ type Options struct {
 	// DisableHedging turns deadline-aware hedging off: failover tiers
 	// always escalate sequentially, deadlines only mark outcomes.
 	DisableHedging bool
+	// TelemetryShards overrides the telemetry stripe count (0 = auto:
+	// a power of two covering GOMAXPROCS, clamped to [8, 64]). One
+	// shard serializes all telemetry commits on a single mutex — the
+	// pre-sharding behaviour, kept reachable for contention A/B runs.
+	TelemetryShards int
 }
 
 // Ticket carries one request's resolved tier through the dispatcher.
@@ -105,6 +118,9 @@ type Dispatcher struct {
 	trackers []*latencyTracker
 	tel      *Telemetry
 	hedging  bool
+	// calls pools per-dispatch scratch (telemetry transaction, hedge
+	// channel) so the steady-state path allocates nothing.
+	calls sync.Pool
 }
 
 // New builds a dispatcher over the backends.
@@ -125,7 +141,10 @@ func New(backends []Backend, opts Options) *Dispatcher {
 		d.sems[i] = newSemaphore(opts.MaxConcurrentPerBackend)
 		d.trackers[i] = newLatencyTracker(q)
 	}
-	d.tel = newTelemetry(names)
+	d.tel = newTelemetry(names, opts.TelemetryShards)
+	d.calls.New = func() any {
+		return &dispatchCall{d: d, secCh: make(chan hedgeLeg, 1)}
+	}
 	return d
 }
 
@@ -142,38 +161,69 @@ func (d *Dispatcher) Snapshot() api.TelemetrySnapshot {
 // nanoseconds (NaN until enough observations).
 func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
 
+// dispatchCall is the pooled per-dispatch scratch: the buffered
+// telemetry transaction, the reusable hedge-leg channel, and the
+// batch-lease flag. A call serves one Do (or one whole DoBatch) at a
+// time; the hedge-leg goroutine is always joined before the call
+// returns to the pool.
+type dispatchCall struct {
+	d      *Dispatcher
+	txn    telemetryTxn
+	leased bool // limiter slots pre-acquired for the whole batch
+	secCh  chan hedgeLeg
+}
+
+// hedgeLeg is one backend leg's answer, handed over the call's channel.
+type hedgeLeg struct {
+	resp    Response
+	started bool
+	err     error
+}
+
 // Do dispatches one request through its resolved tier.
 func (d *Dispatcher) Do(ctx context.Context, req *service.Request, t Ticket) (Outcome, error) {
-	p := t.Policy
-	if err := p.Validate(len(d.backends)); err != nil {
+	if err := t.Policy.Validate(len(d.backends)); err != nil {
 		return Outcome{}, err
 	}
+	c := d.calls.Get().(*dispatchCall)
+	c.txn.reset(t.Tier)
+	c.leased = false
+	o, err := c.run(ctx, req, t)
+	d.tel.commit(&c.txn)
+	d.calls.Put(c)
+	return o, err
+}
+
+// run executes one request's policy and folds the result into the
+// call's telemetry transaction (committed by the caller).
+func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) (Outcome, error) {
+	p := t.Policy
 	var (
 		o   Outcome
 		err error
 	)
 	switch p.Kind {
 	case ensemble.Single:
-		o, err = d.doSingle(ctx, req, p)
+		o, err = c.doSingle(ctx, req, p)
 	case ensemble.Concurrent:
-		o, err = d.doHedged(ctx, req, t, p, false)
+		o, err = c.doHedged(ctx, req, p, false)
 	case ensemble.Failover:
-		if d.shouldHedge(p, t.Budget) {
-			o, err = d.doHedged(ctx, req, t, p, true)
+		if c.d.shouldHedge(p, t.Budget) {
+			o, err = c.doHedged(ctx, req, p, true)
 		} else {
-			o, err = d.doFailover(ctx, req, t, p)
+			o, err = c.doFailover(ctx, req, p)
 		}
 	default:
 		err = fmt.Errorf("dispatch: unknown policy kind %d", p.Kind)
 	}
 	if err != nil {
-		d.tel.observeFailure()
+		c.txn.addFailure()
 		return Outcome{}, err
 	}
 	if t.Budget > 0 && o.Latency > t.Budget {
 		o.DeadlineExceeded = true
 	}
-	d.tel.observeOutcome(t.Tier, o)
+	c.txn.addOutcome(&o)
 	return o, nil
 }
 
@@ -181,7 +231,8 @@ func (d *Dispatcher) Do(ctx context.Context, req *service.Request, t Ticket) (Ou
 // early: the request carries a deadline and the observed latency
 // quantiles say the sequential path (primary, then secondary on
 // escalation) would not make it. Until both backends have latency
-// history the dispatcher stays sequential.
+// history the dispatcher stays sequential. Both estimates are single
+// atomic loads.
 func (d *Dispatcher) shouldHedge(p ensemble.Policy, budget time.Duration) bool {
 	if !d.hedging || budget <= 0 {
 		return false
@@ -194,23 +245,45 @@ func (d *Dispatcher) shouldHedge(p ensemble.Policy, budget time.Duration) bool {
 	return pp+sp > float64(budget)
 }
 
+// instant reports whether a backend completes without occupying
+// wall-clock time (a replay backend without SleepScale): firing its leg
+// on a separate goroutine buys nothing, so the dispatcher runs it
+// inline with identical arithmetic.
+func instant(b Backend) bool {
+	ib, ok := b.(interface{ Instant() bool })
+	return ok && ib.Instant()
+}
+
 // invoke runs one backend leg under its concurrency limiter and feeds
 // the latency tracker. started reports whether the backend was actually
 // issued the request (false when the leg died queued on the limiter) —
 // billing and Started accounting key off it. Billing itself is recorded
 // by the caller once final amounts (e.g. a cancelled hedge's pro-rated
-// node time) are known.
-func (d *Dispatcher) invoke(ctx context.Context, idx int, req *service.Request) (resp Response, started bool, err error) {
-	if err := d.sems[idx].acquire(ctx); err != nil {
-		return Response{}, false, err
+// node time) are known. A leased call (DoBatch) holds its limiter slots
+// for the whole batch and skips the per-invocation acquire.
+func (c *dispatchCall) invoke(ctx context.Context, idx int, req *service.Request) (resp Response, started bool, err error) {
+	d := c.d
+	if !c.leased {
+		if err := d.sems[idx].acquire(ctx); err != nil {
+			return Response{}, false, err
+		}
 	}
 	resp, err = d.backends[idx].Invoke(ctx, req)
-	d.sems[idx].release()
+	if !c.leased {
+		d.sems[idx].release()
+	}
 	if err != nil {
 		return Response{}, true, fmt.Errorf("dispatch: backend %s: %w", d.backends[idx].Name(), err)
 	}
 	d.trackers[idx].observe(float64(resp.Result.Latency))
 	return resp, true, nil
+}
+
+// invokeLeg runs one hedge leg and hands the answer over the call's
+// channel. It is a plain function so spawning it allocates no closure.
+func invokeLeg(c *dispatchCall, ctx context.Context, idx int, req *service.Request) {
+	r, started, err := c.invoke(ctx, idx, req)
+	c.secCh <- hedgeLeg{r, started, err}
 }
 
 // soloOutcome assembles an outcome answered by one leg's response.
@@ -250,13 +323,13 @@ func (d *Dispatcher) escalatedOutcome(p ensemble.Policy, pr, sr Response, lat ti
 	}
 }
 
-func (d *Dispatcher) doSingle(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
-	r, _, err := d.invoke(ctx, p.Primary, req)
+func (c *dispatchCall) doSingle(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
+	r, _, err := c.invoke(ctx, p.Primary, req)
 	if err != nil {
 		return Outcome{}, err
 	}
-	d.tel.observeInvocation(p.Primary, r.Result.Latency, r.InvCost, r.IaaSCost)
-	return d.soloOutcome(r, p.Primary, false, false), nil
+	c.txn.addInvocation(p.Primary, r.Result.Latency, r.InvCost, r.IaaSCost)
+	return c.d.soloOutcome(r, p.Primary, false, false), nil
 }
 
 // doFailover is the sequential path: primary first, secondary only when
@@ -264,35 +337,36 @@ func (d *Dispatcher) doSingle(ctx context.Context, req *service.Request, p ensem
 // escalates unconditionally (the tier contract outranks the latency
 // saving); a failed escalation degrades to the primary's low-confidence
 // result rather than failing the request.
-func (d *Dispatcher) doFailover(ctx context.Context, req *service.Request, t Ticket, p ensemble.Policy) (Outcome, error) {
-	pr, pstarted, perr := d.invoke(ctx, p.Primary, req)
+func (c *dispatchCall) doFailover(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
+	d := c.d
+	pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
 	if perr != nil {
-		sr, _, serr := d.invoke(ctx, p.Secondary, req)
+		sr, _, serr := c.invoke(ctx, p.Secondary, req)
 		if serr != nil {
 			return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, serr)
 		}
-		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
 		o := d.soloOutcome(sr, p.Secondary, true, false)
 		if pstarted {
 			o.Started = 2
 		}
 		return o, nil
 	}
-	d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
 	if pr.Result.Confidence >= p.Threshold {
 		return d.soloOutcome(pr, p.Primary, false, false), nil
 	}
-	sr, _, serr := d.invoke(ctx, p.Secondary, req)
+	sr, _, serr := c.invoke(ctx, p.Secondary, req)
 	if serr != nil {
 		if ctx.Err() != nil {
 			// The request itself was cancelled mid-escalation; propagate
 			// rather than degrading (and do not blame the backend).
 			return Outcome{}, serr
 		}
-		d.tel.observeEscalationFailure(t.Tier)
+		c.txn.addEscalationFailure()
 		return d.soloOutcome(pr, p.Primary, false, false), nil
 	}
-	d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
 	return d.escalatedOutcome(p, pr, sr, pr.Result.Latency+sr.Result.Latency, false), nil
 }
 
@@ -314,39 +388,78 @@ func (d *Dispatcher) doFailover(ctx context.Context, req *service.Request, t Tic
 // the primary's service time; hedge outcomes have no offline
 // counterpart (the failover tier predicts sequential execution), so no
 // bit-exactness contract is broken.
-func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticket, p ensemble.Policy, deadlineHedge bool) (Outcome, error) {
-	type leg struct {
-		resp    Response
-		started bool
-		err     error
+//
+// An instant secondary (replay without wall-clock occupancy) is run
+// inline on the calling goroutine: there is no wall time to overlap and
+// nothing a cancel could terminate early, so the goroutine, channel
+// handoff and cancelable context would be pure overhead on the hottest
+// replay path. The combination arithmetic is shared, so outcomes are
+// bit-identical either way.
+func (c *dispatchCall) doHedged(ctx context.Context, req *service.Request, p ensemble.Policy, deadlineHedge bool) (Outcome, error) {
+	if instant(c.d.backends[p.Secondary]) {
+		sr, sstarted, serr := c.invoke(ctx, p.Secondary, req)
+		pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
+		return c.combineHedged(ctx, p, pr, pstarted, perr, hedgeLeg{sr, sstarted, serr}, deadlineHedge, false)
 	}
-	secCtx, secCancel := context.WithCancel(ctx)
-	defer secCancel()
-	secCh := make(chan leg, 1)
-	go func() {
-		r, started, e := d.invoke(secCtx, p.Secondary, req)
-		secCh <- leg{r, started, e}
-	}()
-	pr, pstarted, perr := d.invoke(ctx, p.Primary, req)
-	if deadlineHedge && perr == nil && pr.Result.Confidence >= p.Threshold {
+	secCtx := ctx
+	var secCancel context.CancelFunc
+	if deadlineHedge {
+		// Only a deadline hedge ever cancels its secondary, so only it
+		// pays for a cancelable context.
+		secCtx, secCancel = context.WithCancel(ctx)
+		defer secCancel()
+	}
+	go invokeLeg(c, secCtx, p.Secondary, req)
+	pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
+	confident := perr == nil && pr.Result.Confidence >= p.Threshold
+	if deadlineHedge && confident {
 		// The primary's confident result terminates the hedge early.
 		secCancel()
 	}
-	sl := <-secCh
-	if deadlineHedge && perr == nil && pr.Result.Confidence >= p.Threshold &&
-		sl.err != nil && errors.Is(sl.err, context.Canceled) && ctx.Err() == nil {
+	sl := <-c.secCh
+	cancelled := deadlineHedge && confident &&
+		sl.err != nil && errors.Is(sl.err, context.Canceled) && ctx.Err() == nil
+	return c.combineHedged(ctx, p, pr, pstarted, perr, sl, deadlineHedge, cancelled)
+}
+
+// proRataIaaS is the early-termination credit of a confident primary:
+// the secondary's node was busy for min(latencies), so its IaaS cost is
+// billed pro rata — the same float64 operations, in the same order, as
+// Policy.Simulate's Concurrent branch. It is the single home of this
+// arithmetic, shared by the goroutine, inline and fused-batch paths (a
+// divergence between copies would break the bit-identical-outcomes
+// contract).
+func proRataIaaS(pLat, sLat time.Duration, sIaaS float64) float64 {
+	cancelled := sLat
+	if pLat < cancelled {
+		cancelled = pLat
+	}
+	den := sLat
+	if den < 1 {
+		den = 1
+	}
+	return sIaaS * float64(cancelled) / float64(den)
+}
+
+// combineHedged folds the two legs of a hedged execution into one
+// outcome — shared by the goroutine path and the inline instant path.
+// cancelled marks a secondary that aborted on the hedge's own cancel
+// before producing a result.
+func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr Response, pstarted bool, perr error, sl hedgeLeg, deadlineHedge, cancelled bool) (Outcome, error) {
+	d := c.d
+	if cancelled {
 		// The secondary aborted on our cancel before producing a result.
 		// If the backend had actually started processing it is billed
 		// from its plan, its node busy for at most the primary's service
 		// time; a leg that died queued on the limiter never reached the
 		// backend and costs nothing.
-		d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
 		o := d.soloOutcome(pr, p.Primary, false, true)
 		if sl.started {
 			secPlan := d.backends[p.Secondary].Plan()
 			secInv := secPlan.InvocationCost()
 			secIaaS := secPlan.IaaSCost(pr.Result.Latency)
-			d.tel.observeBilled(p.Secondary, secInv, secIaaS)
+			c.txn.addBilled(p.Secondary, secInv, secIaaS)
 			o.InvCost += secInv
 			o.IaaSCost += secIaaS
 			o.Started = 2
@@ -358,7 +471,7 @@ func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticke
 		return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, sl.err)
 	case perr != nil:
 		sr := sl.resp
-		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
 		o := d.soloOutcome(sr, p.Secondary, true, deadlineHedge)
 		if pstarted {
 			o.Started = 2
@@ -370,8 +483,8 @@ func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticke
 			// degrading (and do not blame the backend).
 			return Outcome{}, sl.err
 		}
-		d.tel.observeEscalationFailure(t.Tier)
-		d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		c.txn.addEscalationFailure()
+		c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
 		o := d.soloOutcome(pr, p.Primary, false, deadlineHedge)
 		if sl.started {
 			o.Started = 2
@@ -379,21 +492,10 @@ func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticke
 		return o, nil
 	}
 	sr := sl.resp
-	d.tel.observeInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
 	if pr.Result.Confidence >= p.Threshold {
-		// Early termination: the secondary's node was busy for
-		// min(latencies); bill its IaaS pro rata (the same float64
-		// operations as Policy.Simulate's Concurrent branch).
-		cancelled := sr.Result.Latency
-		if pr.Result.Latency < cancelled {
-			cancelled = pr.Result.Latency
-		}
-		den := sr.Result.Latency
-		if den < 1 {
-			den = 1
-		}
-		partialIaaS := sr.IaaSCost * float64(cancelled) / float64(den)
-		d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, partialIaaS)
+		partialIaaS := proRataIaaS(pr.Result.Latency, sr.Result.Latency, sr.IaaSCost)
+		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, partialIaaS)
 		return Outcome{
 			Result:   pr.Result,
 			Err:      pr.Err,
@@ -405,7 +507,7 @@ func (d *Dispatcher) doHedged(ctx context.Context, req *service.Request, t Ticke
 			Backend:  d.backends[p.Primary].Name(),
 		}, nil
 	}
-	d.tel.observeInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
 	lat := pr.Result.Latency
 	if sr.Result.Latency > lat {
 		lat = sr.Result.Latency

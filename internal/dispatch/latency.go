@@ -2,25 +2,37 @@ package dispatch
 
 import (
 	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // latencyTracker keeps a sliding window of a backend's recently observed
 // latencies and a cached upper quantile of it, for the dispatcher's
-// deadline-aware hedging decision. The cache is refreshed every
-// refreshEvery observations rather than per lookup: hedging reads the
-// quantile on every deadline-annotated request, and sorting the window
-// at request rate would dominate a replay dispatch.
+// deadline-aware hedging decision.
+//
+// Both sides of the tracker are lock-free on the dispatch path: observe
+// claims a ring slot with one atomic add and stores the sample with one
+// atomic store, and estimate/shouldHedge read the cached quantile with
+// atomic loads (float64 carried as bits in an atomic.Uint64). The
+// quantile cache is refreshed lazily by readers, at most once every
+// trackerRefresh observations: requests without a deadline never
+// consult the estimate, so pure-throughput traffic pays nothing for it,
+// and a deadline-annotated request at worst runs one quickselect over
+// the 128-entry window per refresh interval. The refresher takes a
+// private mutex via TryLock, so concurrent readers never queue behind a
+// refresh: at most one recomputes while the rest read the previous
+// cache. A refresh racing in-flight stores may read a mix of window
+// generations; the estimate is statistical, and every slot read is a
+// torn-free atomic.
 type latencyTracker struct {
-	mu       sync.Mutex
-	window   []float64 // ring buffer of latency observations (ns)
-	next     int       // ring write position
-	total    int       // lifetime observation count
-	count    int       // observations since the last refresh
-	quantile float64
-	cached   float64 // NaN until trackerMinSamples observations
-	scratch  []float64
+	quantile    float64
+	total       atomic.Uint64 // lifetime observation count (ring cursor)
+	refreshedAt atomic.Uint64 // total at the last cache refresh (0 = never)
+	cached      atomic.Uint64 // float64 bits; NaN until trackerMinSamples
+	window      [trackerWindow]atomic.Uint64
+
+	refreshMu sync.Mutex
+	scratch   []float64
 }
 
 const (
@@ -32,49 +44,123 @@ const (
 )
 
 func newLatencyTracker(quantile float64) *latencyTracker {
-	return &latencyTracker{
-		window:   make([]float64, 0, trackerWindow),
+	t := &latencyTracker{
 		quantile: quantile,
-		cached:   math.NaN(),
 		scratch:  make([]float64, 0, trackerWindow),
 	}
+	t.cached.Store(math.Float64bits(math.NaN()))
+	return t
 }
 
-// observe folds one latency observation (in ns) into the window.
+// observe folds one latency observation (in ns) into the window: one
+// atomic add to claim the slot, one atomic store of the sample.
 func (t *latencyTracker) observe(ns float64) {
-	t.mu.Lock()
-	if len(t.window) < trackerWindow {
-		t.window = append(t.window, ns)
-	} else {
-		t.window[t.next] = ns
-	}
-	t.next = (t.next + 1) % trackerWindow
-	t.total++
-	t.count++
-	if t.total >= trackerMinSamples && (t.count >= trackerRefresh || t.total == trackerMinSamples) {
-		t.refreshLocked()
-	}
-	t.mu.Unlock()
+	n := t.total.Add(1)
+	t.window[(n-1)%trackerWindow].Store(math.Float64bits(ns))
 }
 
-// refreshLocked recomputes the cached quantile from the current window
-// (nearest-rank over the sorted scratch copy).
-func (t *latencyTracker) refreshLocked() {
-	t.count = 0
-	if len(t.window) == 0 {
+// refresh recomputes the cached quantile from the current window
+// (nearest-rank via quickselect). Contended refreshes are skipped: the
+// caller reads the previous cache and a later reader picks the work up.
+func (t *latencyTracker) refresh() {
+	if !t.refreshMu.TryLock() {
 		return
 	}
-	t.scratch = append(t.scratch[:0], t.window...)
-	sort.Float64s(t.scratch)
-	idx := int(t.quantile * float64(len(t.scratch)-1))
-	t.cached = t.scratch[idx]
+	defer t.refreshMu.Unlock()
+	// Re-load under the lock: serialized refreshers then store strictly
+	// increasing refreshedAt values, so the mark can never move
+	// backwards and re-arm the staleness check.
+	n := t.total.Load()
+	fill := int(n)
+	if fill > trackerWindow {
+		fill = trackerWindow
+	}
+	if fill == 0 {
+		return
+	}
+	s := t.scratch[:0]
+	for i := 0; i < fill; i++ {
+		// A slot whose observe claimed the cursor but has not stored yet
+		// reads as zero bits; skip it rather than folding a fabricated
+		// 0ns sample into the quantile. (A true 0.0 observation shares
+		// the bit pattern and is dropped too — harmless for an upper
+		// latency quantile.)
+		if bits := t.window[i].Load(); bits != 0 {
+			s = append(s, math.Float64frombits(bits))
+		}
+	}
+	t.scratch = s
+	if len(s) == 0 {
+		return
+	}
+	idx := int(t.quantile * float64(len(s)-1))
+	t.cached.Store(math.Float64bits(selectKth(s, idx)))
+	t.refreshedAt.Store(n)
+}
+
+// selectKth returns the k-th smallest element of s, partially
+// reordering s in place (Hoare quickselect with median-of-three
+// pivots). The refresh only needs one order statistic, and a full sort
+// of the window every trackerRefresh observations used to dominate the
+// replay dispatch profile.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to s[lo].
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if s[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if s[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return s[k]
 }
 
 // estimate returns the cached latency quantile in ns, or NaN when too
-// few observations have arrived to say anything.
+// few observations have arrived to say anything. The cache refreshes on
+// read when it is at least trackerRefresh observations stale; otherwise
+// this is two atomic loads, safe to call at request rate from any
+// goroutine.
 func (t *latencyTracker) estimate() float64 {
-	t.mu.Lock()
-	v := t.cached
-	t.mu.Unlock()
-	return v
+	n := t.total.Load()
+	if n < trackerMinSamples {
+		return math.NaN()
+	}
+	// The r < n guard keeps a racing reader whose n predates another
+	// reader's fresher refresh mark from underflowing the staleness
+	// subtraction and spuriously re-refreshing.
+	if r := t.refreshedAt.Load(); r == 0 || (r < n && n-r >= trackerRefresh) {
+		t.refresh()
+	}
+	return math.Float64frombits(t.cached.Load())
 }

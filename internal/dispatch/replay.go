@@ -26,7 +26,13 @@ import (
 type ReplayBackend struct {
 	m       *profile.Matrix
 	version int
+	name    string // precomputed: Name() sits on the per-dispatch path
 	rowOf   map[int]int
+	// rows is the dense request-ID index used when the corpus IDs are
+	// compact: a slice lookup instead of a map probe on the hottest
+	// replay-dispatch path (-1 marks an absent ID). nil falls back to
+	// the rowOf map.
+	rows []int32
 	// SleepScale > 0 makes Invoke sleep latency*SleepScale (ctx-aware).
 	SleepScale float64
 	plan       costmodel.Plan
@@ -37,15 +43,53 @@ type ReplayBackend struct {
 // matching the index space of tier policies generated from m.
 func NewReplayBackends(m *profile.Matrix) []Backend {
 	rowOf := make(map[int]int, m.NumRequests())
+	maxID := -1
 	for r, id := range m.RequestIDs {
 		rowOf[id] = r
+		if id > maxID {
+			maxID = id
+		}
+		if id < 0 {
+			maxID = 1 << 40 // negative IDs force the map path
+		}
+	}
+	var rows []int32
+	if maxID >= 0 && maxID < 2*m.NumRequests()+1024 && maxID < 1<<30 {
+		rows = make([]int32, maxID+1)
+		for i := range rows {
+			rows[i] = -1
+		}
+		for r, id := range m.RequestIDs {
+			rows[id] = int32(r)
+		}
 	}
 	out := make([]Backend, m.NumVersions())
 	for v := range out {
-		out[v] = &ReplayBackend{m: m, version: v, rowOf: rowOf, plan: replayPlan(m, v)}
+		out[v] = &ReplayBackend{
+			m: m, version: v, name: "replay:" + m.VersionNames[v],
+			rowOf: rowOf, rows: rows, plan: replayPlan(m, v),
+		}
 	}
 	return out
 }
+
+// row resolves a request ID to its matrix row.
+func (b *ReplayBackend) row(id int) (int, bool) {
+	if b.rows != nil {
+		if id < 0 || id >= len(b.rows) || b.rows[id] < 0 {
+			return 0, false
+		}
+		return int(b.rows[id]), true
+	}
+	r, ok := b.rowOf[id]
+	return r, ok
+}
+
+// Instant reports whether Invoke completes without occupying wall-clock
+// time: true unless a positive SleepScale makes replay invocations
+// sleep. The dispatcher runs instant hedge legs inline instead of
+// paying a goroutine handoff per request.
+func (b *ReplayBackend) Instant() bool { return b.SleepScale <= 0 }
 
 // replayPlan reconstructs the version's price plan from its columns: the
 // per-invocation price is constant per version, and the node rate is
@@ -67,7 +111,7 @@ func replayPlan(m *profile.Matrix, v int) costmodel.Plan {
 }
 
 // Name implements Backend.
-func (b *ReplayBackend) Name() string { return "replay:" + b.m.VersionNames[b.version] }
+func (b *ReplayBackend) Name() string { return b.name }
 
 // Plan implements Backend.
 func (b *ReplayBackend) Plan() costmodel.Plan { return b.plan }
@@ -76,7 +120,7 @@ func (b *ReplayBackend) Plan() costmodel.Plan { return b.plan }
 // Unknown request IDs are an error: replay only covers the profiled
 // corpus.
 func (b *ReplayBackend) Invoke(ctx context.Context, req *service.Request) (Response, error) {
-	row, ok := b.rowOf[req.ID]
+	row, ok := b.row(req.ID)
 	if !ok {
 		return Response{}, fmt.Errorf("dispatch: request %d not in replay corpus", req.ID)
 	}

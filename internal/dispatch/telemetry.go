@@ -2,8 +2,10 @@ package dispatch
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
@@ -18,13 +20,34 @@ import (
 // same means the Fig.-7 generator predicts per tier are measured here on
 // real traffic, which is what the replay-convergence test pins.
 //
+// Storage is sharded so concurrent dispatchers never serialize on one
+// lock: a dispatch commits its whole transaction (tier streams, backend
+// streams, billing) to a single shard chosen through a P-affine
+// sync.Pool, so steady-state commits take an uncontended shard mutex
+// while GET /telemetry merges the shards with stats.Stream.Merge without
+// ever stalling the dispatch path. Counts merge exactly; merged means
+// differ from a single sequential stream only in the last float bits
+// (see Stream.Merge), far inside every guarantee the runtime reports.
+//
 // All methods are safe for concurrent use.
 type Telemetry struct {
+	shards []telemetryShard
+	// pool hands each P a preferred shard pointer so repeated commits
+	// from one core hit one uncontended mutex; rr round-robins shard
+	// assignment when the pool mints a new preference.
+	pool sync.Pool
+	rr   atomic.Uint64
+}
+
+// telemetryShard is one stripe of the telemetry. The padding keeps
+// independently-locked shards off each other's cache lines.
+type telemetryShard struct {
 	mu       sync.Mutex
 	requests int64
 	failures int64
 	tiers    map[string]*tierStats
 	backends []backendStats
+	_        [64]byte
 }
 
 type tierStats struct {
@@ -38,124 +61,266 @@ type tierStats struct {
 	inv                stats.Stream
 }
 
+// merge folds o into ts (counts exact, streams via Stream.Merge).
+func (ts *tierStats) merge(o *tierStats) {
+	ts.requests += o.requests
+	ts.escalations += o.escalations
+	ts.hedges += o.hedges
+	ts.deadlineMisses += o.deadlineMisses
+	ts.escalationFailures += o.escalationFailures
+	ts.err.Merge(o.err)
+	ts.latNs.Merge(o.latNs)
+	ts.inv.Merge(o.inv)
+}
+
 type backendStats struct {
 	name    string
 	latNs   stats.Stream
 	billing costmodel.Billing
 }
 
-// newTelemetry sizes the per-backend slots from the backend list.
-func newTelemetry(names []string) *Telemetry {
-	t := &Telemetry{tiers: make(map[string]*tierStats), backends: make([]backendStats, len(names))}
-	for i, n := range names {
-		t.backends[i].name = n
+// defaultTelemetryShards sizes the stripe count: a power of two covering
+// GOMAXPROCS with headroom (GOMAXPROCS may be raised after construction),
+// clamped to [8, 64].
+func defaultTelemetryShards() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n *= 2
+	}
+	return n
+}
+
+// newTelemetry sizes the per-backend slots from the backend list and the
+// stripe count (0 = auto).
+func newTelemetry(names []string, shards int) *Telemetry {
+	if shards <= 0 {
+		shards = defaultTelemetryShards()
+	}
+	t := &Telemetry{shards: make([]telemetryShard, shards)}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.tiers = make(map[string]*tierStats)
+		sh.backends = make([]backendStats, len(names))
+		for j, n := range names {
+			sh.backends[j].name = n
+		}
+	}
+	t.pool.New = func() any {
+		return &t.shards[t.rr.Add(1)%uint64(len(t.shards))]
 	}
 	return t
 }
 
-// observeOutcome folds one finished dispatch into the tier's streams.
-func (t *Telemetry) observeOutcome(tier string, o Outcome) {
-	t.mu.Lock()
-	t.requests++
-	ts := t.tiers[tier]
-	if ts == nil {
-		ts = &tierStats{}
-		t.tiers[tier] = ts
-	}
-	ts.requests++
+// telemetryTxn is one dispatch transaction's worth of observations,
+// buffered locally (and allocation-free once warm) so the dispatch path
+// takes exactly one shard lock per commit — per request for Do, per
+// batch for DoBatch. Values are applied to the shard streams in
+// insertion order, so a transaction's float arithmetic is identical to
+// the former observe-as-you-go accounting.
+type telemetryTxn struct {
+	tier string
+	// outcomes counts finished dispatches, failures dispatches that
+	// produced no result; both count toward total requests but only
+	// outcomes create tier rows.
+	outcomes           int64
+	failures           int64
+	escalations        int64
+	hedges             int64
+	deadlineMisses     int64
+	escalationFailures int64
+	errVals            []float64 // graded task errors
+	latVals            []float64 // response latencies (ns)
+	invVals            []float64 // invocation costs
+	backendObs         []backendObs
+}
+
+// backendObs is one backend invocation's accounting inside a
+// transaction. billedOnly marks a started-but-unfinished invocation (a
+// cancelled hedge): billed and counted, but contributing no latency
+// observation — the backend never reported one.
+type backendObs struct {
+	backend    int
+	latNs      float64
+	invCost    float64
+	iaasCost   float64
+	billedOnly bool
+}
+
+// reset rewinds the transaction for a new tier, keeping capacity.
+func (x *telemetryTxn) reset(tier string) {
+	x.tier = tier
+	x.outcomes, x.failures = 0, 0
+	x.escalations, x.hedges, x.deadlineMisses, x.escalationFailures = 0, 0, 0, 0
+	x.errVals = x.errVals[:0]
+	x.latVals = x.latVals[:0]
+	x.invVals = x.invVals[:0]
+	x.backendObs = x.backendObs[:0]
+}
+
+// addOutcome folds one finished dispatch into the transaction.
+func (x *telemetryTxn) addOutcome(o *Outcome) {
+	x.outcomes++
 	if o.Escalated {
-		ts.escalations++
+		x.escalations++
 	}
 	if o.Hedged {
-		ts.hedges++
+		x.hedges++
 	}
 	if o.DeadlineExceeded {
-		ts.deadlineMisses++
+		x.deadlineMisses++
 	}
 	if !math.IsNaN(o.Err) {
-		ts.err.Add(o.Err)
+		x.errVals = append(x.errVals, o.Err)
 	}
-	ts.latNs.Add(float64(o.Latency))
-	ts.inv.Add(o.InvCost)
-	t.mu.Unlock()
+	x.latVals = append(x.latVals, float64(o.Latency))
+	x.invVals = append(x.invVals, o.InvCost)
 }
 
-// observeEscalationFailure counts a secondary invocation that failed
-// after the primary had already answered (the dispatcher degrades to the
-// primary's result).
-func (t *Telemetry) observeEscalationFailure(tier string) {
-	t.mu.Lock()
-	ts := t.tiers[tier]
-	if ts == nil {
-		ts = &tierStats{}
-		t.tiers[tier] = ts
-	}
-	ts.escalationFailures++
-	t.mu.Unlock()
-}
-
-// observeFailure counts a dispatch that produced no result at all.
-func (t *Telemetry) observeFailure() {
-	t.mu.Lock()
-	t.requests++
-	t.failures++
-	t.mu.Unlock()
-}
-
-// observeInvocation records one completed backend invocation: its
-// reported service latency and its final billed costs (IaaS after any
+// addInvocation records one completed backend invocation: its reported
+// service latency and its final billed costs (IaaS after any
 // early-termination credit).
-func (t *Telemetry) observeInvocation(backend int, latency time.Duration, invCost, iaasCost float64) {
-	t.mu.Lock()
-	b := &t.backends[backend]
-	b.latNs.Add(float64(latency))
-	b.billing.AddPriced(invCost, iaasCost)
-	t.mu.Unlock()
+func (x *telemetryTxn) addInvocation(backend int, latency time.Duration, invCost, iaasCost float64) {
+	x.backendObs = append(x.backendObs, backendObs{
+		backend: backend, latNs: float64(latency), invCost: invCost, iaasCost: iaasCost,
+	})
 }
 
-// observeBilled records a started-but-unfinished invocation (a
-// cancelled hedge): it is billed and counted, but contributes no
-// latency observation — the backend never reported one, and folding a
-// surrogate in would corrupt the backend's latency telemetry.
-func (t *Telemetry) observeBilled(backend int, invCost, iaasCost float64) {
-	t.mu.Lock()
-	t.backends[backend].billing.AddPriced(invCost, iaasCost)
-	t.mu.Unlock()
+// addBilled records a started-but-unfinished invocation (a cancelled
+// hedge, billed from its plan).
+func (x *telemetryTxn) addBilled(backend int, invCost, iaasCost float64) {
+	x.backendObs = append(x.backendObs, backendObs{
+		backend: backend, invCost: invCost, iaasCost: iaasCost, billedOnly: true,
+	})
+}
+
+// addEscalationFailure counts a secondary invocation that failed after
+// the primary had already answered (the dispatcher degrades to the
+// primary's result).
+func (x *telemetryTxn) addEscalationFailure() { x.escalationFailures++ }
+
+// addFailure counts a dispatch that produced no result at all.
+func (x *telemetryTxn) addFailure() { x.failures++ }
+
+// commit applies the transaction to one shard under a single lock.
+func (t *Telemetry) commit(x *telemetryTxn) {
+	sh := t.pool.Get().(*telemetryShard)
+	sh.mu.Lock()
+	sh.requests += x.outcomes + x.failures
+	sh.failures += x.failures
+	if x.outcomes > 0 || x.escalationFailures > 0 {
+		ts := sh.tiers[x.tier]
+		if ts == nil {
+			ts = &tierStats{}
+			sh.tiers[x.tier] = ts
+		}
+		ts.requests += x.outcomes
+		ts.escalations += x.escalations
+		ts.hedges += x.hedges
+		ts.deadlineMisses += x.deadlineMisses
+		ts.escalationFailures += x.escalationFailures
+		for _, v := range x.errVals {
+			ts.err.Add(v)
+		}
+		for _, v := range x.latVals {
+			ts.latNs.Add(v)
+		}
+		for _, v := range x.invVals {
+			ts.inv.Add(v)
+		}
+	}
+	for i := range x.backendObs {
+		o := &x.backendObs[i]
+		b := &sh.backends[o.backend]
+		if !o.billedOnly {
+			b.latNs.Add(o.latNs)
+		}
+		b.billing.AddPriced(o.invCost, o.iaasCost)
+	}
+	sh.mu.Unlock()
+	t.pool.Put(sh)
+}
+
+// foldTier merges one tier's stats across shards (zero value when the
+// tier was never observed).
+func (t *Telemetry) foldTier(tier string) tierStats {
+	var agg tierStats
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if ts := sh.tiers[tier]; ts != nil {
+			cp := *ts
+			sh.mu.Unlock()
+			agg.merge(&cp)
+			continue
+		}
+		sh.mu.Unlock()
+	}
+	return agg
 }
 
 // TierMeans returns the online mean task error and response latency of
 // one tier key ("objective/tolerance"), with the graded-request count —
 // what convergence tests compare against offline predictions.
 func (t *Telemetry) TierMeans(tier string) (meanErr float64, meanLatency time.Duration, graded int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	ts := t.tiers[tier]
-	if ts == nil {
-		return 0, 0, 0
-	}
+	ts := t.foldTier(tier)
 	return ts.err.Mean, time.Duration(ts.latNs.Mean), ts.err.N
 }
 
 // Billing returns the accumulated billing of one backend index.
 func (t *Telemetry) Billing(backend int) costmodel.Billing {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.backends[backend].billing
+	var agg costmodel.Billing
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		agg.Merge(sh.backends[backend].billing)
+		sh.mu.Unlock()
+	}
+	return agg
 }
 
-// snapshot renders the wire view. trackerP95 supplies the dispatcher's
-// cached per-backend hedging estimates (ns; NaN when unknown).
+// snapshot renders the wire view by merging every shard. trackerP95
+// supplies the dispatcher's cached per-backend hedging estimates (ns;
+// NaN when unknown). Shards are locked one at a time, so a snapshot in
+// flight never stalls more than one concurrent dispatch commit.
 func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.TelemetrySnapshot {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	snap := api.TelemetrySnapshot{Requests: t.requests, Failures: t.failures}
-	keys := make([]string, 0, len(t.tiers))
-	for k := range t.tiers {
+	var requests, failures int64
+	tiers := make(map[string]*tierStats)
+	var backends []backendStats
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		requests += sh.requests
+		failures += sh.failures
+		for k, ts := range sh.tiers {
+			cp := *ts
+			agg := tiers[k]
+			if agg == nil {
+				agg = &tierStats{}
+				tiers[k] = agg
+			}
+			agg.merge(&cp)
+		}
+		if backends == nil {
+			backends = make([]backendStats, len(sh.backends))
+			for j := range sh.backends {
+				backends[j].name = sh.backends[j].name
+			}
+		}
+		for j := range sh.backends {
+			backends[j].latNs.Merge(sh.backends[j].latNs)
+			backends[j].billing.Merge(sh.backends[j].billing)
+		}
+		sh.mu.Unlock()
+	}
+
+	snap := api.TelemetrySnapshot{Requests: requests, Failures: failures}
+	keys := make([]string, 0, len(tiers))
+	for k := range tiers {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		ts := t.tiers[k]
+		ts := tiers[k]
 		snap.Tiers = append(snap.Tiers, api.TierTelemetry{
 			Tier:               k,
 			Requests:           ts.requests,
@@ -170,8 +335,8 @@ func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.Telemetry
 			MeanCostUSD:        ts.inv.Mean,
 		})
 	}
-	for i := range t.backends {
-		b := &t.backends[i]
+	for i := range backends {
+		b := &backends[i]
 		p95 := 0.0
 		if trackerP95 != nil {
 			if v := trackerP95(i); !math.IsNaN(v) {

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
@@ -15,13 +18,19 @@ import (
 // Runtime tier-execution endpoints: where POST /compute answers from
 // the simulated service clock, POST /dispatch runs the resolved tier
 // through the online dispatcher — per-backend concurrency limiters,
-// deadline budgets, hedging, and live telemetry — and GET /telemetry
-// serves the accumulated per-tier/per-backend statistics.
+// deadline budgets, hedging, and live telemetry — POST /dispatch/batch
+// amortizes that path over many corpus requests per round trip, and
+// GET /telemetry serves the accumulated per-tier/per-backend
+// statistics.
 //
 //	POST /dispatch
 //	  Tolerance: 0.05
 //	  Objective: response-time
 //	  body: {"request_id": 1234, "deadline_ms": 40}
+//	POST /dispatch/batch
+//	  Tolerance: 0.05
+//	  Objective: response-time
+//	  body: {"request_ids": [1234, 1235, 1236], "deadline_ms": 40}
 //	GET /telemetry -> api.TelemetrySnapshot
 
 // parseAnnotation reads the §IV-A tier annotation headers shared by
@@ -50,6 +59,25 @@ func parseAnnotation(w http.ResponseWriter, r *http.Request) (float64, rulegen.O
 	return tol, obj, true
 }
 
+// parseBudget converts a request's deadline_ms into a Duration budget.
+// It rejects negatives and values whose nanosecond conversion would
+// overflow int64 (a silent overflow would wrap negative and disable the
+// requested deadline); errors are already written to w.
+func parseBudget(w http.ResponseWriter, deadlineMS float64) (time.Duration, bool) {
+	if deadlineMS < 0 {
+		httpError(w, http.StatusBadRequest, "negative deadline_ms %v", deadlineMS)
+		return 0, false
+	}
+	ns := deadlineMS * float64(time.Millisecond)
+	// float64(MaxInt64) rounds up to 2^63, which itself overflows the
+	// conversion — hence >=, not >.
+	if ns >= float64(math.MaxInt64) {
+		httpError(w, http.StatusBadRequest, "deadline_ms %v too large", deadlineMS)
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
 func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 	tol, obj, ok := parseAnnotation(w, r)
 	if !ok {
@@ -60,8 +88,8 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	if body.DeadlineMS < 0 {
-		httpError(w, http.StatusBadRequest, "negative deadline_ms %v", body.DeadlineMS)
+	budget, ok := parseBudget(w, body.DeadlineMS)
+	if !ok {
 		return
 	}
 	req, found := s.byID[body.RequestID]
@@ -77,7 +105,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 	ticket := dispatch.Ticket{
 		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
 		Policy: rule.Candidate.Policy,
-		Budget: time.Duration(body.DeadlineMS * float64(time.Millisecond)),
+		Budget: budget,
 	}
 	out, err := s.disp.Do(r.Context(), req, ticket)
 	if err != nil {
@@ -124,4 +152,109 @@ func computeResult(req *service.Request, res service.Result, rule rulegen.Rule, 
 func (s *Server) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.disp.Snapshot())
+}
+
+// maxBatchItems bounds one POST /dispatch/batch body; larger workloads
+// split into multiple batches (the amortization has long flattened out
+// by this size).
+const maxBatchItems = 4096
+
+// batchEncoder pools the JSON encoding machinery of the batch endpoint:
+// a batch response is the one payload the server emits at high fan-out
+// (thousands of items per body), so its buffer and scratch slices are
+// recycled instead of reallocated per request.
+type batchEncoder struct {
+	buf   bytes.Buffer
+	enc   *json.Encoder
+	reqs  []*service.Request
+	outs  []dispatch.Outcome
+	errs  []error
+	items []api.DispatchBatchItem
+}
+
+var batchEncoders = sync.Pool{New: func() any {
+	e := &batchEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
+	tol, obj, ok := parseAnnotation(w, r)
+	if !ok {
+		return
+	}
+	var body api.DispatchBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	budget, ok := parseBudget(w, body.DeadlineMS)
+	if !ok {
+		return
+	}
+	if len(body.RequestIDs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty request_ids")
+		return
+	}
+	if len(body.RequestIDs) > maxBatchItems {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-item limit", len(body.RequestIDs), maxBatchItems)
+		return
+	}
+	rule, err := s.registry().Resolve(tol, obj)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	e := batchEncoders.Get().(*batchEncoder)
+	defer batchEncoders.Put(e)
+	e.reqs = e.reqs[:0]
+	for _, id := range body.RequestIDs {
+		req, found := s.byID[id]
+		if !found {
+			httpError(w, http.StatusNotFound, "request_id %d not in corpus", id)
+			return
+		}
+		e.reqs = append(e.reqs, req)
+	}
+
+	ticket := dispatch.Ticket{
+		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
+		Policy: rule.Candidate.Policy,
+		Budget: budget,
+	}
+	e.outs, e.errs, err = s.disp.DoBatch(r.Context(), e.reqs, ticket, e.outs, e.errs)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+
+	resp := api.DispatchBatchResult{Items: e.items[:0]}
+	for i, out := range e.outs {
+		var item api.DispatchBatchItem
+		if e.errs[i] != nil {
+			item.Error = e.errs[i].Error()
+			resp.Failed++
+		} else {
+			item.DispatchResult = api.DispatchResult{
+				ComputeResult:    computeResult(e.reqs[i], out.Result, rule, obj, out.Latency, out.InvCost, out.Escalated),
+				Backend:          out.Backend,
+				Started:          out.Started,
+				Hedged:           out.Hedged,
+				DeadlineExceeded: out.DeadlineExceeded,
+				IaaSUSD:          out.IaaSCost,
+			}
+		}
+		resp.Items = append(resp.Items, item)
+	}
+	e.items = resp.Items[:0]
+
+	e.buf.Reset()
+	if err := e.enc.Encode(resp); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode batch: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
+	_, _ = w.Write(e.buf.Bytes())
 }

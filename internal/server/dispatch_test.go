@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -57,6 +59,95 @@ func TestDispatchValidation(t *testing.T) {
 	}
 	if _, err := cl.Dispatch(ctx, corpus.Requests[0].ID, 0.05, rulegen.MinimizeLatency, -time.Second); err == nil {
 		t.Fatal("negative deadline accepted")
+	}
+	// A deadline whose nanosecond conversion overflows int64 must be
+	// rejected, not silently wrapped into "no deadline" (the raw wire
+	// field can carry magnitudes a time.Duration cannot).
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/dispatch",
+		strings.NewReader(`{"request_id": 0, "deadline_ms": 1e13}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Tolerance", "0.05")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("overflowing deadline_ms: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDispatchBatchRoundTrip(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	ids := make([]int, 12)
+	for i := range ids {
+		ids[i] = corpus.Requests[i].ID
+	}
+	batch, err := cl.DispatchBatch(ctx, ids, 0.05, rulegen.MinimizeLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != len(ids) || batch.Failed != 0 {
+		t.Fatalf("batch = %d items, %d failed", len(batch.Items), batch.Failed)
+	}
+	// Item-for-item equivalence with the single endpoint on a fresh
+	// server (same corpus/tables, independent telemetry).
+	ts2, _ := testServer(t)
+	cl2 := client.New(ts2.URL, ts2.Client())
+	for i, id := range ids {
+		item := batch.Items[i]
+		single, err := cl2.Dispatch(ctx, id, 0.05, rulegen.MinimizeLatency, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.Error != "" {
+			t.Fatalf("item %d: %s", i, item.Error)
+		}
+		if item.LatencyMS != single.LatencyMS || item.CostUSD != single.CostUSD ||
+			item.Backend != single.Backend || item.Escalated != single.Escalated ||
+			item.Started != single.Started || *item.Class != *single.Class {
+			t.Fatalf("item %d: batch %+v != single %+v", i, item, single)
+		}
+	}
+	// The whole batch lands in telemetry as one transaction.
+	snap, err := cl.Telemetry(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != int64(len(ids)) {
+		t.Fatalf("telemetry requests = %d, want %d", snap.Requests, len(ids))
+	}
+}
+
+func TestDispatchBatchValidation(t *testing.T) {
+	ts, corpus := testServer(t)
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+	if _, err := cl.DispatchBatch(ctx, []int{corpus.Requests[0].ID, 1 << 30}, 0.05, rulegen.MinimizeLatency, 0); err == nil {
+		t.Fatal("unknown request id accepted")
+	}
+	if _, err := cl.DispatchBatch(ctx, nil, 0.05, rulegen.MinimizeLatency, 0); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := cl.DispatchBatch(ctx, []int{corpus.Requests[0].ID}, 0.05, rulegen.MinimizeLatency, -time.Second); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	big := make([]int, maxBatchItems+1)
+	if _, err := cl.DispatchBatch(ctx, big, 0.05, rulegen.MinimizeLatency, 0); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Deadline marking applies per item.
+	res, err := cl.DispatchBatch(ctx, []int{corpus.Requests[0].ID}, 0.10, rulegen.MinimizeLatency, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Items[0].DeadlineExceeded {
+		t.Fatalf("1ns deadline not marked exceeded: %+v", res.Items[0])
 	}
 }
 

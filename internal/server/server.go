@@ -70,6 +70,7 @@ func NewWithRuleGen(reg *tiers.Registry, reqs []*service.Request, m *profile.Mat
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compute", s.handleCompute)
 	mux.HandleFunc("POST /dispatch", s.handleDispatch)
+	mux.HandleFunc("POST /dispatch/batch", s.handleDispatchBatch)
 	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /tiers", s.handleTiers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)

@@ -145,7 +145,8 @@ func (w *World) Top5Error(m ModelSpec, imgs []*Image) float64 {
 // prototypes under model m's observation.
 func (w *World) inTopK(m ModelSpec, img *Image, k int) bool {
 	// Rebuild the model-specific observation (deterministic).
-	obs := w.observe(m, img)
+	obs, tok := w.observe(m, img)
+	defer w.putObs(tok)
 	labelDist := distSq(obs, w.protos[img.Label])
 	closer := 0
 	for c := 0; c < w.classes; c++ {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/xrand"
@@ -134,6 +135,11 @@ type World struct {
 	seed    uint64
 	// difficulty mixture: fractions and scales of easy/moderate/hard.
 	mix []difficultyBand
+	// obsPool recycles observation vectors across Infer calls: corpus
+	// profiling runs requests x versions inferences, and one fresh
+	// dim-length slice per call used to dominate profile.Build's
+	// allocation count.
+	obsPool sync.Pool
 }
 
 type difficultyBand struct {
@@ -260,27 +266,49 @@ const (
 
 // observe materializes the image as seen through model m: its class
 // prototype plus attenuated shared noise plus model-specific residual
-// noise. Deterministic in (world seed, image ID, model name).
-func (w *World) observe(m ModelSpec, img *Image) []float64 {
+// noise. Deterministic in (world seed, image ID, model name). The
+// second return is the pool token to hand back via putObs once the
+// observation has been consumed.
+func (w *World) observe(m ModelSpec, img *Image) ([]float64, *[]float64) {
 	// Model-specific residual stream keyed by image and model identity.
 	h := uint64(1469598103934665603)
 	for _, b := range []byte(m.Name) {
 		h = (h ^ uint64(b)) * 1099511628211
 	}
-	rng := xrand.New(h ^ (uint64(img.ID)*0x9e3779b97f4a7c15 + 0xbeef))
+	var rng xrand.RNG
+	rng.Reseed(h ^ (uint64(img.ID)*0x9e3779b97f4a7c15 + 0xbeef))
 
 	proto := w.protos[img.Label]
-	obs := make([]float64, w.dim)
+	tok := w.getObs()
+	obs := *tok
 	for d := range obs {
 		obs[d] = proto[d] + img.Difficulty*(m.SharedAtten*img.shared[d]+m.ResidualNoise*rng.Norm())
 	}
-	return obs
+	return obs, tok
+}
+
+// getObs hands out a pooled dim-length observation vector; callers that
+// are done classifying return the same token with putObs. Every element
+// is overwritten before use, so recycling cannot leak state between
+// inferences. The token is the pooled object itself, so a steady-state
+// get/put cycle allocates nothing.
+func (w *World) getObs() *[]float64 {
+	if v := w.obsPool.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	s := make([]float64, w.dim)
+	return &s
+}
+
+func (w *World) putObs(tok *[]float64) {
+	w.obsPool.Put(tok)
 }
 
 // Infer runs model m on img: it builds the model's observation and
 // classifies by nearest prototype.
 func (w *World) Infer(m ModelSpec, img *Image) Prediction {
-	obs := w.observe(m, img)
+	obs, tok := w.observe(m, img)
+	defer w.putObs(tok)
 
 	best, second := -1, -1
 	bestD, secondD := math.Inf(1), math.Inf(1)
@@ -337,7 +365,8 @@ func (w *World) Infer(m ModelSpec, img *Image) Prediction {
 // per-request jitter.
 func RequestLatency(m ModelSpec, dev Device, imageID int) time.Duration {
 	base := m.Latency(dev)
-	r := xrand.New(uint64(imageID)*0x2545f4914f6cdd1d + 0x11)
+	var r xrand.RNG
+	r.Reseed(uint64(imageID)*0x2545f4914f6cdd1d + 0x11)
 	jitter := 1 + latencyJitterFrac*(2*r.Float64()-1)
 	return time.Duration(float64(base) * jitter)
 }

@@ -36,6 +36,16 @@ func splitmix64(state *uint64) uint64 {
 // same seed produce identical streams.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed initializes r in place from seed, producing exactly the stream
+// New(seed) would. It exists for hot paths that seed a fresh generator
+// per item (per-request jitter, per-inference residual noise): a local
+// RNG value reseeded in place stays on the stack, where New's pointer
+// return forces a heap allocation per call.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -44,7 +54,7 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare, r.hasSpare = 0, false
 }
 
 // Split derives an independent child generator labelled by key. The

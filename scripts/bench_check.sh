@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI benchmark regression gate: reruns the hot-path benchmarks through
+# scripts/bench.sh and compares the fresh numbers against the committed
+# BENCH.json baseline. Fails (exit 1) when a gated benchmark's mean
+# ns/op regresses by more than the threshold.
+#
+#   ./scripts/bench_check.sh [count] [threshold-pct] [fresh-out.json]
+#
+# count defaults to 3 repetitions (passed through to bench.sh);
+# threshold defaults to 30 (percent). Gated benchmarks: the dispatch
+# runtime (BenchmarkDispatch*), the Fig.-7 sweep (BenchmarkRuleGenerator)
+# and the bootstrap kernel (BenchmarkEvaluatorTrial). Benchmarks present
+# in the fresh run but absent from the baseline are reported as new and
+# do not fail the gate. When fresh-out.json is given, the fresh run's
+# JSON is kept there (CI uploads it as the new baseline artifact instead
+# of paying for a second full sweep).
+set -euo pipefail
+
+COUNT="${1:-3}"
+THRESHOLD="${2:-30}"
+KEEP="${3:-}"
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH.json"
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: no $BASELINE baseline committed" >&2
+    exit 1
+fi
+
+if [[ -n "$KEEP" ]]; then
+    FRESH="$KEEP"
+else
+    FRESH="$(mktemp /tmp/bench_check.XXXXXX.json)"
+    trap 'rm -f "$FRESH"' EXIT
+fi
+
+./scripts/bench.sh "$COUNT" "$FRESH" >/dev/null
+
+# Pull "name": {"ns_per_op": X, ...} pairs out of a bench.sh JSON.
+extract() {
+    sed -n 's/^[[:space:]]*"\([^"]*\)": {"ns_per_op": \([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+extract "$BASELINE" > /tmp/bench_base.$$
+extract "$FRESH" > /tmp/bench_fresh.$$
+
+status=0
+echo "bench_check: comparing against $BASELINE (threshold +${THRESHOLD}%)"
+while read -r name fresh_ns; do
+    case "$name" in
+        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial) ;;
+        *) continue ;;
+    esac
+    base_ns="$(awk -v n="$name" '$1 == n {print $2}' /tmp/bench_base.$$)"
+    if [[ -z "$base_ns" ]]; then
+        printf '  NEW   %-40s %12.1f ns/op (no baseline)\n' "$name" "$fresh_ns"
+        continue
+    fi
+    verdict="$(awk -v b="$base_ns" -v f="$fresh_ns" -v t="$THRESHOLD" \
+        'BEGIN { print (f > b * (1 + t / 100)) ? "FAIL" : "ok" }')"
+    delta="$(awk -v b="$base_ns" -v f="$fresh_ns" 'BEGIN { printf "%+.1f", (f / b - 1) * 100 }')"
+    printf '  %-5s %-40s %12.1f -> %12.1f ns/op (%s%%)\n' "$verdict" "$name" "$base_ns" "$fresh_ns" "$delta"
+    if [[ "$verdict" == "FAIL" ]]; then
+        status=1
+    fi
+done < /tmp/bench_fresh.$$
+
+# A gated benchmark that vanished from the fresh sweep (renamed,
+# deleted, or dropped from the bench binary) is itself a gate failure —
+# otherwise losing the benchmark silently loses its protection.
+while read -r name _; do
+    case "$name" in
+        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial) ;;
+        *) continue ;;
+    esac
+    if ! awk -v n="$name" '$1 == n {found=1} END {exit !found}' /tmp/bench_fresh.$$; then
+        printf '  MISS  %-40s gone from the fresh run (baseline has it)\n' "$name"
+        status=1
+    fi
+done < /tmp/bench_base.$$
+rm -f /tmp/bench_base.$$ /tmp/bench_fresh.$$
+
+if [[ "$status" -ne 0 ]]; then
+    echo "bench_check: ns/op regression beyond ${THRESHOLD}% — investigate or regenerate BENCH.json with scripts/bench.sh" >&2
+fi
+exit "$status"

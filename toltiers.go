@@ -102,8 +102,14 @@ type (
 	// Dispatcher executes tolerance-tier policies against live backends
 	// at request time: escalation on live confidence, per-backend
 	// concurrency limiters, deadline-aware hedging, online telemetry.
+	// Do dispatches one request; DoBatch amortizes validation, limiter
+	// leases and the telemetry transaction over a whole batch with
+	// bit-identical per-item outcomes. The steady-state replay path is
+	// allocation-free and scales with cores (sharded telemetry,
+	// lock-free hedging estimates).
 	Dispatcher = dispatch.Dispatcher
-	// DispatchOptions parameterizes a Dispatcher.
+	// DispatchOptions parameterizes a Dispatcher (concurrency caps,
+	// hedge quantile, telemetry shard count).
 	DispatchOptions = dispatch.Options
 	// DispatchTicket carries one request's resolved tier through the
 	// dispatcher.
