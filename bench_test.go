@@ -495,6 +495,29 @@ func BenchmarkDispatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDriftObserve measures the drift monitor's per-outcome
+// observe path — the work every dispatch pays once a monitor hangs on
+// DispatchOptions.Observer. It must stay allocation-free (the window
+// closes every 64th call run the full detector arithmetic and are
+// included in the mean), or attaching drift detection would cost the
+// runtime its zero-allocation steady state; the alloc-regression test
+// in internal/drift pins the same property, and scripts/bench_check.sh
+// gates the ns/op.
+func BenchmarkDriftObserve(b *testing.B) {
+	mon := toltiers.NewDriftMonitor(toltiers.DriftConfig{Enabled: true, Window: 64},
+		[]string{"replay:v0"}, nil)
+	o := toltiers.DispatchOutcome{Err: 0.05, Latency: 20 * time.Millisecond}
+	tier := toltiers.DispatchTierKey(toltiers.MinimizeLatency, 0.05)
+	for i := 0; i < 128; i++ {
+		mon.ObserveOutcome(tier, &o)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.ObserveOutcome(tier, &o)
+	}
+}
+
 // BenchmarkRegistryHandle measures the live annotated-request path
 // through the public API.
 func BenchmarkRegistryHandle(b *testing.B) {

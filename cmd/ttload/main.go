@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/toltiers/toltiers"
+	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/client"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/stats"
@@ -109,10 +110,23 @@ func main() {
 		step        = flag.Float64("step", 0.01, "tolerance grid step for rule generation (in-process mode)")
 		seed        = flag.Uint64("seed", 0x10ad, "trace seed")
 		batchN      = flag.Int("batch", 1, "group arrivals of one consumer class into batches of this size (1 = per-request dispatch)")
+		chaosSpec   = flag.String("chaos", "", "scripted backend perturbations for in-process mode, e.g. 'backend=0,kind=latency,shape=step,start=1000,magnitude=2/backend=1,kind=accuracy,magnitude=0.5' (kinds latency|accuracy|error; shapes step|ramp|osc; logical time = invocations)")
+		driftOn     = flag.Bool("drift", false, "watch the traffic with a drift monitor (in-process: attached to the dispatcher; remote: reported from the target's GET /drift) and print detector state")
+		driftWindow = flag.Int("drift-window", 64, "dispatches per drift-detector window (in-process -drift)")
 	)
 	flag.Parse()
 	if *batchN < 1 {
 		log.Fatal("-batch must be >= 1")
+	}
+	var chaos []dispatch.ChaosSpec
+	if *chaosSpec != "" {
+		var err error
+		if chaos, err = dispatch.ParseChaos(*chaosSpec); err != nil {
+			log.Fatal(err)
+		}
+		if *target != "" {
+			log.Fatal("-chaos only applies to in-process replay mode")
+		}
 	}
 
 	budget := time.Duration(*deadlineMS * float64(time.Millisecond))
@@ -120,10 +134,11 @@ func main() {
 	var issue func(ctx context.Context, arr workload.Arrival, col *collector)
 	var issueBatch func(ctx context.Context, arrs []workload.Arrival, col *collector)
 	var disp *dispatch.Dispatcher
+	var mon *toltiers.DriftMonitor
 	corpusSize := *corpusN
 	if *target == "" {
 		var reqs []*toltiers.Request
-		disp, reqs = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend)
+		disp, reqs, mon = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend, chaos, *driftOn, *driftWindow)
 		corpusSize = len(reqs)
 		reg := mustRegistry(*svcName, *corpusN, *step)
 		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
@@ -249,6 +264,26 @@ func main() {
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	var start time.Time
+	var stopChecks chan struct{}
+	if mon != nil {
+		// Tick the monitor during the run, as a serving node's drift
+		// loop would: the per-backend quantile-shift tests need
+		// consecutive Check strikes, which a single post-run check could
+		// never supply.
+		stopChecks = make(chan struct{})
+		go func() {
+			t := time.NewTicker(250 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopChecks:
+					return
+				case now := <-t.C:
+					mon.Check(now, disp.P95)
+				}
+			}
+		}()
+	}
 	if *batchN > 1 {
 		jobs := batchTrace(trace, *batchN)
 		next := make(chan []workload.Arrival, *concurrency)
@@ -296,10 +331,24 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if stopChecks != nil {
+		close(stopChecks)
+	}
 
 	report(col, elapsed, *batchN)
 	if disp != nil {
 		reportTelemetry(disp)
+	}
+	if mon != nil {
+		mon.Check(time.Now(), disp.P95)
+		reportDrift(mon.Status(disp.P95))
+	} else if *driftOn && *target != "" {
+		st, err := client.New(*target, nil).Drift(context.Background())
+		if err != nil {
+			log.Printf("drift status: %v", err)
+		} else {
+			reportDrift(*st)
+		}
 	}
 }
 
@@ -388,8 +437,10 @@ func reportTelemetry(d *dispatch.Dispatcher) {
 }
 
 // buildReplayRuntime profiles the corpus and assembles the replay
-// dispatcher.
-func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBackend int) (*dispatch.Dispatcher, []*toltiers.Request) {
+// dispatcher, optionally wrapping backends with scripted chaos and
+// attaching a drift monitor.
+func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBackend int,
+	chaos []dispatch.ChaosSpec, driftOn bool, driftWindow int) (*dispatch.Dispatcher, []*toltiers.Request, *toltiers.DriftMonitor) {
 	matrix := mustMatrix(svcName, corpusN)
 	backends := toltiers.NewReplayBackends(matrix)
 	if sleepScale > 0 {
@@ -397,8 +448,50 @@ func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBack
 			b.(*dispatch.ReplayBackend).SleepScale = sleepScale
 		}
 	}
-	d := toltiers.NewDispatcher(backends, toltiers.DispatchOptions{MaxConcurrentPerBackend: perBackend})
-	return d, toltiers.ReplayRequests(matrix)
+	if len(chaos) > 0 {
+		var err error
+		if backends, err = dispatch.ApplyChaos(backends, chaos); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opts := toltiers.DispatchOptions{MaxConcurrentPerBackend: perBackend}
+	var mon *toltiers.DriftMonitor
+	if driftOn {
+		names := make([]string, len(backends))
+		for i, b := range backends {
+			names[i] = b.Name()
+		}
+		mon = toltiers.NewDriftMonitor(toltiers.DriftConfig{Enabled: true, Window: driftWindow},
+			names, toltiers.DriftBackendBaselines(matrix))
+		opts.Observer = mon
+	}
+	d := toltiers.NewDispatcher(backends, opts)
+	return d, toltiers.ReplayRequests(matrix), mon
+}
+
+// reportDrift prints the drift monitor's detector state and any
+// confirmed shift events.
+func reportDrift(st api.DriftStatus) {
+	t := tablewriter.New(fmt.Sprintf("drift detectors (%s, %d reprofiles)", st.State, st.Reprofiles),
+		"stream", "windows", "mean err", "mean lat (ms)", "err PH", "lat PH", "err CUSUM", "lat CUSUM", "alarmed")
+	for _, ti := range st.Tiers {
+		t.AddStrings("tier:"+ti.Tier, fmt.Sprint(ti.Windows),
+			fmt.Sprintf("%.4f", ti.MeanErr), fmt.Sprintf("%.2f", ti.MeanLatencyMS),
+			fmt.Sprintf("%.3f", ti.ErrPH), fmt.Sprintf("%.3f", ti.LatPH),
+			fmt.Sprintf("%.2f", ti.ErrCusum), fmt.Sprintf("%.2f", ti.LatCusum),
+			fmt.Sprint(ti.Alarmed))
+	}
+	for _, b := range st.Backends {
+		t.AddStrings("backend:"+b.Backend, "-", "-",
+			fmt.Sprintf("p95 %.2f/%.2f", b.ObservedP95MS, b.BaselineP95MS),
+			"-", "-", "-", fmt.Sprintf("strikes %d", b.Strikes), fmt.Sprint(b.Alarmed))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range st.Events {
+		log.Printf("drift event: %s %s value %.4g threshold %.4g", e.Stream, e.Detector, e.Value, e.Threshold)
+	}
 }
 
 // corpus/profile/registry construction, cached per process run.

@@ -28,6 +28,8 @@ func main() {
 		step       = flag.Float64("step", 0.005, "tolerance grid step")
 		shards     = flag.Int("shards", 0, "candidate-grid shards for the sharded generator (0 = auto)")
 		workers    = flag.Int("workers", 0, "concurrent shard workers (0 = one per shard)")
+		driftOn    = flag.Bool("drift", false, "watch live telemetry for distribution shifts and self-heal: a confirmed shift re-profiles the backends and regenerates the rule tables in place")
+		driftTick  = flag.Duration("drift-interval", 0, "drift check cadence (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -52,8 +54,17 @@ func main() {
 		gen.Generate(grid, toltiers.MinimizeLatency),
 		gen.Generate(grid, toltiers.MinimizeCost))
 
+	srv := toltiers.NewHTTPServer(reg, reqs, toltiers.ServerConfig{
+		Matrix:        matrix,
+		Drift:         toltiers.DriftConfig{Enabled: *driftOn, AutoReprofile: *driftOn},
+		DriftInterval: *driftTick,
+	})
+	defer srv.Close()
+	if *driftOn {
+		log.Printf("drift monitor armed (GET /drift, POST /drift/config)")
+	}
 	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
-	if err := http.ListenAndServe(*addr, toltiers.NewHTTPHandlerWithRuleGen(reg, reqs, matrix)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
 	}
 }

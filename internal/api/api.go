@@ -162,6 +162,13 @@ type RuleGenRequest struct {
 	BatchSize int `json:"batch_size,omitempty"`
 	// Confidence overrides the bootstrap confidence (default 0.999).
 	Confidence float64 `json:"confidence,omitempty"`
+	// MinTrials / MaxTrials / ThresholdPoints override the bootstrap
+	// loop bounds and per-policy threshold grid (0 = defaults) — a
+	// drift-triggered regeneration on a serving node can trade sweep
+	// depth for turnaround.
+	MinTrials       int `json:"min_trials,omitempty"`
+	MaxTrials       int `json:"max_trials,omitempty"`
+	ThresholdPoints int `json:"threshold_points,omitempty"`
 	// Step and MaxTolerance define the tolerance grid (defaults 0.01
 	// and 0.10).
 	Step         float64 `json:"step,omitempty"`
@@ -196,4 +203,124 @@ type RuleGenStatus struct {
 	// trial distribution of the finished sweep.
 	MeanTrials float64 `json:"mean_trials,omitempty"`
 	MaxTrials  float64 `json:"max_trials,omitempty"`
+	// Drift reports the job was started by the drift monitor's
+	// self-healing loop (re-profiled backends, then regenerated).
+	Drift bool `json:"drift,omitempty"`
+}
+
+// DriftConfig is the drift monitor's configuration — the JSON body of
+// POST /drift/config and the config echo inside GET /drift. Zero
+// values select the monitor's defaults.
+type DriftConfig struct {
+	// Enabled turns observation and detection on.
+	Enabled bool `json:"enabled"`
+	// AutoReprofile arms the self-healing loop: a confirmed shift
+	// re-profiles the live backends and regenerates the rule tables
+	// through the async rule-generation job, swapping the serving
+	// registry atomically on success.
+	AutoReprofile bool `json:"auto_reprofile"`
+	// Window is the number of dispatches folded into one detector
+	// observation per tier (default 64).
+	Window int `json:"window,omitempty"`
+	// WarmupWindows is the number of windows that settle the baselines
+	// before alarms arm (default 8).
+	WarmupWindows int `json:"warmup_windows,omitempty"`
+	// ErrDelta / ErrLambda parameterize the Page–Hinkley test on
+	// window-mean task error (defaults 0.02 / 0.3).
+	ErrDelta  float64 `json:"err_delta,omitempty"`
+	ErrLambda float64 `json:"err_lambda,omitempty"`
+	// LatDelta / LatLambda parameterize the Page–Hinkley test on
+	// window-mean latency relative to its warmup baseline
+	// (defaults 0.05 / 1.0).
+	LatDelta  float64 `json:"lat_delta,omitempty"`
+	LatLambda float64 `json:"lat_lambda,omitempty"`
+	// CusumK / CusumH parameterize the standardized CUSUM tests on the
+	// same window means (defaults 0.5 / 12).
+	CusumK float64 `json:"cusum_k,omitempty"`
+	CusumH float64 `json:"cusum_h,omitempty"`
+	// QuantileRatio / QuantileStrikes parameterize the per-backend
+	// latency-quantile shift test against the profiled baseline p95
+	// (defaults 0.5 / 3 consecutive checks).
+	QuantileRatio   float64 `json:"quantile_ratio,omitempty"`
+	QuantileStrikes int     `json:"quantile_strikes,omitempty"`
+	// CooldownMS is the minimum gap between self-healing triggers in
+	// milliseconds (default 30000).
+	CooldownMS float64 `json:"cooldown_ms,omitempty"`
+}
+
+// DriftTierStatus is one tier's detector state in GET /drift.
+type DriftTierStatus struct {
+	Tier string `json:"tier"`
+	// Requests counts observed dispatches (Failures of them produced
+	// no result and enter the error stream as maximal observations);
+	// Windows counts completed detector windows.
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures,omitempty"`
+	Windows  int64 `json:"windows"`
+	// MeanErr / MeanLatencyMS are the latest completed window's means.
+	MeanErr       float64 `json:"mean_err"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	// BaselineLatencyMS is the frozen warmup latency baseline the
+	// relative tests compare against.
+	BaselineLatencyMS float64 `json:"baseline_latency_ms,omitempty"`
+	// ErrPH / LatPH / ErrCusum / LatCusum are the current test
+	// statistics (compare against the configured thresholds).
+	ErrPH    float64 `json:"err_ph"`
+	LatPH    float64 `json:"lat_ph"`
+	ErrCusum float64 `json:"err_cusum"`
+	LatCusum float64 `json:"lat_cusum"`
+	// Alarmed reports an uncollected alarm on this tier; Reasons names
+	// the detectors that fired.
+	Alarmed bool     `json:"alarmed,omitempty"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// DriftBackendStatus is one backend's quantile-shift state in
+// GET /drift.
+type DriftBackendStatus struct {
+	Backend string `json:"backend"`
+	// BaselineP95MS is the profiled reference; ObservedP95MS the
+	// runtime's latest hedging estimate (0 until enough samples). Both
+	// are taken at the dispatcher's configured hedge quantile (default
+	// 0.95, hence the field names).
+	BaselineP95MS float64 `json:"baseline_p95_ms,omitempty"`
+	ObservedP95MS float64 `json:"observed_p95_ms,omitempty"`
+	// Strikes counts consecutive checks beyond the tolerated ratio.
+	Strikes int  `json:"strikes,omitempty"`
+	Alarmed bool `json:"alarmed,omitempty"`
+}
+
+// DriftEvent is one confirmed shift in GET /drift.
+type DriftEvent struct {
+	// UnixMS is the wall-clock time of the detection.
+	UnixMS int64 `json:"unix_ms"`
+	// Stream names what shifted: "tier:<objective>/<tolerance>" or
+	// "backend:<name>".
+	Stream string `json:"stream"`
+	// Detector names the test that fired (page-hinkley-err,
+	// page-hinkley-latency, cusum-err, cusum-latency, quantile-shift).
+	Detector string `json:"detector"`
+	// Value is the statistic that crossed Threshold.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// DriftStatus is the JSON response of GET /drift.
+type DriftStatus struct {
+	Config DriftConfig `json:"config"`
+	// State is disabled | watching | triggered (a reprofile job is in
+	// flight).
+	State    string               `json:"state"`
+	Tiers    []DriftTierStatus    `json:"tiers,omitempty"`
+	Backends []DriftBackendStatus `json:"backends,omitempty"`
+	// Events lists the most recent confirmed shifts (bounded history,
+	// newest last).
+	Events []DriftEvent `json:"events,omitempty"`
+	// Reprofiles counts self-healing loops completed and applied;
+	// LastJobID is the rule-generation job the latest trigger started.
+	Reprofiles int64 `json:"reprofiles"`
+	LastJobID  int   `json:"last_job_id,omitempty"`
+	// LastError reports the most recent self-healing failure ("" when
+	// the last trigger profiled and regenerated cleanly).
+	LastError string `json:"last_error,omitempty"`
 }

@@ -247,6 +247,58 @@ func (c *Client) RulesStatus(ctx context.Context) (*api.RuleGenStatus, error) {
 	return &out, nil
 }
 
+// Drift fetches the node's drift-monitor status: detector states per
+// tier and backend, confirmed shift events, and the self-healing loop's
+// progress (GET /drift).
+func (c *Client) Drift(ctx context.Context) (*api.DriftStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/drift", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: drift: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.DriftStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode drift status: %w", err)
+	}
+	return &out, nil
+}
+
+// SetDriftConfig replaces the node's drift-monitor configuration
+// (POST /drift/config) — enabling detection, arming the self-healing
+// auto-reprofile loop, or retuning the detectors; every detector resets
+// to the new parameters. It returns the resulting status.
+func (c *Client) SetDriftConfig(ctx context.Context, cfg api.DriftConfig) (*api.DriftStatus, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode drift config: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/drift/config", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: set drift config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.DriftStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode drift status: %w", err)
+	}
+	return &out, nil
+}
+
 // Healthy reports whether the endpoint answers /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
 	_, err := c.Health(ctx)

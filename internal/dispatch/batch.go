@@ -43,7 +43,9 @@ func (d *Dispatcher) DoBatch(ctx context.Context, reqs []*service.Request, t Tic
 	if err != nil {
 		// A batch that dies on the limiter lease counts every item as a
 		// failed request, exactly as the same items issued through Do
-		// would have (each failing its own limiter acquire).
+		// would have (each failing its own limiter acquire). The lease
+		// only fails through context death — the client's doing, not the
+		// backends' — so the drift observer is deliberately not told.
 		for range reqs {
 			c.txn.addFailure()
 		}
@@ -144,26 +146,14 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 
 	switch {
 	case p.Kind == ensemble.Single:
-		o.Result = service.Result{Class: -1, Confidence: pConf, Latency: pLat}
-		o.Err = pri.m.Err[pk]
-		o.Latency = pLat
-		o.InvCost = pri.m.InvCost[pk]
-		o.IaaSCost = pri.m.IaaSCost[pk]
-		o.Started = 1
-		o.Backend = pri.name
+		replaySolo(pri, pk, pLat, pConf, o)
 		c.txn.addInvocation(p.Primary, pLat, o.InvCost, o.IaaSCost)
 
 	case p.Kind == ensemble.Failover && !d.shouldHedge(p, t.Budget):
 		// Sequential failover: primary first, secondary only when the
 		// primary's confidence misses the threshold.
 		if pConf >= p.Threshold {
-			o.Result = service.Result{Class: -1, Confidence: pConf, Latency: pLat}
-			o.Err = pri.m.Err[pk]
-			o.Latency = pLat
-			o.InvCost = pri.m.InvCost[pk]
-			o.IaaSCost = pri.m.IaaSCost[pk]
-			o.Started = 1
-			o.Backend = pri.name
+			replaySolo(pri, pk, pLat, pConf, o)
 			c.txn.addInvocation(p.Primary, pLat, o.InvCost, o.IaaSCost)
 			break
 		}
@@ -202,14 +192,13 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		if pConf >= p.Threshold {
 			partialIaaS := proRataIaaS(pLat, sLat, sec.m.IaaSCost[sk])
 			c.txn.addInvocation(p.Secondary, sLat, sec.m.InvCost[sk], partialIaaS)
-			o.Result = service.Result{Class: -1, Confidence: pConf, Latency: pLat}
-			o.Err = pri.m.Err[pk]
-			o.Latency = pLat
-			o.InvCost = pri.m.InvCost[pk] + sec.m.InvCost[sk]
-			o.IaaSCost = pri.m.IaaSCost[pk] + partialIaaS
+			// The confident primary's solo outcome, plus the hedged
+			// secondary's bill (same addition order as Do's combineHedged).
+			replaySolo(pri, pk, pLat, pConf, o)
+			o.InvCost += sec.m.InvCost[sk]
+			o.IaaSCost += partialIaaS
 			o.Hedged = hedged
 			o.Started = 2
-			o.Backend = pri.name
 			break
 		}
 		c.txn.addInvocation(p.Secondary, sLat, sec.m.InvCost[sk], sec.m.IaaSCost[sk])
@@ -224,7 +213,24 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(o)
+	if d.obs != nil {
+		d.obs.ObserveOutcome(t.Tier, o)
+	}
 	return nil
+}
+
+// replaySolo assembles the fused outcome answered by the primary's
+// cell alone — the one-leg counterpart of replayEscalated, shared by
+// the Single, confident-failover and confident-hedge branches so the
+// bit-identical arithmetic lives in one place.
+func replaySolo(pri *ReplayBackend, pk int, pLat time.Duration, pConf float64, o *Outcome) {
+	o.Result = service.Result{Class: -1, Confidence: pConf, Latency: pLat}
+	o.Err = pri.m.Err[pk]
+	o.Latency = pLat
+	o.InvCost = pri.m.InvCost[pk]
+	o.IaaSCost = pri.m.IaaSCost[pk]
+	o.Started = 1
+	o.Backend = pri.name
 }
 
 // replayEscalated assembles the fused two-leg escalated outcome in

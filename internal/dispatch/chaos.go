@@ -1,0 +1,307 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// ChaosBackend wraps a Backend with a scripted, deterministic
+// perturbation schedule — the fault-injection layer of the dispatch
+// stack. Perturbations key off the backend's own invocation counter
+// (logical time, not the wall clock) and draw any randomness from a
+// per-invocation hash of the perturbation's seed, so a scripted
+// scenario replays bit-identically for a fixed request order — which is
+// what lets the drift-detection tests stage accuracy collapses, latency
+// inflations and error bursts without a flaky clock in sight.
+//
+// Three perturbation kinds cover the shifts the paper warns about:
+//
+//   - LatencyInflate multiplies the reported latency (and the
+//     proportional node-time cost) by 1 + Magnitude*envelope.
+//   - AccuracyDegrade marks a Magnitude*envelope fraction of results
+//     wrong (task error 1), the way a regressed model version would.
+//   - ErrorBurst fails a Magnitude*envelope fraction of invocations
+//     outright with ErrInjected before they reach the inner backend.
+//
+// The envelope is the perturbation's Shape over logical time: a Step, a
+// linear Ramp, or a raised-cosine Oscillation.
+type ChaosBackend struct {
+	inner Backend
+	perts []Perturbation
+	n     atomic.Uint64
+}
+
+// ErrInjected is the error an ErrorBurst perturbation fails an
+// invocation with.
+var ErrInjected = errors.New("chaos: injected backend fault")
+
+// PerturbKind selects what a perturbation distorts.
+type PerturbKind int
+
+const (
+	// LatencyInflate scales the reported latency and node-time cost.
+	LatencyInflate PerturbKind = iota
+	// AccuracyDegrade marks a fraction of results wrong (Err = 1).
+	AccuracyDegrade
+	// ErrorBurst fails a fraction of invocations with ErrInjected.
+	ErrorBurst
+)
+
+// Shape is a perturbation's intensity envelope over logical time.
+type Shape int
+
+const (
+	// Step switches the full magnitude on at Start.
+	Step Shape = iota
+	// Ramp rises linearly from 0 to full magnitude over Period
+	// invocations starting at Start, then holds.
+	Ramp
+	// Oscillate cycles 0 → full → 0 with a raised cosine of the given
+	// Period.
+	Oscillate
+)
+
+// Perturbation is one scripted distortion of a backend's behaviour.
+type Perturbation struct {
+	Kind  PerturbKind
+	Shape Shape
+	// Start is the first affected invocation (0-based logical time on
+	// this backend).
+	Start uint64
+	// Duration bounds the perturbation in invocations (0 = forever).
+	Duration uint64
+	// Period is the Ramp rise length or the Oscillate cycle length in
+	// invocations (default 256 when a shape needs one).
+	Period uint64
+	// Magnitude is the full-envelope intensity: the latency multiplier
+	// minus one for LatencyInflate, the affected request fraction for
+	// AccuracyDegrade and ErrorBurst.
+	Magnitude float64
+	// Seed drives the per-invocation coin of the probabilistic kinds;
+	// schedules with equal seeds affect the same logical invocations.
+	Seed uint64
+}
+
+// envelope returns the shape intensity in [0, 1] at logical time n.
+func (p Perturbation) envelope(n uint64) float64 {
+	if n < p.Start || (p.Duration > 0 && n >= p.Start+p.Duration) {
+		return 0
+	}
+	t := n - p.Start
+	period := p.Period
+	if period == 0 {
+		period = 256
+	}
+	switch p.Shape {
+	case Ramp:
+		if t >= period {
+			return 1
+		}
+		return float64(t+1) / float64(period)
+	case Oscillate:
+		return 0.5 * (1 - math.Cos(2*math.Pi*float64(t%period)/float64(period)))
+	default:
+		return 1
+	}
+}
+
+// coin is the deterministic per-invocation Bernoulli draw of the
+// probabilistic kinds: a SplitMix64 finalizer over (seed, n) compared
+// against p. Independent of invocation order and of every other
+// perturbation's draws.
+func coin(seed, n uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	z := seed ^ (n+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)*(1.0/(1<<53)) < p
+}
+
+// Chaos wraps a backend with the given perturbation schedule.
+func Chaos(inner Backend, perts ...Perturbation) *ChaosBackend {
+	return &ChaosBackend{inner: inner, perts: perts}
+}
+
+// Name implements Backend, delegating to the wrapped backend so tier
+// policies and telemetry keep their index space.
+func (b *ChaosBackend) Name() string { return b.inner.Name() }
+
+// Plan implements Backend.
+func (b *ChaosBackend) Plan() costmodel.Plan { return b.inner.Plan() }
+
+// Instant delegates the wrapped backend's wall-clock occupancy report,
+// so an instant replay stays on the dispatcher's inline hedge path.
+func (b *ChaosBackend) Instant() bool {
+	ib, ok := b.inner.(interface{ Instant() bool })
+	return ok && ib.Instant()
+}
+
+// Invocations returns the backend's logical clock: how many invocations
+// have been issued to it (including ones ErrorBurst failed).
+func (b *ChaosBackend) Invocations() uint64 { return b.n.Load() }
+
+// Invoke implements Backend: it advances the logical clock, fails the
+// invocation if an error burst claims it, and otherwise distorts the
+// inner backend's response per the schedule.
+func (b *ChaosBackend) Invoke(ctx context.Context, req *service.Request) (Response, error) {
+	n := b.n.Add(1) - 1
+	for _, p := range b.perts {
+		if p.Kind != ErrorBurst {
+			continue
+		}
+		if e := p.envelope(n); e > 0 && coin(p.Seed, n, p.Magnitude*e) {
+			return Response{}, ErrInjected
+		}
+	}
+	resp, err := b.inner.Invoke(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	for _, p := range b.perts {
+		e := p.envelope(n)
+		if e <= 0 {
+			continue
+		}
+		switch p.Kind {
+		case LatencyInflate:
+			scale := 1 + p.Magnitude*e
+			resp.Result.Latency = time.Duration(float64(resp.Result.Latency) * scale)
+			resp.IaaSCost *= scale // node time stretches with the latency
+		case AccuracyDegrade:
+			if coin(p.Seed, n, p.Magnitude*e) {
+				resp.Err = 1
+			}
+		}
+	}
+	return resp, nil
+}
+
+// ParseChaos parses a CLI chaos schedule: perturbation specs separated
+// by '/', each a comma-separated key=value list:
+//
+//	backend=0,kind=latency,shape=step,start=1000,magnitude=2
+//	backend=1,kind=accuracy,shape=ramp,start=500,period=200,magnitude=0.6,seed=7
+//	backend=0,kind=error,shape=osc,period=400,magnitude=0.2/backend=2,kind=latency,magnitude=1
+//
+// Keys: backend (required index), kind (latency | accuracy | error,
+// required), shape (step | ramp | osc, default step), start, duration,
+// period (invocations), magnitude (required), seed.
+func ParseChaos(spec string) ([]ChaosSpec, error) {
+	var out []ChaosSpec
+	for _, part := range strings.Split(spec, "/") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		cs := ChaosSpec{Backend: -1}
+		cs.Pert.Magnitude = math.NaN()
+		kindSet := false
+		for _, kv := range strings.Split(part, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: %q is not key=value", kv)
+			}
+			var err error
+			switch key {
+			case "backend":
+				cs.Backend, err = strconv.Atoi(val)
+			case "kind":
+				kindSet = true
+				switch val {
+				case "latency":
+					cs.Pert.Kind = LatencyInflate
+				case "accuracy":
+					cs.Pert.Kind = AccuracyDegrade
+				case "error":
+					cs.Pert.Kind = ErrorBurst
+				default:
+					err = fmt.Errorf("unknown kind %q", val)
+				}
+			case "shape":
+				switch val {
+				case "step":
+					cs.Pert.Shape = Step
+				case "ramp":
+					cs.Pert.Shape = Ramp
+				case "osc":
+					cs.Pert.Shape = Oscillate
+				default:
+					err = fmt.Errorf("unknown shape %q", val)
+				}
+			case "start":
+				cs.Pert.Start, err = strconv.ParseUint(val, 10, 64)
+			case "duration":
+				cs.Pert.Duration, err = strconv.ParseUint(val, 10, 64)
+			case "period":
+				cs.Pert.Period, err = strconv.ParseUint(val, 10, 64)
+			case "magnitude":
+				cs.Pert.Magnitude, err = strconv.ParseFloat(val, 64)
+			case "seed":
+				cs.Pert.Seed, err = strconv.ParseUint(val, 10, 64)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %q: %w", part, err)
+			}
+		}
+		if cs.Backend < 0 {
+			return nil, fmt.Errorf("chaos: %q: missing backend=", part)
+		}
+		if !kindSet {
+			return nil, fmt.Errorf("chaos: %q: missing kind=", part)
+		}
+		if math.IsNaN(cs.Pert.Magnitude) {
+			return nil, fmt.Errorf("chaos: %q: missing magnitude=", part)
+		}
+		if cs.Pert.Magnitude < 0 {
+			return nil, fmt.Errorf("chaos: %q: negative magnitude", part)
+		}
+		out = append(out, cs)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("chaos: empty spec")
+	}
+	return out, nil
+}
+
+// ChaosSpec targets one parsed perturbation at a backend index.
+type ChaosSpec struct {
+	Backend int
+	Pert    Perturbation
+}
+
+// ApplyChaos wraps the targeted backends of the list per the specs
+// (several specs may target one backend; its wrapper carries them all).
+// Untargeted backends pass through untouched. Indexes out of range are
+// an error.
+func ApplyChaos(backends []Backend, specs []ChaosSpec) ([]Backend, error) {
+	byBackend := make(map[int][]Perturbation)
+	for _, s := range specs {
+		if s.Backend < 0 || s.Backend >= len(backends) {
+			return nil, fmt.Errorf("chaos: backend %d out of range (have %d)", s.Backend, len(backends))
+		}
+		byBackend[s.Backend] = append(byBackend[s.Backend], s.Pert)
+	}
+	out := make([]Backend, len(backends))
+	copy(out, backends)
+	for idx, perts := range byBackend {
+		out[idx] = Chaos(backends[idx], perts...)
+	}
+	return out, nil
+}

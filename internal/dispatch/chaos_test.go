@@ -1,0 +1,420 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+)
+
+func TestPerturbationEnvelopes(t *testing.T) {
+	step := Perturbation{Shape: Step, Start: 10, Duration: 5}
+	for n, want := range map[uint64]float64{0: 0, 9: 0, 10: 1, 14: 1, 15: 0, 100: 0} {
+		if got := step.envelope(n); got != want {
+			t.Fatalf("step envelope(%d) = %v, want %v", n, got, want)
+		}
+	}
+	ramp := Perturbation{Shape: Ramp, Start: 0, Period: 10}
+	if got := ramp.envelope(0); got != 0.1 {
+		t.Fatalf("ramp envelope(0) = %v, want 0.1", got)
+	}
+	if got := ramp.envelope(9); got != 1 {
+		t.Fatalf("ramp envelope(9) = %v, want 1", got)
+	}
+	if got := ramp.envelope(500); got != 1 {
+		t.Fatalf("ramp holds at %v, want 1", got)
+	}
+	osc := Perturbation{Shape: Oscillate, Start: 0, Period: 8}
+	if got := osc.envelope(0); got != 0 {
+		t.Fatalf("osc envelope(0) = %v, want 0", got)
+	}
+	if got := osc.envelope(4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("osc envelope(half period) = %v, want 1", got)
+	}
+	forever := Perturbation{Shape: Step, Start: 3}
+	if got := forever.envelope(1 << 40); got != 1 {
+		t.Fatalf("unbounded step decayed to %v", got)
+	}
+}
+
+// TestChaosDeterministic pins seed-reproducibility: two chaos wrappers
+// with the same schedule over the same invocation sequence produce
+// bit-identical response streams.
+func TestChaosDeterministic(t *testing.T) {
+	m := visionMatrix(t)
+	perts := []Perturbation{
+		{Kind: LatencyInflate, Shape: Ramp, Start: 20, Period: 50, Magnitude: 2},
+		{Kind: AccuracyDegrade, Shape: Step, Start: 40, Magnitude: 0.5, Seed: 0xbeef},
+		{Kind: ErrorBurst, Shape: Oscillate, Start: 60, Period: 40, Magnitude: 0.3, Seed: 0xcafe},
+	}
+	mk := func() *ChaosBackend { return Chaos(NewReplayBackends(m)[0], perts...) }
+	a, b := mk(), mk()
+	reqs := ReplayRequests(m)
+	ctx := context.Background()
+	for i := 0; i < 3*len(reqs); i++ {
+		req := reqs[i%len(reqs)]
+		ra, ea := a.Invoke(ctx, req)
+		rb, eb := b.Invoke(ctx, req)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("invocation %d: error divergence %v vs %v", i, ea, eb)
+		}
+		if ea != nil {
+			if !errors.Is(ea, ErrInjected) {
+				t.Fatalf("invocation %d: unexpected error %v", i, ea)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("invocation %d: response divergence\n%+v\n%+v", i, ra, rb)
+		}
+	}
+	if a.Invocations() != b.Invocations() {
+		t.Fatalf("logical clocks diverged: %d vs %d", a.Invocations(), b.Invocations())
+	}
+}
+
+func TestChaosLatencyInflate(t *testing.T) {
+	m := visionMatrix(t)
+	inner := NewReplayBackends(m)[0]
+	cb := Chaos(inner, Perturbation{Kind: LatencyInflate, Shape: Step, Start: 5, Magnitude: 2})
+	req := ReplayRequests(m)[0]
+	ctx := context.Background()
+	base, err := inner.Invoke(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 10; n++ {
+		r, err := cb.Invoke(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLat, wantIaaS := base.Result.Latency, base.IaaSCost
+		if n >= 5 {
+			wantLat = time.Duration(float64(base.Result.Latency) * 3)
+			wantIaaS = base.IaaSCost * 3
+		}
+		if r.Result.Latency != wantLat {
+			t.Fatalf("invocation %d: latency %v, want %v", n, r.Result.Latency, wantLat)
+		}
+		if r.IaaSCost != wantIaaS {
+			t.Fatalf("invocation %d: IaaS %v, want %v", n, r.IaaSCost, wantIaaS)
+		}
+		if r.Err != base.Err || r.Result.Confidence != base.Result.Confidence {
+			t.Fatalf("latency perturbation touched accuracy fields")
+		}
+	}
+}
+
+func TestChaosAccuracyDegradeFraction(t *testing.T) {
+	m := visionMatrix(t)
+	cb := Chaos(NewReplayBackends(m)[0],
+		Perturbation{Kind: AccuracyDegrade, Shape: Step, Magnitude: 0.5, Seed: 42})
+	reqs := ReplayRequests(m)
+	ctx := context.Background()
+	const rounds = 5
+	degraded, clean := 0, 0
+	for i := 0; i < rounds*len(reqs); i++ {
+		req := reqs[i%len(reqs)]
+		r, err := cb.Invoke(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, _ := NewReplayBackends(m)[0].(*ReplayBackend).row(req.ID)
+		baseErr := m.Err[m.Index(row, 0)]
+		if baseErr == 1 {
+			continue // already wrong: degradation is invisible on this row
+		}
+		switch r.Err {
+		case baseErr:
+			clean++
+		case 1:
+			degraded++
+		default:
+			t.Fatalf("invocation %d: err %v is neither base %v nor degraded 1", i, r.Err, baseErr)
+		}
+	}
+	frac := float64(degraded) / float64(degraded+clean)
+	// The coin is deterministic but should track the magnitude over
+	// ~1000 degradable draws.
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("degraded fraction %.3f far from magnitude 0.5", frac)
+	}
+}
+
+func TestChaosErrorBurstAndInstant(t *testing.T) {
+	m := visionMatrix(t)
+	inner := NewReplayBackends(m)[0]
+	cb := Chaos(inner, Perturbation{Kind: ErrorBurst, Shape: Step, Magnitude: 0.4, Seed: 7})
+	if !cb.Instant() {
+		t.Fatal("chaos over an instant replay lost Instant()")
+	}
+	if cb.Name() != inner.Name() || cb.Plan() != inner.Plan() {
+		t.Fatal("chaos wrapper changed identity or plan")
+	}
+	reqs := ReplayRequests(m)
+	ctx := context.Background()
+	failed := 0
+	for i := 0; i < len(reqs); i++ {
+		if _, err := cb.Invoke(ctx, reqs[i]); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			failed++
+		}
+	}
+	frac := float64(failed) / float64(len(reqs))
+	if frac < 0.25 || frac > 0.55 {
+		t.Fatalf("burst failed fraction %.3f far from magnitude 0.4", frac)
+	}
+	// Full-magnitude burst fails everything.
+	all := Chaos(inner, Perturbation{Kind: ErrorBurst, Shape: Step, Magnitude: 1})
+	if _, err := all.Invoke(ctx, reqs[0]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("magnitude-1 burst let an invocation through: %v", err)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	specs, err := ParseChaos("backend=0,kind=latency,shape=step,start=1000,magnitude=2/" +
+		"backend=1,kind=accuracy,shape=ramp,start=500,period=200,duration=1000,magnitude=0.6,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	want0 := ChaosSpec{Backend: 0, Pert: Perturbation{Kind: LatencyInflate, Shape: Step, Start: 1000, Magnitude: 2}}
+	if specs[0] != want0 {
+		t.Fatalf("spec 0 = %+v, want %+v", specs[0], want0)
+	}
+	want1 := ChaosSpec{Backend: 1, Pert: Perturbation{
+		Kind: AccuracyDegrade, Shape: Ramp, Start: 500, Period: 200, Duration: 1000, Magnitude: 0.6, Seed: 7}}
+	if specs[1] != want1 {
+		t.Fatalf("spec 1 = %+v, want %+v", specs[1], want1)
+	}
+	for _, bad := range []string{
+		"",
+		"kind=latency,magnitude=1",          // missing backend
+		"backend=0,magnitude=1",             // missing kind
+		"backend=0,kind=latency",            // missing magnitude
+		"backend=0,kind=nope,magnitude=1",   // bad kind
+		"backend=0,kind=error,shape=wavy,magnitude=1", // bad shape
+		"backend=0,kind=error,magnitude=-1", // negative magnitude
+		"backend=0,kind=error,magnitude=1,bogus=2",
+		"notkeyvalue",
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestApplyChaos(t *testing.T) {
+	m := visionMatrix(t)
+	backends := NewReplayBackends(m)
+	specs := []ChaosSpec{
+		{Backend: 0, Pert: Perturbation{Kind: LatencyInflate, Magnitude: 1}},
+		{Backend: 0, Pert: Perturbation{Kind: ErrorBurst, Magnitude: 0.1}},
+		{Backend: 2, Pert: Perturbation{Kind: AccuracyDegrade, Magnitude: 0.5}},
+	}
+	wrapped, err := ApplyChaos(backends, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wrapped[0].(*ChaosBackend); !ok {
+		t.Fatal("backend 0 not wrapped")
+	}
+	if _, ok := wrapped[1].(*ChaosBackend); ok {
+		t.Fatal("untargeted backend 1 wrapped")
+	}
+	if _, ok := wrapped[2].(*ChaosBackend); !ok {
+		t.Fatal("backend 2 not wrapped")
+	}
+	if wrapped[0].(*ChaosBackend).perts[0].Kind != LatencyInflate ||
+		wrapped[0].(*ChaosBackend).perts[1].Kind != ErrorBurst {
+		t.Fatal("backend 0 did not stack both perturbations")
+	}
+	if _, err := ApplyChaos(backends, []ChaosSpec{{Backend: 99}}); err == nil {
+		t.Fatal("out-of-range backend accepted")
+	}
+}
+
+// countingObserver tallies observer callbacks.
+type countingObserver struct {
+	outcomes, failures int
+}
+
+func (c *countingObserver) ObserveOutcome(string, *Outcome) { c.outcomes++ }
+func (c *countingObserver) ObserveFailure(string)           { c.failures++ }
+
+// TestObserverSeesBackendFailuresNotCancellations pins the drift
+// observer's failure semantics: a backend outage is observed as a
+// failure, a request the client itself cancelled is not (routine
+// cancellation churn must not impersonate drift), and finished
+// dispatches are observed on both the Do and DoBatch paths.
+func TestObserverSeesBackendFailuresNotCancellations(t *testing.T) {
+	m := visionMatrix(t)
+	reqs := ReplayRequests(m)
+	tk := Ticket{Tier: "obs/0.05", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}}
+	ctx := context.Background()
+
+	// Backend outage: every dispatch fails and is observed as such.
+	obs := &countingObserver{}
+	dead := NewReplayBackends(m)
+	dead[0] = Chaos(dead[0], Perturbation{Kind: ErrorBurst, Shape: Step, Magnitude: 1})
+	d := New(dead, Options{DisableHedging: true, Observer: obs})
+	for i := 0; i < 5; i++ {
+		if _, err := d.Do(ctx, reqs[i], tk); err == nil {
+			t.Fatal("outage dispatch succeeded")
+		}
+	}
+	if obs.failures != 5 || obs.outcomes != 0 {
+		t.Fatalf("outage observed as %d failures, %d outcomes", obs.failures, obs.outcomes)
+	}
+
+	// Client cancellation: the dispatch fails but the backends are not
+	// blamed.
+	obs2 := &countingObserver{}
+	d2 := New(NewReplayBackends(m), Options{DisableHedging: true, Observer: obs2})
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := d2.Do(cancelled, reqs[0], tk); err == nil {
+		t.Fatal("cancelled dispatch succeeded")
+	}
+	if obs2.failures != 0 {
+		t.Fatalf("client cancellation observed as %d backend failures", obs2.failures)
+	}
+
+	// Finished dispatches are observed on both paths.
+	if _, err := d2.Do(ctx, reqs[0], tk); err != nil {
+		t.Fatal(err)
+	}
+	outs, errs, err := d2.DoBatch(ctx, reqs[:8], tk, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if obs2.outcomes != 9 {
+		t.Fatalf("observed %d outcomes, want 9", obs2.outcomes)
+	}
+}
+
+// TestProfileBackendsReproducesMatrix pins the re-profiling primitive:
+// profiling unperturbed replay backends reproduces the source matrix
+// cell for cell.
+func TestProfileBackendsReproducesMatrix(t *testing.T) {
+	m := visionMatrix(t)
+	fresh, err := ProfileBackends(context.Background(), m.Domain, NewReplayBackends(m), ReplayRequests(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NumRequests() != m.NumRequests() || fresh.NumVersions() != m.NumVersions() {
+		t.Fatalf("shape (%d, %d) != (%d, %d)",
+			fresh.NumRequests(), fresh.NumVersions(), m.NumRequests(), m.NumVersions())
+	}
+	for i := 0; i < m.NumRequests(); i++ {
+		for v := 0; v < m.NumVersions(); v++ {
+			k := m.Index(i, v)
+			if fresh.Err[k] != m.Err[k] || fresh.LatencyNs[k] != m.LatencyNs[k] ||
+				fresh.Confidence[k] != m.Confidence[k] ||
+				fresh.InvCost[k] != m.InvCost[k] || fresh.IaaSCost[k] != m.IaaSCost[k] {
+				t.Fatalf("cell (%d, %d) diverged from the source matrix", i, v)
+			}
+		}
+	}
+}
+
+// TestProfileBackendsCapturesChaos pins that a re-profile sees through
+// scripted degradation: a chaos-degraded backend's fresh column carries
+// the inflated error, and injected error bursts are absorbed by the
+// bounded retries.
+func TestProfileBackendsCapturesChaos(t *testing.T) {
+	m := visionMatrix(t)
+	backends := NewReplayBackends(m)
+	backends[0] = Chaos(backends[0],
+		Perturbation{Kind: AccuracyDegrade, Shape: Step, Magnitude: 0.6, Seed: 9},
+		Perturbation{Kind: ErrorBurst, Shape: Step, Magnitude: 0.2, Seed: 10})
+	fresh, err := ProfileBackends(context.Background(), m.Domain, backends, ReplayRequests(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMean, freshMean := 0.0, 0.0
+	for i := 0; i < m.NumRequests(); i++ {
+		baseMean += m.Err[m.Index(i, 0)]
+		freshMean += fresh.Err[fresh.Index(i, 0)]
+	}
+	n := float64(m.NumRequests())
+	baseMean, freshMean = baseMean/n, freshMean/n
+	if freshMean < baseMean+0.3 {
+		t.Fatalf("re-profile missed the degradation: base mean err %.3f, fresh %.3f", baseMean, freshMean)
+	}
+	// The clean versions stay bit-identical.
+	for i := 0; i < m.NumRequests(); i++ {
+		k := m.Index(i, 1)
+		if fresh.Err[k] != m.Err[k] {
+			t.Fatalf("clean version 1 diverged at row %d", i)
+		}
+	}
+}
+
+// TestProfileBackendsSurfacesPersistentFailure pins the retry bound: a
+// backend that always fails aborts the re-profile with an error rather
+// than fabricating cells.
+func TestProfileBackendsSurfacesPersistentFailure(t *testing.T) {
+	m := visionMatrix(t)
+	backends := NewReplayBackends(m)
+	backends[0] = Chaos(backends[0], Perturbation{Kind: ErrorBurst, Shape: Step, Magnitude: 1})
+	_, err := ProfileBackends(context.Background(), m.Domain, backends, ReplayRequests(m))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("persistent failure not surfaced: %v", err)
+	}
+}
+
+// TestChaosThroughDispatcher pins the wrapper inside the full runtime:
+// outcomes before the perturbation start are bit-identical to plain
+// replay, and degraded outcomes after it carry err 1.
+func TestChaosThroughDispatcher(t *testing.T) {
+	m := visionMatrix(t)
+	reqs := ReplayRequests(m)
+	start := uint64(len(reqs))
+	backends := NewReplayBackends(m)
+	backends[0] = Chaos(backends[0],
+		Perturbation{Kind: AccuracyDegrade, Shape: Step, Start: start, Magnitude: 1})
+	d := New(backends, Options{DisableHedging: true})
+	plain := New(NewReplayBackends(m), Options{DisableHedging: true})
+	tk := Ticket{Tier: "chaos/0.05", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}}
+	ctx := context.Background()
+	for i, req := range reqs {
+		got, err := d.Do(ctx, req, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Do(ctx, req, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pre-start outcome %d diverged:\n%+v\n%+v", i, got, want)
+		}
+	}
+	degraded := 0
+	for _, req := range reqs {
+		got, err := d.Do(ctx, req, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Err == 1 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no degraded outcomes after the perturbation start")
+	}
+}

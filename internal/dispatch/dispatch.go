@@ -59,6 +59,29 @@ type Options struct {
 	// shard serializes all telemetry commits on a single mutex — the
 	// pre-sharding behaviour, kept reachable for contention A/B runs.
 	TelemetryShards int
+	// Observer, when set, receives every finished dispatch outcome on
+	// the dispatch path itself (drift monitors hang here). It must be
+	// fast, allocation-free and safe for concurrent use; nil costs one
+	// predictable branch per dispatch.
+	Observer Observer
+}
+
+// Observer watches the dispatch stream in-line. ObserveOutcome is
+// called once per finished dispatch (for Do and per batch item alike,
+// on the dispatch path itself, so the enclosing telemetry transaction
+// may not have committed yet) with the ticket's tier key and the final
+// outcome; the outcome pointer is only valid for the duration of the
+// call, so implementations must copy what they keep. ObserveFailure is
+// called for a dispatch whose backend legs all failed while the request
+// itself was still live — the catastrophic shift a drift monitor most
+// needs to see, since such requests carry no outcome to observe.
+// Dispatches that died because the *request* went away (a cancelled or
+// deadline-expired context, including a batch dying on its limiter
+// lease) are counted by telemetry but deliberately never reported here:
+// client churn says nothing about the backends.
+type Observer interface {
+	ObserveOutcome(tier string, o *Outcome)
+	ObserveFailure(tier string)
 }
 
 // Ticket carries one request's resolved tier through the dispatcher.
@@ -117,6 +140,7 @@ type Dispatcher struct {
 	sems     []semaphore
 	trackers []*latencyTracker
 	tel      *Telemetry
+	obs      Observer
 	hedging  bool
 	// calls pools per-dispatch scratch (telemetry transaction, hedge
 	// channel) so the steady-state path allocates nothing.
@@ -133,6 +157,7 @@ func New(backends []Backend, opts Options) *Dispatcher {
 		backends: backends,
 		sems:     make([]semaphore, len(backends)),
 		trackers: make([]*latencyTracker, len(backends)),
+		obs:      opts.Observer,
 		hedging:  !opts.DisableHedging,
 	}
 	names := make([]string, len(backends))
@@ -171,6 +196,12 @@ type dispatchCall struct {
 	txn    telemetryTxn
 	leased bool // limiter slots pre-acquired for the whole batch
 	secCh  chan hedgeLeg
+	// obsOut stages the outcome handed to the observer: taking the
+	// address of run's local outcome for the interface call would make
+	// escape analysis heap-allocate it on every dispatch, observer or
+	// not, costing the fast path its zero-allocation contract. The call
+	// is already pooled, so this field is allocation-free to reuse.
+	obsOut Outcome
 }
 
 // hedgeLeg is one backend leg's answer, handed over the call's channel.
@@ -218,12 +249,23 @@ func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) 
 	}
 	if err != nil {
 		c.txn.addFailure()
+		// A dispatch that died because the *request* went away (client
+		// disconnect, deadline) says nothing about the backends: feeding
+		// it to a drift monitor as a failure would let routine
+		// cancellation churn impersonate a backend outage.
+		if c.d.obs != nil && ctx.Err() == nil {
+			c.d.obs.ObserveFailure(t.Tier)
+		}
 		return Outcome{}, err
 	}
 	if t.Budget > 0 && o.Latency > t.Budget {
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(&o)
+	if c.d.obs != nil {
+		c.obsOut = o
+		c.d.obs.ObserveOutcome(t.Tier, &c.obsOut)
+	}
 	return o, nil
 }
 

@@ -1,0 +1,72 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// profileAttempts bounds the per-cell retries of ProfileBackends: a
+// transiently failing backend (an injected error burst, a flaky
+// adapter) is retried a few times before the re-profile gives up.
+const profileAttempts = 4
+
+// ProfileBackends measures every backend against every request and
+// returns the result as a fresh profile matrix — the live counterpart
+// of profile.Build, and the "re-profile" half of the drift monitor's
+// self-healing loop: where Build drives simulated service versions,
+// this drives whatever actually serves traffic (replay, chaos-wrapped,
+// or real adapters), so the regenerated rule tables reflect the
+// backends' current behaviour rather than the profile they shipped
+// with.
+//
+// Backends are profiled one at a time, requests in order — a
+// deterministic invocation sequence, so scripted chaos schedules
+// perturb reproducible cells. Every backend must grade its results
+// (non-NaN Response.Err): a rule table generated over ungraded cells
+// would be meaningless, so that is an error rather than a zero.
+func ProfileBackends(ctx context.Context, domain service.Domain, backends []Backend, reqs []*service.Request) (*profile.Matrix, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("dispatch: no backends to profile")
+	}
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name()
+	}
+	ids := make([]int, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.ID
+	}
+	m := profile.New(domain, names, ids)
+	for v, b := range backends {
+		for i, req := range reqs {
+			var resp Response
+			var err error
+			for attempt := 0; attempt < profileAttempts; attempt++ {
+				resp, err = b.Invoke(ctx, req)
+				if err == nil {
+					break
+				}
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: profile %s request %d: %w", b.Name(), req.ID, err)
+			}
+			if math.IsNaN(resp.Err) {
+				return nil, fmt.Errorf("dispatch: profile %s request %d: backend cannot grade results", b.Name(), req.ID)
+			}
+			k := m.Index(i, v)
+			m.Err[k] = resp.Err
+			m.LatencyNs[k] = float64(resp.Result.Latency)
+			m.Confidence[k] = resp.Result.Confidence
+			m.InvCost[k] = resp.InvCost
+			m.IaaSCost[k] = resp.IaaSCost
+		}
+	}
+	return m, nil
+}

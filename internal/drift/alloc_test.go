@@ -1,0 +1,88 @@
+package drift
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// Allocation-regression pins for the drift observe path: the monitor
+// sits on the dispatch hot path as dispatch.Options.Observer, so its
+// per-outcome work must allocate nothing once a tier is registered —
+// otherwise attaching drift detection would cost the runtime its
+// zero-allocation steady state.
+
+// TestObserveOutcomeAllocs pins the raw observe path (including window
+// closes, which run the detector arithmetic) at zero allocations.
+func TestObserveOutcomeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budget measured without -race")
+	}
+	m := NewMonitor(Config{Enabled: true, Window: 8}, []string{"b0"}, nil)
+	o := dispatch.Outcome{Err: 0.05, Latency: 20 * time.Millisecond}
+	// Register the tier and settle the first windows.
+	for i := 0; i < 64; i++ {
+		m.ObserveOutcome("response-time/0.05", &o)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		m.ObserveOutcome("response-time/0.05", &o)
+	})
+	if avg != 0 {
+		t.Fatalf("ObserveOutcome allocates %v per call on a registered tier", avg)
+	}
+}
+
+var allocMatrixOnce sync.Once
+var allocMatrix *profile.Matrix
+
+func visionMatrix(t testing.TB) *profile.Matrix {
+	t.Helper()
+	allocMatrixOnce.Do(func() {
+		c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 200, Device: vision.GPU})
+		allocMatrix = profile.Build(c.Service, c.Requests)
+	})
+	return allocMatrix
+}
+
+// TestDispatchWithMonitorAllocs pins the whole replay dispatch fast
+// path with a drift monitor attached at the dispatch package's own
+// alloc budget (≤ 2 allocs/op; steady state zero, slack for a GC
+// emptying the call pools mid-measurement) — attaching drift detection
+// must not cost the runtime its allocation-free serving path.
+func TestDispatchWithMonitorAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budget measured without -race")
+	}
+	m := visionMatrix(t)
+	mon := NewMonitor(Config{Enabled: true, Window: 64}, []string{"b"}, nil)
+	d := dispatch.New(dispatch.NewReplayBackends(m), dispatch.Options{
+		DisableHedging: true,
+		Observer:       mon,
+	})
+	reqs := dispatch.ReplayRequests(m)
+	p := ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5}
+	tk := dispatch.Ticket{Tier: "alloc/drift", Policy: p}
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		if _, err := d.Do(ctx, reqs[i%len(reqs)], tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(300, func() {
+		if _, err := d.Do(ctx, reqs[i%len(reqs)], tk); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > 2 {
+		t.Fatalf("%v allocs/op dispatching with a drift monitor attached, budget 2", avg)
+	}
+}

@@ -1,0 +1,645 @@
+package drift
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/stats"
+)
+
+// Config parameterizes a Monitor. The zero value resolves to the
+// defaults documented on api.DriftConfig; FromWire/Wire convert to and
+// from the HTTP representation.
+type Config struct {
+	// Enabled turns observation and detection on.
+	Enabled bool
+	// AutoReprofile arms the self-healing loop: a confirmed shift makes
+	// the serving node re-profile its backends and regenerate its rule
+	// tables.
+	AutoReprofile bool
+	// Window is the number of dispatches folded into one detector
+	// observation per tier.
+	Window int
+	// WarmupWindows settle the baselines before alarms arm.
+	WarmupWindows int
+	// ErrDelta / ErrLambda parameterize the Page–Hinkley test on
+	// window-mean task error.
+	ErrDelta, ErrLambda float64
+	// LatDelta / LatLambda parameterize the Page–Hinkley test on
+	// window-mean latency relative to its warmup baseline.
+	LatDelta, LatLambda float64
+	// CusumK / CusumH parameterize the standardized CUSUM tests.
+	CusumK, CusumH float64
+	// QuantileRatio / QuantileStrikes parameterize the per-backend
+	// latency-quantile shift test.
+	QuantileRatio   float64
+	QuantileStrikes int
+	// Cooldown is the minimum gap between self-healing triggers.
+	Cooldown time.Duration
+}
+
+// withDefaults resolves zero fields to the monitor's defaults. The
+// detector thresholds are deliberately conservative: a tier window mean
+// carries sampling noise of roughly sqrt(e(1-e)/Window), and the
+// Page–Hinkley false-positive bound exp(-2*delta*lambda/sigma^2) keeps
+// stationary traffic quiet for these values while a real shift of a few
+// percent error (or tens of percent latency) still fires within a
+// handful of windows.
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.WarmupWindows <= 0 {
+		c.WarmupWindows = 8
+	}
+	if c.ErrDelta <= 0 {
+		c.ErrDelta = 0.02
+	}
+	if c.ErrLambda <= 0 {
+		c.ErrLambda = 0.3
+	}
+	if c.LatDelta <= 0 {
+		c.LatDelta = 0.05
+	}
+	if c.LatLambda <= 0 {
+		c.LatLambda = 1.0
+	}
+	if c.CusumK <= 0 {
+		c.CusumK = 0.5
+	}
+	if c.CusumH <= 0 {
+		c.CusumH = 12
+	}
+	if c.QuantileRatio <= 0 {
+		c.QuantileRatio = 0.5
+	}
+	if c.QuantileStrikes <= 0 {
+		c.QuantileStrikes = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// FromWire converts the HTTP configuration to a Config.
+func FromWire(w api.DriftConfig) Config {
+	return Config{
+		Enabled:         w.Enabled,
+		AutoReprofile:   w.AutoReprofile,
+		Window:          w.Window,
+		WarmupWindows:   w.WarmupWindows,
+		ErrDelta:        w.ErrDelta,
+		ErrLambda:       w.ErrLambda,
+		LatDelta:        w.LatDelta,
+		LatLambda:       w.LatLambda,
+		CusumK:          w.CusumK,
+		CusumH:          w.CusumH,
+		QuantileRatio:   w.QuantileRatio,
+		QuantileStrikes: w.QuantileStrikes,
+		Cooldown:        time.Duration(w.CooldownMS * float64(time.Millisecond)),
+	}
+}
+
+// Wire converts the Config to its HTTP representation.
+func (c Config) Wire() api.DriftConfig {
+	return api.DriftConfig{
+		Enabled:         c.Enabled,
+		AutoReprofile:   c.AutoReprofile,
+		Window:          c.Window,
+		WarmupWindows:   c.WarmupWindows,
+		ErrDelta:        c.ErrDelta,
+		ErrLambda:       c.ErrLambda,
+		LatDelta:        c.LatDelta,
+		LatLambda:       c.LatLambda,
+		CusumK:          c.CusumK,
+		CusumH:          c.CusumH,
+		QuantileRatio:   c.QuantileRatio,
+		QuantileStrikes: c.QuantileStrikes,
+		CooldownMS:      float64(c.Cooldown) / float64(time.Millisecond),
+	}
+}
+
+// Event is one confirmed distribution shift.
+type Event struct {
+	// At is the wall-clock detection time.
+	At time.Time
+	// Stream names what shifted: "tier:<objective>/<tolerance>" or
+	// "backend:<name>".
+	Stream string
+	// Detector names the test that fired.
+	Detector string
+	// Value is the statistic that crossed Threshold.
+	Value, Threshold float64
+}
+
+// Detector names used in events and statuses.
+const (
+	DetectorErrPH    = "page-hinkley-err"
+	DetectorLatPH    = "page-hinkley-latency"
+	DetectorErrCusum = "cusum-err"
+	DetectorLatCusum = "cusum-latency"
+	DetectorQuantile = "quantile-shift"
+)
+
+// detector slots inside a tierState.
+const (
+	slotErrPH = iota
+	slotLatPH
+	slotErrCusum
+	slotLatCusum
+	numSlots
+)
+
+var slotNames = [numSlots]string{DetectorErrPH, DetectorLatPH, DetectorErrCusum, DetectorLatCusum}
+
+// tierState is one tier's windowed accumulator plus its detectors. The
+// hot-path observe only touches plain fields under the tier's own
+// mutex, so a registered tier is allocation-free to observe.
+type tierState struct {
+	mu   sync.Mutex
+	tier string
+
+	window, warmup int
+
+	requests  int64
+	failures  int64
+	winN      int // outcomes in the current window
+	winFail   int // failed dispatches in the current window
+	winErrN   int
+	winErrSum float64
+	winLatSum float64
+
+	windows                  int64
+	latWindows               int64   // windows that carried at least one latency sample
+	latBase                  float64 // warmup running mean of window latency means, then frozen
+	lastErrMean, lastLatMean float64
+
+	errPH, latPH PageHinkley
+	errCS, latCS CUSUM
+
+	// alarmed[i] is detector slot i's current condition; reported[i]
+	// marks that an event was already emitted for this episode (cleared
+	// by ResetDetectors).
+	alarmed, reported [numSlots]bool
+}
+
+// backendState is one backend's quantile-shift test, fed at Check time
+// (never on the dispatch path).
+type backendState struct {
+	mu       sync.Mutex
+	name     string
+	qs       QuantileShift
+	reported bool
+}
+
+// Monitor watches a dispatcher's live traffic for distribution shifts.
+// It implements dispatch.Observer: hang it on dispatch.Options.Observer
+// and every finished dispatch feeds the per-tier windowed detectors;
+// call Check periodically (a serving node ticks it from its drift loop)
+// to run the per-backend quantile tests and collect confirmed events.
+// All methods are safe for concurrent use.
+type Monitor struct {
+	enabled atomic.Bool
+
+	mu       sync.RWMutex // guards cfg and the tiers map
+	cfg      Config
+	tiers    map[string]*tierState
+	backends []*backendState
+	baseline []float64 // per-backend profiled p95 (ns)
+
+	evMu        sync.Mutex
+	events      []Event
+	lastTrigger time.Time
+
+	inFlight   atomic.Bool // a reprofile is running; suppress triggers
+	reprofiles atomic.Int64
+	lastJobID  atomic.Int64
+}
+
+// maxEvents bounds the event history (oldest dropped first).
+const maxEvents = 128
+
+// NewMonitor builds a monitor over the given backend list.
+// baselineP95Ns supplies the profiled per-backend latency p95 the
+// quantile-shift test compares against (nil or zero entries disable the
+// test for that backend; BackendBaselines derives it from a profile
+// matrix).
+func NewMonitor(cfg Config, backendNames []string, baselineP95Ns []float64) *Monitor {
+	m := &Monitor{baseline: make([]float64, len(backendNames))}
+	copy(m.baseline, baselineP95Ns)
+	m.backends = make([]*backendState, len(backendNames))
+	for i, n := range backendNames {
+		m.backends[i] = &backendState{name: n}
+	}
+	m.SetConfig(cfg)
+	return m
+}
+
+// BackendBaselines derives the per-version latency p95 baselines (ns)
+// from a profile matrix, in version order — the reference the
+// quantile-shift test holds live backends to.
+func BackendBaselines(m *profile.Matrix) []float64 {
+	return BackendBaselinesAt(m, 0.95)
+}
+
+// BackendBaselinesAt is BackendBaselines at an arbitrary quantile: the
+// baseline must be taken at the same quantile the live estimates use
+// (the dispatcher's HedgeQuantile), or the shift test compares a tail
+// against a median.
+func BackendBaselinesAt(m *profile.Matrix, quantile float64) []float64 {
+	nv := m.NumVersions()
+	out := make([]float64, nv)
+	col := make([]float64, m.NumRequests())
+	for v := 0; v < nv; v++ {
+		for i := range col {
+			col[i] = m.LatencyNs[m.Index(i, v)]
+		}
+		if q, err := stats.Quantile(col, quantile); err == nil {
+			out[v] = q
+		}
+	}
+	return out
+}
+
+// SetConfig replaces the monitor's configuration and resets every
+// detector (tier states are rebuilt lazily as traffic arrives; backend
+// baselines are kept).
+func (m *Monitor) SetConfig(cfg Config) {
+	cfg = cfg.withDefaults()
+	m.mu.Lock()
+	m.cfg = cfg
+	m.tiers = make(map[string]*tierState)
+	for i, b := range m.backends {
+		b.mu.Lock()
+		b.qs = QuantileShift{Baseline: m.baseline[i], Ratio: cfg.QuantileRatio, Strikes: cfg.QuantileStrikes}
+		b.reported = false
+		b.mu.Unlock()
+	}
+	m.mu.Unlock()
+	m.enabled.Store(cfg.Enabled)
+}
+
+// Config returns the resolved configuration.
+func (m *Monitor) Config() Config {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cfg
+}
+
+// newTierState builds a tier's detectors from the current config.
+func (m *Monitor) newTierState(tier string, cfg Config) *tierState {
+	return &tierState{
+		tier:   tier,
+		window: cfg.Window,
+		warmup: cfg.WarmupWindows,
+		errPH:  PageHinkley{Delta: cfg.ErrDelta, Lambda: cfg.ErrLambda, MinSamples: cfg.WarmupWindows},
+		latPH:  PageHinkley{Delta: cfg.LatDelta, Lambda: cfg.LatLambda, MinSamples: cfg.WarmupWindows},
+		errCS:  CUSUM{K: cfg.CusumK, H: cfg.CusumH, Warmup: cfg.WarmupWindows},
+		latCS:  CUSUM{K: cfg.CusumK, H: cfg.CusumH, Warmup: cfg.WarmupWindows},
+	}
+}
+
+// tier returns the tier's state, registering it on first sight.
+func (m *Monitor) tier(name string) *tierState {
+	m.mu.RLock()
+	ts := m.tiers[name]
+	m.mu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts = m.tiers[name]; ts == nil {
+		ts = m.newTierState(name, m.cfg)
+		m.tiers[name] = ts
+	}
+	return ts
+}
+
+// ObserveOutcome implements dispatch.Observer: it folds one finished
+// dispatch into the tier's current window and, on window completion,
+// feeds the detectors. Steady state is one uncontended mutex and plain
+// arithmetic — no allocation (pinned by the alloc test and
+// BenchmarkDriftObserve).
+func (m *Monitor) ObserveOutcome(tier string, o *dispatch.Outcome) {
+	if !m.enabled.Load() {
+		return
+	}
+	ts := m.tier(tier)
+	ts.mu.Lock()
+	ts.requests++
+	ts.winN++
+	ts.winLatSum += float64(o.Latency)
+	if !math.IsNaN(o.Err) {
+		ts.winErrN++
+		ts.winErrSum += o.Err
+	}
+	if ts.winN+ts.winFail >= ts.window {
+		ts.closeWindow()
+	}
+	ts.mu.Unlock()
+}
+
+// ObserveFailure implements dispatch.Observer for dispatches that
+// produced no result at all. A failed request carries no latency or
+// grade, but it is the strongest drift signal there is, so it advances
+// the window and enters the error stream as a maximal (error 1)
+// observation — a backend outage drives the tier's window-mean error
+// toward 1 and fires the same detectors a grading collapse would.
+func (m *Monitor) ObserveFailure(tier string) {
+	if !m.enabled.Load() {
+		return
+	}
+	ts := m.tier(tier)
+	ts.mu.Lock()
+	ts.requests++
+	ts.failures++
+	ts.winFail++
+	if ts.winN+ts.winFail >= ts.window {
+		ts.closeWindow()
+	}
+	ts.mu.Unlock()
+}
+
+// closeWindow feeds the completed window's means to the detectors and
+// rewinds the accumulator. Called with ts.mu held.
+func (ts *tierState) closeWindow() {
+	ts.windows++
+	if ts.winN > 0 {
+		// Latency detectors only see windows with at least one finished
+		// dispatch — failures report no latency to average. The warmup
+		// baseline counts those windows too: an all-failure window must
+		// neither dilute the running mean nor burn a warmup slot (it
+		// could otherwise freeze the baseline at zero and disable the
+		// relative test for good).
+		ts.latWindows++
+		latMean := ts.winLatSum / float64(ts.winN)
+		if ts.latWindows <= int64(ts.warmup) {
+			// Running warmup mean, frozen once alarms arm: the relative
+			// latency test needs a scale the shift itself cannot drag.
+			ts.latBase += (latMean - ts.latBase) / float64(ts.latWindows)
+		}
+		rel := 0.0
+		if ts.latBase > 0 {
+			rel = latMean/ts.latBase - 1
+		}
+		ts.alarmed[slotLatPH] = ts.latPH.Observe(rel)
+		ts.alarmed[slotLatCusum] = ts.latCS.Observe(latMean)
+		ts.lastLatMean = latMean
+	}
+	if ts.winErrN+ts.winFail > 0 {
+		// Failures enter the error stream as maximal observations.
+		errMean := (ts.winErrSum + float64(ts.winFail)) / float64(ts.winErrN+ts.winFail)
+		ts.alarmed[slotErrPH] = ts.errPH.Observe(errMean)
+		ts.alarmed[slotErrCusum] = ts.errCS.Observe(errMean)
+		ts.lastErrMean = errMean
+	}
+	ts.winN, ts.winFail, ts.winErrN = 0, 0, 0
+	ts.winErrSum, ts.winLatSum = 0, 0
+}
+
+// slotStat returns detector slot i's (statistic, threshold) pair.
+// Called with ts.mu held.
+func (ts *tierState) slotStat(i int) (value, threshold float64) {
+	switch i {
+	case slotErrPH:
+		return ts.errPH.Stat(), ts.errPH.Lambda
+	case slotLatPH:
+		return ts.latPH.Stat(), ts.latPH.Lambda
+	case slotErrCusum:
+		return ts.errCS.Stat(), ts.errCS.H
+	default:
+		return ts.latCS.Stat(), ts.latCS.H
+	}
+}
+
+// Check runs the per-backend quantile-shift tests against the supplied
+// live p95 estimates (ns; NaN = no estimate yet — the dispatcher's P95
+// method has exactly this contract) and collects newly confirmed
+// events. The returned trigger reports that the self-healing loop
+// should fire now: some detector is alarmed, AutoReprofile is armed,
+// no reprofile is in flight, and the cooldown since the last trigger
+// has passed (the trigger time is stamped when true is returned).
+func (m *Monitor) Check(now time.Time, p95 func(backend int) float64) (events []Event, trigger bool) {
+	if !m.enabled.Load() {
+		return nil, false
+	}
+	m.mu.RLock()
+	cfg := m.cfg
+	tiers := make([]*tierState, 0, len(m.tiers))
+	for _, ts := range m.tiers {
+		tiers = append(tiers, ts)
+	}
+	m.mu.RUnlock()
+
+	active := false
+	for _, ts := range tiers {
+		ts.mu.Lock()
+		for i := 0; i < numSlots; i++ {
+			if !ts.alarmed[i] {
+				// A statistic that decayed back under its threshold ends
+				// the episode: a later re-crossing is a fresh confirmed
+				// shift and must emit a fresh event.
+				ts.reported[i] = false
+				continue
+			}
+			active = true
+			if ts.reported[i] {
+				continue
+			}
+			ts.reported[i] = true
+			v, th := ts.slotStat(i)
+			events = append(events, Event{
+				At: now, Stream: "tier:" + ts.tier, Detector: slotNames[i],
+				Value: v, Threshold: th,
+			})
+		}
+		ts.mu.Unlock()
+	}
+	if p95 != nil {
+		for i, b := range m.backends {
+			b.mu.Lock()
+			if b.qs.Observe(p95(i)) {
+				active = true
+				if !b.reported {
+					b.reported = true
+					events = append(events, Event{
+						At: now, Stream: "backend:" + b.name, Detector: DetectorQuantile,
+						Value: b.qs.Last(), Threshold: b.qs.Baseline * (1 + b.qs.Ratio),
+					})
+				}
+			} else {
+				b.reported = false // episode over; a later breach re-reports
+			}
+			b.mu.Unlock()
+		}
+	}
+
+	m.evMu.Lock()
+	m.events = append(m.events, events...)
+	if n := len(m.events); n > maxEvents {
+		m.events = append(m.events[:0], m.events[n-maxEvents:]...)
+	}
+	if active && cfg.AutoReprofile && !m.inFlight.Load() &&
+		(m.lastTrigger.IsZero() || now.Sub(m.lastTrigger) >= cfg.Cooldown) {
+		m.lastTrigger = now
+		trigger = true
+	}
+	m.evMu.Unlock()
+	return events, trigger
+}
+
+// BeginReprofile marks a self-healing loop in flight, suppressing
+// further triggers until EndReprofile. Claim it before starting the
+// heal's asynchronous work: the matching EndReprofile may run on
+// another goroutine the moment that work exists.
+func (m *Monitor) BeginReprofile() {
+	m.inFlight.Store(true)
+}
+
+// NoteReprofileJob records the rule-generation job serving the current
+// (or most recent) heal. It deliberately does not touch the in-flight
+// flag: the job may already have finished — and called EndReprofile —
+// by the time its id is known.
+func (m *Monitor) NoteReprofileJob(jobID int) {
+	m.lastJobID.Store(int64(jobID))
+}
+
+// EndReprofile marks the loop finished. applied reports the regenerated
+// tables were swapped in; the detectors then reset so the healed
+// traffic re-baselines instead of re-alarming on the old statistics.
+func (m *Monitor) EndReprofile(applied bool) {
+	if applied {
+		m.reprofiles.Add(1)
+		m.ResetDetectors()
+	}
+	m.inFlight.Store(false)
+}
+
+// Reprofiles counts completed, applied self-healing loops.
+func (m *Monitor) Reprofiles() int64 { return m.reprofiles.Add(0) }
+
+// SetBaselines re-anchors the per-backend latency baselines (e.g. to a
+// fresh re-profile after a heal) and clears the quantile-shift strikes
+// so the tests judge against the new reference.
+func (m *Monitor) SetBaselines(baselineP95Ns []float64) {
+	m.mu.Lock()
+	copy(m.baseline, baselineP95Ns)
+	for i, b := range m.backends {
+		b.mu.Lock()
+		b.qs.Baseline = m.baseline[i]
+		b.qs.Reset()
+		b.reported = false
+		b.mu.Unlock()
+	}
+	m.mu.Unlock()
+}
+
+// ResetDetectors rewinds every tier and backend detector (keeping
+// configuration, baselines and the event history).
+func (m *Monitor) ResetDetectors() {
+	m.mu.Lock()
+	m.tiers = make(map[string]*tierState)
+	for _, b := range m.backends {
+		b.mu.Lock()
+		b.qs.Reset()
+		b.reported = false
+		b.mu.Unlock()
+	}
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the confirmed-event history (newest last).
+func (m *Monitor) Events() []Event {
+	m.evMu.Lock()
+	defer m.evMu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Status renders the wire view of the monitor. p95 supplies live
+// per-backend latency estimates for display (nil omits them).
+func (m *Monitor) Status(p95 func(backend int) float64) api.DriftStatus {
+	m.mu.RLock()
+	cfg := m.cfg
+	tiers := make([]*tierState, 0, len(m.tiers))
+	for _, ts := range m.tiers {
+		tiers = append(tiers, ts)
+	}
+	// Copy the baselines under the lock: SetBaselines rewrites the
+	// slice when a heal applies, possibly concurrently with a status
+	// poll.
+	baseline := append([]float64(nil), m.baseline...)
+	m.mu.RUnlock()
+
+	st := api.DriftStatus{Config: cfg.Wire(), Reprofiles: m.reprofiles.Add(0)}
+	if id := m.lastJobID.Add(0); id != 0 {
+		st.LastJobID = int(id)
+	}
+	switch {
+	case !m.enabled.Load():
+		st.State = "disabled"
+	case m.inFlight.Load():
+		st.State = "triggered"
+	default:
+		st.State = "watching"
+	}
+	for _, ts := range tiers {
+		ts.mu.Lock()
+		ti := api.DriftTierStatus{
+			Tier:              ts.tier,
+			Requests:          ts.requests,
+			Failures:          ts.failures,
+			Windows:           ts.windows,
+			MeanErr:           ts.lastErrMean,
+			MeanLatencyMS:     ts.lastLatMean / 1e6,
+			BaselineLatencyMS: ts.latBase / 1e6,
+			ErrPH:             ts.errPH.Stat(),
+			LatPH:             ts.latPH.Stat(),
+			ErrCusum:          ts.errCS.Stat(),
+			LatCusum:          ts.latCS.Stat(),
+		}
+		for i := 0; i < numSlots; i++ {
+			if ts.alarmed[i] {
+				ti.Alarmed = true
+				ti.Reasons = append(ti.Reasons, slotNames[i])
+			}
+		}
+		ts.mu.Unlock()
+		st.Tiers = append(st.Tiers, ti)
+	}
+	sort.Slice(st.Tiers, func(i, j int) bool { return st.Tiers[i].Tier < st.Tiers[j].Tier })
+	for i, b := range m.backends {
+		b.mu.Lock()
+		bi := api.DriftBackendStatus{
+			Backend:       b.name,
+			BaselineP95MS: baseline[i] / 1e6,
+			Strikes:       b.qs.strikes,
+			Alarmed:       b.qs.Alarmed(),
+		}
+		if last := b.qs.Last(); last > 0 {
+			bi.ObservedP95MS = last / 1e6
+		} else if p95 != nil {
+			if v := p95(i); !math.IsNaN(v) {
+				bi.ObservedP95MS = v / 1e6
+			}
+		}
+		b.mu.Unlock()
+		st.Backends = append(st.Backends, bi)
+	}
+	m.evMu.Lock()
+	for _, e := range m.events {
+		st.Events = append(st.Events, api.DriftEvent{
+			UnixMS: e.At.UnixMilli(), Stream: e.Stream, Detector: e.Detector,
+			Value: e.Value, Threshold: e.Threshold,
+		})
+	}
+	m.evMu.Unlock()
+	return st
+}

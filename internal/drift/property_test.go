@@ -1,0 +1,123 @@
+package drift
+
+import (
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/xrand"
+)
+
+// Property tests for the sequential detectors, the statistical contract
+// the self-healing loop rests on: across 1000 seeded synthetic streams,
+// a stationary process never alarms, and a step change of known
+// magnitude alarms within a bounded delay.
+//
+// The thresholds here are for unit-variance raw streams, set ~55%
+// above the largest statistic excursion measured over 3000 stationary
+// seeds of this exact generator (PH 32.3 at delta 0.2, CUSUM 22.7 at
+// k 0.5 — the analytic bounds are looser because the running
+// mean/baseline estimates add excursion of their own), so a failure
+// means the detector arithmetic regressed, not that the dice came up
+// wrong.
+
+const (
+	propSeeds      = 1000
+	propStationary = 2000 // observations per stationary stream
+	propPreStep    = 500  // observations before the injected step
+)
+
+func TestPageHinkleyNoFalsePositivesStationary(t *testing.T) {
+	for seed := uint64(0); seed < propSeeds; seed++ {
+		rng := xrand.New(seed*0x9e37 + 1)
+		p := PageHinkley{Delta: 0.2, Lambda: 50, MinSamples: 30}
+		for i := 0; i < propStationary; i++ {
+			if p.Observe(rng.Norm()) {
+				t.Fatalf("seed %d: false alarm at observation %d (stat %.2f)", seed, i, p.Stat())
+			}
+		}
+	}
+}
+
+func TestPageHinkleyDetectionDelayBound(t *testing.T) {
+	const shift = 1.0    // one-sigma step
+	const maxDelay = 250 // observations; analytic delay ~ lambda/(shift-delta) ~ 62
+	for seed := uint64(0); seed < propSeeds; seed++ {
+		rng := xrand.New(seed*0x51ed + 7)
+		p := PageHinkley{Delta: 0.2, Lambda: 50, MinSamples: 30}
+		for i := 0; i < propPreStep; i++ {
+			if p.Observe(rng.Norm()) {
+				t.Fatalf("seed %d: alarm before the step at %d", seed, i)
+			}
+		}
+		fired := -1
+		for i := 0; i < maxDelay; i++ {
+			if p.Observe(shift + rng.Norm()) {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 {
+			t.Fatalf("seed %d: %v-sigma step not detected within %d observations (stat %.2f)",
+				seed, shift, maxDelay, p.Stat())
+		}
+	}
+}
+
+func TestCUSUMNoFalsePositivesStationary(t *testing.T) {
+	for seed := uint64(0); seed < propSeeds; seed++ {
+		rng := xrand.New(seed*0xc0de + 3)
+		c := CUSUM{K: 0.5, H: 35, Warmup: 100}
+		for i := 0; i < propStationary; i++ {
+			if c.Observe(rng.Norm()) {
+				t.Fatalf("seed %d: false alarm at observation %d (stat %.2f)", seed, i, c.Stat())
+			}
+		}
+	}
+}
+
+func TestCUSUMDetectionDelayBound(t *testing.T) {
+	const shift = 2.0    // two-sigma step
+	const maxDelay = 120 // observations; analytic delay ~ H/(shift-K) ~ 23
+	for seed := uint64(0); seed < propSeeds; seed++ {
+		rng := xrand.New(seed*0xfeed + 11)
+		c := CUSUM{K: 0.5, H: 35, Warmup: 100}
+		for i := 0; i < propPreStep; i++ {
+			if c.Observe(rng.Norm()) {
+				t.Fatalf("seed %d: alarm before the step at %d", seed, i)
+			}
+		}
+		fired := -1
+		for i := 0; i < maxDelay; i++ {
+			if c.Observe(shift + rng.Norm()) {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 {
+			t.Fatalf("seed %d: %v-sigma step not detected within %d observations (stat %.2f)",
+				seed, shift, maxDelay, c.Stat())
+		}
+	}
+}
+
+// TestDetectorsDownwardStepSymmetry pins the two-sidedness on a sample
+// of seeds: a negative step is caught just like a positive one.
+func TestDetectorsDownwardStepSymmetry(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := xrand.New(seed*0xabcd + 5)
+		p := PageHinkley{Delta: 0.2, Lambda: 50, MinSamples: 30}
+		c := CUSUM{K: 0.5, H: 35, Warmup: 100}
+		for i := 0; i < propPreStep; i++ {
+			p.Observe(rng.Norm())
+			c.Observe(rng.Norm())
+		}
+		phFired, csFired := false, false
+		for i := 0; i < 150 && !(phFired && csFired); i++ {
+			x := -2.0 + rng.Norm()
+			phFired = p.Observe(x) || phFired
+			csFired = c.Observe(x) || csFired
+		}
+		if !phFired || !csFired {
+			t.Fatalf("seed %d: downward step missed (PH %v, CUSUM %v)", seed, phFired, csFired)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/drift"
+)
+
+// Drift endpoints and the self-healing loop.
+//
+//	GET  /drift         -> api.DriftStatus (detector states, events)
+//	POST /drift/config  body: api.DriftConfig -> api.DriftStatus
+//
+// The drift loop ticks the monitor every Config.DriftInterval: the
+// per-backend latency-quantile tests run against the dispatcher's live
+// p95 estimates, confirmed shifts are collected as events, and — when
+// AutoReprofile is armed — a trigger re-profiles the live backends into
+// a fresh matrix and starts the standard rule-generation job over it
+// with Apply set, swapping the serving registry atomically on success.
+// In-flight dispatches never stall: profiling runs on the loop
+// goroutine against the same concurrent-safe backends, and the registry
+// swap is the same atomic pointer swap POST /rules/generate uses.
+
+func (s *Server) handleDrift(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.driftStatus())
+}
+
+func (s *Server) handleDriftConfig(w http.ResponseWriter, r *http.Request) {
+	var wcfg api.DriftConfig
+	if err := json.NewDecoder(r.Body).Decode(&wcfg); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if wcfg.Window < 0 || wcfg.WarmupWindows < 0 || wcfg.QuantileStrikes < 0 ||
+		wcfg.ErrDelta < 0 || wcfg.ErrLambda < 0 || wcfg.LatDelta < 0 || wcfg.LatLambda < 0 ||
+		wcfg.CusumK < 0 || wcfg.CusumH < 0 || wcfg.QuantileRatio < 0 || wcfg.CooldownMS < 0 {
+		httpError(w, http.StatusBadRequest, "drift config fields must be non-negative")
+		return
+	}
+	s.mon.SetConfig(drift.FromWire(wcfg))
+	if wcfg.Enabled {
+		// First enable on a node constructed without drift: the check
+		// loop starts here.
+		s.ensureDriftLoop()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.driftStatus())
+}
+
+// driftStatus renders the monitor's wire view plus the node-level
+// trigger error, if any.
+func (s *Server) driftStatus() api.DriftStatus {
+	st := s.mon.Status(s.disp.P95)
+	s.driftErrMu.Lock()
+	st.LastError = s.lastDriftErr
+	s.driftErrMu.Unlock()
+	return st
+}
+
+func (s *Server) setDriftErr(msg string) {
+	s.driftErrMu.Lock()
+	s.lastDriftErr = msg
+	s.driftErrMu.Unlock()
+}
+
+// driftLoop is the node's periodic drift check. It runs until Close.
+func (s *Server) driftLoop() {
+	defer close(s.driftDone)
+	t := time.NewTicker(s.driftInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.driftStop:
+			return
+		case now := <-t.C:
+			if _, trigger := s.mon.Check(now, s.disp.P95); trigger {
+				s.triggerReprofile()
+			}
+		}
+	}
+}
+
+// triggerReprofile runs one self-healing loop: re-profile the live
+// backends, then regenerate and apply the rule tables through the
+// standard async job. It runs on the drift-loop goroutine, so checks
+// pause while profiling — by design: there is no point detecting drift
+// on traffic the heal is about to re-baseline. Failures are recorded in
+// /drift's last_error and retried after the monitor's cooldown (the
+// detectors stay alarmed until a heal applies).
+func (s *Server) triggerReprofile() {
+	// Claim the in-flight slot before the job exists: the job goroutine
+	// calls the matching EndReprofile, possibly before this function
+	// returns.
+	s.mon.BeginReprofile()
+	// The profile is bounded by the server's drift context, so Close
+	// interrupts a re-profile stuck on a stalled backend.
+	fresh, err := dispatch.ProfileBackends(s.driftCtx, s.domain, s.backends, s.reqs)
+	if err != nil {
+		s.setDriftErr("reprofile: " + err.Error())
+		s.mon.EndReprofile(false)
+		return
+	}
+	job, err := s.startRuleJob(s.reprofileReq, fresh, true)
+	if err != nil {
+		// A manual job is already running (errJobRunning) or the
+		// configured reprofile request is invalid; either way the
+		// detectors stay alarmed and the loop retries after cooldown.
+		if !errors.Is(err, errJobRunning) {
+			s.setDriftErr("reprofile rules: " + err.Error())
+		}
+		s.mon.EndReprofile(false)
+		return
+	}
+	// Record the job id only; the in-flight flag is the job's to clear
+	// (it may already have finished and called EndReprofile).
+	s.mon.NoteReprofileJob(job.id)
+}

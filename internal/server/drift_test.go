@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/client"
+)
+
+func TestDriftStatusDefaultDisabled(t *testing.T) {
+	_, ts, _ := testRuleGenServer(t)
+	cl := client.New(ts.URL, nil)
+	st, err := cl.Drift(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "disabled" {
+		t.Fatalf("state %q on a server without drift config", st.State)
+	}
+	if st.Config.Enabled {
+		t.Fatal("config reports enabled")
+	}
+	// Defaults are resolved even while disabled.
+	if st.Config.Window <= 0 || st.Config.WarmupWindows <= 0 {
+		t.Fatalf("unresolved defaults in %+v", st.Config)
+	}
+}
+
+func TestDriftConfigEnableAtRuntime(t *testing.T) {
+	srv, ts, corpus := testRuleGenServer(t)
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	st, err := cl.SetDriftConfig(ctx, api.DriftConfig{Enabled: true, Window: 16, WarmupWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "watching" || !st.Config.Enabled || st.Config.Window != 16 {
+		t.Fatalf("status after enable: %+v", st)
+	}
+	// The monitor now observes traffic: tier state appears.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Dispatch(ctx, corpus.Requests[i].ID, 0.05, "response-time", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = cl.Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tiers) != 1 || st.Tiers[0].Requests != 20 {
+		t.Fatalf("observed tiers %+v", st.Tiers)
+	}
+	// Disable again: observation stops and state clears.
+	if _, err := cl.SetDriftConfig(ctx, api.DriftConfig{Enabled: false}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.DriftMonitor().Status(nil); st.State != "disabled" || len(st.Tiers) != 0 {
+		t.Fatalf("disable left state %+v", st)
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	_, ts, _ := testRuleGenServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{"enabled": true, "window": -1}`,
+		`{"enabled": true, "err_lambda": -0.5}`,
+		`{"enabled": true, "cooldown_ms": -10}`,
+	} {
+		resp, err := http.Post(ts.URL+"/drift/config", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestRuleGenRequestBootstrapOverrides(t *testing.T) {
+	gp, err := ruleGenParams(api.RuleGenRequest{MinTrials: 3, MaxTrials: 9, ThresholdPoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.gcfg.MinTrials != 3 || gp.gcfg.MaxTrials != 9 || gp.gcfg.ThresholdPoints != 2 {
+		t.Fatalf("overrides not applied: %+v", gp.gcfg)
+	}
+	if _, err := ruleGenParams(api.RuleGenRequest{MinTrials: 30, MaxTrials: 9}); err == nil {
+		t.Fatal("min > max accepted")
+	}
+	if _, err := ruleGenParams(api.RuleGenRequest{MinTrials: -1}); err == nil {
+		t.Fatal("negative bounds accepted")
+	}
+}

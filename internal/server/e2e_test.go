@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/drift"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// TestEndToEndDriftSelfHealing drives the whole loop over httptest with
+// fixed seeds: profile → generate rules → dispatch traffic through
+// chaos backends → a scripted accuracy collapse on the serving tier's
+// primary fires the drift detectors → the node re-profiles its live
+// backends, regenerates the rule tables through the async job, and
+// swaps the registry atomically → dispatch resumes on the new table.
+// A background dispatcher hammers the tier throughout, so the swap is
+// also proven to drop no in-flight requests (and the whole test runs
+// under -race in CI).
+func TestEndToEndDriftSelfHealing(t *testing.T) {
+	ctx := context.Background()
+
+	// Profile the corpus and generate the serving tables (small, fast
+	// generator config — the same one the other server tests use).
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 240, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	gcfg := rulegen.DefaultConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 24
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	g := rulegen.New(m, nil, gcfg)
+	tols := []float64{0, 0.01, 0.05, 0.10}
+	reg := tiers.NewRegistry(c.Service, g.Generate(tols, rulegen.MinimizeLatency))
+
+	preRule, err := reg.Resolve(0.05, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedVersion := preRule.Candidate.Policy.Primary
+
+	// Replay backends with a scripted model regression: after 600
+	// invocations, the 5%-tier's primary answers wrong 80% of the time
+	// (confidence untouched — the failure mode tier guarantees cannot
+	// survive, because confident-but-wrong results never escalate).
+	const chaosStart = 600
+	backends := dispatch.NewReplayBackends(m)
+	backends[degradedVersion] = dispatch.Chaos(backends[degradedVersion], dispatch.Perturbation{
+		Kind: dispatch.AccuracyDegrade, Shape: dispatch.Step,
+		Start: chaosStart, Magnitude: 0.8, Seed: 0xe2e,
+	})
+
+	srv := NewWithConfig(reg, c.Requests, Config{
+		Matrix:   m,
+		Backends: backends,
+		Drift: drift.Config{
+			Enabled: true, AutoReprofile: true,
+			Window: 32, WarmupWindows: 4,
+			ErrDelta: 0.02, ErrLambda: 0.3,
+			Cooldown: 250 * time.Millisecond,
+		},
+		DriftInterval: 5 * time.Millisecond,
+		Reprofile: api.RuleGenRequest{
+			Objectives: []string{string(rulegen.MinimizeLatency)},
+			MinTrials:  5, MaxTrials: 24, ThresholdPoints: 4,
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+
+	preTiers, err := cl.Tiers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]int, len(c.Requests))
+	for i, r := range c.Requests {
+		ids[i] = r.ID
+	}
+
+	// Phase 1: clean traffic. The detectors warm up (4 windows of 32)
+	// well inside the 600 unperturbed invocations; no alarms yet. The
+	// background dispatcher starts only after this assertion so a slow
+	// box cannot push the chaos clock past its start mid-phase.
+	for sent := 0; sent < 256; sent += 64 {
+		if _, err := cl.DispatchBatch(ctx, ids[:64], 0.05, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "disabled" {
+		t.Fatal("drift monitor disabled")
+	}
+	if len(st.Events) != 0 || st.Reprofiles != 0 {
+		t.Fatalf("clean traffic already alarmed: %+v", st)
+	}
+
+	// In-flight traffic across the swap: a background dispatcher issues
+	// single requests continuously; every one of them must succeed.
+	stop := make(chan struct{})
+	var inflight, inflightErrs atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := cl.Dispatch(ctx, ids[i%len(ids)], 0.05, rulegen.MinimizeLatency, 0); err != nil {
+				inflightErrs.Add(1)
+			}
+			inflight.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Phase 2: keep dispatching; the chaos step activates by logical
+	// time, the detectors fire, and the self-healing loop re-profiles
+	// and swaps. Poll until the heal applies.
+	deadline := time.Now().Add(60 * time.Second)
+	var healed *api.DriftStatus
+	for {
+		if _, err := cl.DispatchBatch(ctx, ids[:64], 0.05, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatal(err)
+		}
+		st, err := cl.Drift(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Reprofiles >= 1 {
+			healed = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no self-heal before deadline; drift status %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The heal must stem from a confirmed error-shift event on the tier.
+	if healed.LastError != "" {
+		t.Fatalf("heal reported error %q", healed.LastError)
+	}
+	foundErrEvent := false
+	for _, e := range healed.Events {
+		if strings.HasPrefix(e.Stream, "tier:"+dispatch.TierKey(string(rulegen.MinimizeLatency), 0.05)) &&
+			(e.Detector == drift.DetectorErrPH || e.Detector == drift.DetectorErrCusum) {
+			foundErrEvent = true
+		}
+	}
+	if !foundErrEvent {
+		t.Fatalf("no error-detector event on the degraded tier among %+v", healed.Events)
+	}
+
+	// The rule job that served the heal reports drift provenance and an
+	// applied registry swap.
+	var job *api.RuleGenStatus
+	for {
+		job, err = cl.RulesStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State != "running" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !job.Drift || !job.Applied || job.State != "done" {
+		t.Fatalf("drift job status %+v", job)
+	}
+	if healed.LastJobID == 0 {
+		t.Fatal("drift status lost the job id")
+	}
+
+	// The swapped table must route the 5% tier away from unescalated
+	// use of the degraded version: its confident answers are wrong 80%
+	// of the time, so no tolerance <= 10% can keep it as a Single.
+	postRule, err := srv.registry().Resolve(0.05, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := postRule.Candidate.Policy
+	if post.Kind == ensemble.Single && post.Primary == degradedVersion {
+		t.Fatalf("healed 5%% tier still serves the degraded version unescalated: %v", post)
+	}
+	if post.String() == preRule.Candidate.Policy.String() {
+		t.Fatalf("healed 5%% tier kept the pre-drift policy %v", post)
+	}
+	postTiers, err := cl.Tiers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range postTiers {
+		if i < len(preTiers) && postTiers[i].Policy != preTiers[i].Policy {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatalf("no tier policy changed across the heal:\npre  %+v\npost %+v", preTiers, postTiers)
+	}
+
+	// Dispatch resumes on the new table; in-flight traffic never
+	// dropped a request.
+	if _, err := cl.DispatchBatch(ctx, ids[:128], 0.05, rulegen.MinimizeLatency, 0); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if n, e := inflight.Load(), inflightErrs.Load(); n == 0 || e != 0 {
+		t.Fatalf("in-flight traffic: %d requests, %d errors", n, e)
+	}
+
+	// The node's training matrix was promoted to the re-profile: the
+	// degraded version's column now carries the inflated error.
+	fresh := srv.trainingMatrix()
+	if fresh == m {
+		t.Fatal("training matrix not promoted to the re-profile")
+	}
+	baseMean, freshMean := 0.0, 0.0
+	for i := 0; i < m.NumRequests(); i++ {
+		baseMean += m.Err[m.Index(i, degradedVersion)]
+		freshMean += fresh.Err[fresh.Index(i, degradedVersion)]
+	}
+	if freshMean <= baseMean {
+		t.Fatalf("re-profile did not capture the degradation: base err sum %.1f, fresh %.1f", baseMean, freshMean)
+	}
+}

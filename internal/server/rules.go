@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/drift"
+	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/rulegen/shard"
 	"github.com/toltiers/toltiers/internal/stats"
@@ -28,6 +31,12 @@ import (
 // DELETE cancels through the job's context: the sharded sweep stops at
 // the next batch boundary, nothing is applied, and /rules/status
 // reports "cancelling" until the workers drain, then "cancelled".
+//
+// The drift monitor's self-healing loop rides the same pipeline: a
+// confirmed shift re-profiles the live backends into a fresh matrix and
+// starts the identical job over it (drift: true in /rules/status), so
+// cancellation, status and the atomic swap behave the same whether a
+// human or the monitor asked.
 
 // ruleJob tracks one asynchronous generation sweep. Mutable fields are
 // guarded by Server.jobMu.
@@ -46,10 +55,108 @@ type ruleJob struct {
 	cancelled   bool
 	err         error
 	trials      stats.Stream
+	// matrix is the profiled corpus this job sweeps (the node's
+	// training matrix, or a drift re-profile).
+	matrix *profile.Matrix
+	// drift marks a job started by the drift monitor's self-healing
+	// loop.
+	drift bool
+}
+
+// errJobRunning distinguishes the one-at-a-time conflict from request
+// validation errors.
+var errJobRunning = errors.New("a rule-generation job is already running")
+
+// genParams is a validated rule-generation request.
+type genParams struct {
+	objectives   []rulegen.Objective
+	gcfg         rulegen.Config
+	step, maxTol float64
+}
+
+// ruleGenParams validates a RuleGenRequest and resolves its defaults.
+func ruleGenParams(req api.RuleGenRequest) (genParams, error) {
+	gp := genParams{gcfg: rulegen.DefaultConfig()}
+	gp.objectives = []rulegen.Objective{rulegen.MinimizeLatency, rulegen.MinimizeCost}
+	if len(req.Objectives) > 0 {
+		gp.objectives = gp.objectives[:0]
+		for _, o := range req.Objectives {
+			obj, err := rulegen.ParseObjective(o)
+			if err != nil {
+				return gp, err
+			}
+			gp.objectives = append(gp.objectives, obj)
+		}
+	}
+	if req.Confidence != 0 {
+		if req.Confidence <= 0 || req.Confidence >= 1 {
+			return gp, fmt.Errorf("confidence %v outside (0,1)", req.Confidence)
+		}
+		gp.gcfg.Confidence = req.Confidence
+	}
+	if req.MinTrials < 0 || req.MaxTrials < 0 || req.ThresholdPoints < 0 {
+		return gp, fmt.Errorf("negative bootstrap bounds")
+	}
+	if req.MinTrials > 0 {
+		gp.gcfg.MinTrials = req.MinTrials
+	}
+	if req.MaxTrials > 0 {
+		gp.gcfg.MaxTrials = req.MaxTrials
+	}
+	if gp.gcfg.MinTrials > gp.gcfg.MaxTrials {
+		return gp, fmt.Errorf("min_trials %d exceeds max_trials %d", gp.gcfg.MinTrials, gp.gcfg.MaxTrials)
+	}
+	if req.ThresholdPoints > 0 {
+		gp.gcfg.ThresholdPoints = req.ThresholdPoints
+	}
+	gp.step, gp.maxTol = req.Step, req.MaxTolerance
+	if gp.step <= 0 {
+		gp.step = 0.01
+	}
+	if gp.maxTol <= 0 {
+		gp.maxTol = 0.10
+	}
+	return gp, nil
+}
+
+// startRuleJob validates the request and launches the asynchronous
+// sweep over m. It returns errJobRunning while another job runs.
+func (s *Server) startRuleJob(req api.RuleGenRequest, m *profile.Matrix, fromDrift bool) (*ruleJob, error) {
+	gp, err := ruleGenParams(req)
+	if err != nil {
+		return nil, err
+	}
+	s.jobMu.Lock()
+	if s.job != nil && s.job.running {
+		s.jobMu.Unlock()
+		return nil, errJobRunning
+	}
+	s.jobSeq++
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &ruleJob{
+		id:         s.jobSeq,
+		req:        req,
+		objectives: gp.objectives,
+		started:    time.Now(),
+		running:    true,
+		cancel:     cancel,
+		// Requested partition shape, shown while running; overwritten
+		// with the resolved values when the sweep finishes.
+		shards:  req.Shards,
+		workers: req.Workers,
+		matrix:  m,
+		drift:   fromDrift,
+	}
+	s.job = job
+	s.jobMu.Unlock()
+
+	go s.runRuleJob(ctx, job, gp.gcfg, gp.step, gp.maxTol)
+	return job, nil
 }
 
 func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
-	if s.matrix == nil {
+	m := s.trainingMatrix()
+	if m == nil {
 		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
 		return
 	}
@@ -60,58 +167,15 @@ func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	objectives := []rulegen.Objective{rulegen.MinimizeLatency, rulegen.MinimizeCost}
-	if len(req.Objectives) > 0 {
-		objectives = objectives[:0]
-		for _, o := range req.Objectives {
-			obj, err := rulegen.ParseObjective(o)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-			objectives = append(objectives, obj)
-		}
-	}
-	gcfg := rulegen.DefaultConfig()
-	if req.Confidence != 0 {
-		if req.Confidence <= 0 || req.Confidence >= 1 {
-			httpError(w, http.StatusBadRequest, "confidence %v outside (0,1)", req.Confidence)
+	job, err := s.startRuleJob(req, m, false)
+	if err != nil {
+		if errors.Is(err, errJobRunning) {
+			httpError(w, http.StatusConflict, "%v", err)
 			return
 		}
-		gcfg.Confidence = req.Confidence
-	}
-	step, maxTol := req.Step, req.MaxTolerance
-	if step <= 0 {
-		step = 0.01
-	}
-	if maxTol <= 0 {
-		maxTol = 0.10
-	}
-
-	s.jobMu.Lock()
-	if s.job != nil && s.job.running {
-		s.jobMu.Unlock()
-		httpError(w, http.StatusConflict, "a rule-generation job is already running")
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.jobSeq++
-	ctx, cancel := context.WithCancel(context.Background())
-	job := &ruleJob{
-		id:         s.jobSeq,
-		req:        req,
-		objectives: objectives,
-		started:    time.Now(),
-		running:    true,
-		cancel:     cancel,
-		// Requested partition shape, shown while running; overwritten
-		// with the resolved values when the sweep finishes.
-		shards:  req.Shards,
-		workers: req.Workers,
-	}
-	s.job = job
-	s.jobMu.Unlock()
-
-	go s.runRuleJob(ctx, job, gcfg, step, maxTol)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -121,7 +185,10 @@ func (s *Server) handleRulesGenerate(w http.ResponseWriter, r *http.Request) {
 // runRuleJob executes the sharded sweep and, on success with Apply set,
 // swaps the serving registry. A cancelled context (DELETE
 // /rules/generate) stops the sweep at the next batch boundary and marks
-// the job cancelled instead of failed.
+// the job cancelled instead of failed. A drift-triggered job that
+// applies additionally promotes its re-profiled matrix to the node's
+// training matrix, re-anchors the monitor's latency baselines, and
+// resets the detectors so healed traffic re-baselines.
 func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Config, step, maxTol float64) {
 	opts := shard.Options{
 		Shards:    job.req.Shards,
@@ -133,7 +200,7 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 			s.jobMu.Unlock()
 		},
 	}
-	gen, rep, err := shard.Generate(ctx, s.matrix, nil, gcfg, opts)
+	gen, rep, err := shard.Generate(ctx, job.matrix, nil, gcfg, opts)
 
 	// A cancel that arrived after the sweep's last batch but before the
 	// tables are built still wins: DELETE promised nothing would be
@@ -157,11 +224,11 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 	}
 
 	s.jobMu.Lock()
-	defer s.jobMu.Unlock()
 	job.finished = time.Now()
 	job.running = false
 	job.cancel() // release the context resources
-	if err != nil {
+	switch {
+	case err != nil:
 		if errors.Is(err, context.Canceled) {
 			job.cancelled = true
 		} else {
@@ -170,25 +237,43 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 			job.err = err
 			job.cancelled = false
 		}
-		return
-	}
-	if cancelRequested {
+	case cancelRequested:
 		// The sweep finished under the cancel's feet, but the promise
 		// holds: nothing was generated or applied.
 		job.cancelled = true
-		return
+	default:
+		// A cancel that landed after the pre-generate check lost the
+		// race: the job completed (and possibly applied), and reports
+		// "done".
+		job.cancelled = false
+		job.shards, job.workers = rep.Shards, rep.Workers
+		job.trials = rep.TrialCounts
+		job.applied = applied
 	}
-	// A cancel that landed after the pre-generate check lost the race:
-	// the job completed (and possibly applied), and reports "done".
-	job.cancelled = false
-	job.shards, job.workers = rep.Shards, rep.Workers
-	job.trials = rep.TrialCounts
-	job.applied = applied
+	fromDrift, finalApplied := job.drift, job.applied
+	finalErr, finalCancelled := job.err, job.cancelled
+	s.jobMu.Unlock()
+
+	if fromDrift {
+		switch {
+		case finalApplied:
+			s.setTrainingMatrix(job.matrix)
+			// Re-anchor at the same quantile the live trackers estimate,
+			// as at construction.
+			s.mon.SetBaselines(drift.BackendBaselinesAt(job.matrix, s.hedgeQuantile))
+			s.setDriftErr("") // the last heal is clean
+		case finalErr != nil:
+			s.setDriftErr("reprofile rules job: " + finalErr.Error())
+		case finalCancelled:
+			s.setDriftErr("reprofile rules job cancelled")
+		}
+		s.mon.EndReprofile(finalApplied)
+	}
 }
 
 // handleRulesCancel cancels the running generation job via its context.
 func (s *Server) handleRulesCancel(w http.ResponseWriter, _ *http.Request) {
-	if s.matrix == nil {
+	if s.trainingMatrix() == nil {
 		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
 		return
 	}
@@ -229,7 +314,7 @@ func newRegistryFrom(old *tiers.Registry, generated []rulegen.RuleTable) *tiers.
 }
 
 func (s *Server) handleRulesStatus(w http.ResponseWriter, _ *http.Request) {
-	if s.matrix == nil {
+	if s.trainingMatrix() == nil {
 		httpError(w, http.StatusServiceUnavailable, "rule generation not enabled on this node")
 		return
 	}
@@ -244,6 +329,7 @@ func (s *Server) handleRulesStatus(w http.ResponseWriter, _ *http.Request) {
 			st.Objectives = append(st.Objectives, string(o))
 		}
 		st.Applied = job.applied
+		st.Drift = job.drift
 		switch {
 		case job.running && job.cancelled:
 			st.State = "cancelling"

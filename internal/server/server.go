@@ -16,18 +16,54 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/drift"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
 )
+
+// Config parameterizes a serving node beyond its registry and corpus.
+// The zero value reproduces New's behaviour: live service backends, no
+// rule generation, drift monitoring constructed but disabled.
+type Config struct {
+	// Matrix is the profiled training corpus backing the
+	// rule-generation endpoints and the drift monitor's latency
+	// baselines; nil disables POST /rules/generate (see rules.go).
+	Matrix *profile.Matrix
+	// Backends overrides the dispatcher's backend list (default: the
+	// registry service's live versions). Replay or chaos-wrapped
+	// backends hang here, with backend index i serving version i.
+	Backends []dispatch.Backend
+	// Dispatch tunes the tier-execution runtime. Its Observer field is
+	// overwritten with the node's drift monitor.
+	Dispatch dispatch.Options
+	// Drift configures the drift monitor (zero = constructed but
+	// disabled; POST /drift/config can enable it at runtime).
+	Drift drift.Config
+	// DriftInterval is the drift loop's check cadence (0 = 2s; < 0
+	// disables the loop entirely — Check is then never called).
+	DriftInterval time.Duration
+	// Reprofile carries the rule-generation parameters of
+	// drift-triggered jobs (Apply is forced on; zero values use the
+	// generator defaults). It is validated at construction —
+	// NewWithConfig panics on an invalid request rather than letting
+	// every future heal fail at trigger time.
+	Reprofile api.RuleGenRequest
+}
+
+// defaultDriftInterval is the drift loop cadence when Config leaves it
+// zero.
+const defaultDriftInterval = 2 * time.Second
 
 // Server serves one registry over a request corpus.
 type Server struct {
@@ -39,22 +75,46 @@ type Server struct {
 
 	// disp is the online tier-execution runtime: /compute and /dispatch
 	// both route through it, so live telemetry covers all traffic. The
-	// dispatcher wraps the registry's service versions; registry swaps
-	// (rule regeneration) change tables, not backends.
-	disp *dispatch.Dispatcher
+	// dispatcher wraps the configured backends; registry swaps (rule
+	// regeneration) change tables, not backends.
+	disp     *dispatch.Dispatcher
+	backends []dispatch.Backend
+	domain   service.Domain
 
 	// matrix is the profiled training corpus backing the rule-generation
-	// endpoints; nil disables them (see rules.go).
+	// endpoints; nil disables them (see rules.go). Guarded by jobMu — a
+	// drift-triggered job promotes its re-profile on success.
 	matrix *profile.Matrix
 	jobMu  sync.Mutex
 	job    *ruleJob
 	jobSeq int
+
+	// mon watches live telemetry for distribution shifts; the drift
+	// loop ticks it and runs the self-healing re-profile (see drift.go).
+	// The loop goroutine starts lazily on the first enable (construction
+	// or POST /drift/config) so handler-only servers never spawn one;
+	// loopMu guards the started/closed transitions, and driftCtx bounds
+	// the loop's profiling work so Close never waits on a stalled
+	// backend.
+	mon           *drift.Monitor
+	hedgeQuantile float64 // quantile both the trackers and drift baselines use
+	reprofileReq  api.RuleGenRequest
+	driftStop     chan struct{}
+	driftDone     chan struct{}
+	driftCtx      context.Context
+	driftCancel   context.CancelFunc
+	loopMu        sync.Mutex
+	loopStarted   bool
+	loopClosed    bool
+	driftErrMu    sync.Mutex
+	lastDriftErr  string
+	driftInterval time.Duration
 }
 
 // New builds the HTTP handler. The /rules endpoints answer 503 until a
 // training matrix is supplied via NewWithRuleGen.
 func New(reg *tiers.Registry, reqs []*service.Request) *Server {
-	return NewWithRuleGen(reg, reqs, nil)
+	return NewWithConfig(reg, reqs, Config{})
 }
 
 // NewWithRuleGen builds the HTTP handler with the rule-generation
@@ -62,11 +122,51 @@ func New(reg *tiers.Registry, reqs []*service.Request) *Server {
 // sweeps when POST /rules/generate asks this node to rebuild its
 // tables.
 func NewWithRuleGen(reg *tiers.Registry, reqs []*service.Request, m *profile.Matrix) *Server {
-	s := &Server{reg: reg, reqs: reqs, byID: make(map[int]*service.Request, len(reqs)), matrix: m}
+	return NewWithConfig(reg, reqs, Config{Matrix: m})
+}
+
+// NewWithConfig builds the HTTP handler with full control over the
+// serving node: backend list, dispatch options, rule generation, and
+// the drift monitor's self-healing loop.
+func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Server {
+	s := &Server{reg: reg, reqs: reqs, byID: make(map[int]*service.Request, len(reqs)), matrix: cfg.Matrix}
 	for _, r := range reqs {
 		s.byID[r.ID] = r
 	}
-	s.disp = dispatch.New(dispatch.NewServiceBackends(reg.Service()), dispatch.Options{})
+	s.domain = domainOf(reqs)
+	s.backends = cfg.Backends
+	if s.backends == nil {
+		s.backends = dispatch.NewServiceBackends(reg.Service())
+	}
+	names := make([]string, len(s.backends))
+	for i, b := range s.backends {
+		names[i] = b.Name()
+	}
+	// The quantile baseline must match the quantile the dispatcher's
+	// live trackers estimate (Options.HedgeQuantile), or the shift test
+	// compares mismatched order statistics.
+	s.hedgeQuantile = cfg.Dispatch.HedgeQuantile
+	if s.hedgeQuantile <= 0 || s.hedgeQuantile >= 1 {
+		s.hedgeQuantile = 0.95
+	}
+	var baselines []float64
+	if cfg.Matrix != nil && cfg.Matrix.NumVersions() == len(s.backends) {
+		baselines = drift.BackendBaselinesAt(cfg.Matrix, s.hedgeQuantile)
+	}
+	s.mon = drift.NewMonitor(cfg.Drift, names, baselines)
+	s.reprofileReq = cfg.Reprofile
+	s.reprofileReq.Apply = true
+	if _, err := ruleGenParams(s.reprofileReq); err != nil {
+		// A broken self-heal request would otherwise only surface when a
+		// heal is finally needed — and then fail on every retry. This is
+		// a programming error; fail loudly at construction.
+		panic(fmt.Sprintf("server: invalid Config.Reprofile: %v", err))
+	}
+
+	dopts := cfg.Dispatch
+	dopts.Observer = s.mon
+	s.disp = dispatch.New(s.backends, dopts)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compute", s.handleCompute)
 	mux.HandleFunc("POST /dispatch", s.handleDispatch)
@@ -77,13 +177,76 @@ func NewWithRuleGen(reg *tiers.Registry, reqs []*service.Request, m *profile.Mat
 	mux.HandleFunc("POST /rules/generate", s.handleRulesGenerate)
 	mux.HandleFunc("GET /rules/status", s.handleRulesStatus)
 	mux.HandleFunc("DELETE /rules/generate", s.handleRulesCancel)
+	mux.HandleFunc("GET /drift", s.handleDrift)
+	mux.HandleFunc("POST /drift/config", s.handleDriftConfig)
 	s.mux = mux
+
+	s.driftInterval = cfg.DriftInterval
+	if s.driftInterval == 0 {
+		s.driftInterval = defaultDriftInterval
+	}
+	s.driftStop = make(chan struct{})
+	s.driftDone = make(chan struct{})
+	s.driftCtx, s.driftCancel = context.WithCancel(context.Background())
+	if cfg.Drift.Enabled {
+		s.ensureDriftLoop()
+	}
 	return s
+}
+
+// ensureDriftLoop starts the drift-check goroutine once, on the first
+// enable. A negative configured interval disables the loop entirely
+// (Check is then never called); a closed server never starts one.
+func (s *Server) ensureDriftLoop() {
+	if s.driftInterval < 0 {
+		return
+	}
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.loopStarted || s.loopClosed {
+		return
+	}
+	s.loopStarted = true
+	go s.driftLoop()
+}
+
+// Close stops the drift loop, cancelling any re-profile it is running
+// (an in-flight rule-generation job keeps running; cancel it via
+// DELETE /rules/generate if needed). The HTTP handler stays usable.
+func (s *Server) Close() {
+	s.loopMu.Lock()
+	started := s.loopStarted
+	if !s.loopClosed {
+		s.loopClosed = true
+		close(s.driftStop)
+		s.driftCancel()
+	}
+	s.loopMu.Unlock()
+	if started {
+		<-s.driftDone
+	}
 }
 
 // Dispatcher exposes the server's tier-execution runtime (load
 // generators embed the server and drive it directly).
 func (s *Server) Dispatcher() *dispatch.Dispatcher { return s.disp }
+
+// DriftMonitor exposes the node's drift monitor.
+func (s *Server) DriftMonitor() *drift.Monitor { return s.mon }
+
+// trainingMatrix returns the matrix backing rule generation (nil
+// disables the endpoints); a successful drift re-profile swaps it.
+func (s *Server) trainingMatrix() *profile.Matrix {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.matrix
+}
+
+func (s *Server) setTrainingMatrix(m *profile.Matrix) {
+	s.jobMu.Lock()
+	s.matrix = m
+	s.jobMu.Unlock()
+}
 
 // registry returns the serving registry; a finished generation job with
 // "apply" swaps it, so readers always go through here.

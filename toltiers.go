@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/client"
 	"github.com/toltiers/toltiers/internal/dataset"
 	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/drift"
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
@@ -54,6 +56,14 @@ type (
 	Result = service.Result
 	// Version is one deployable model instantiation.
 	Version = service.Version
+	// Domain names a service domain (speech or vision).
+	Domain = service.Domain
+)
+
+// Service domains.
+const (
+	SpeechDomain = service.SpeechDomain
+	VisionDomain = service.VisionDomain
 )
 
 // Profiling.
@@ -119,6 +129,29 @@ type (
 	// RuntimeTelemetry is the dispatcher's online per-tier/per-backend
 	// serving statistics.
 	RuntimeTelemetry = dispatch.Telemetry
+	// DispatchObserver watches the dispatch stream in-line (drift
+	// monitors hang on DispatchOptions.Observer).
+	DispatchObserver = dispatch.Observer
+	// ChaosBackend wraps a backend with a scripted, deterministic
+	// perturbation schedule — the dispatch stack's fault-injection
+	// layer (latency inflation, accuracy degradation, error bursts;
+	// step/ramp/oscillation envelopes over logical time).
+	ChaosBackend = dispatch.ChaosBackend
+	// Perturbation is one scripted distortion of a backend's behaviour.
+	Perturbation = dispatch.Perturbation
+)
+
+// Drift detection (the self-healing loop).
+type (
+	// DriftMonitor watches live dispatch traffic for distribution
+	// shifts: per-tier Page–Hinkley and CUSUM tests over windowed
+	// error/latency means plus per-backend latency-quantile shift
+	// tests against the profiled baseline.
+	DriftMonitor = drift.Monitor
+	// DriftConfig parameterizes a DriftMonitor.
+	DriftConfig = drift.Config
+	// DriftEvent is one confirmed distribution shift.
+	DriftEvent = drift.Event
 )
 
 // Objectives.
@@ -239,6 +272,31 @@ func NewHTTPHandlerWithRuleGen(reg *Registry, reqs []*Request, m *Matrix) http.H
 	return server.NewWithRuleGen(reg, reqs, m)
 }
 
+// ServerConfig parameterizes a serving node built with NewHTTPServer:
+// training matrix, backend overrides, dispatch options, and the drift
+// monitor's self-healing loop.
+type ServerConfig = server.Config
+
+// RuleGenRequest parameterizes a rule-generation job (POST
+// /rules/generate, and ServerConfig.Reprofile for drift-triggered
+// regenerations).
+type RuleGenRequest = api.RuleGenRequest
+
+// HTTPServer is a serving node with lifecycle control: Close stops its
+// drift loop (the handler stays usable).
+type HTTPServer interface {
+	http.Handler
+	Close()
+}
+
+// NewHTTPServer builds a fully configured serving node: the annotated
+// request API, the dispatch runtime over the configured backends, rule
+// generation, and drift detection with optional self-healing
+// re-profiling.
+func NewHTTPServer(reg *Registry, reqs []*Request, cfg ServerConfig) HTTPServer {
+	return server.NewWithConfig(reg, reqs, cfg)
+}
+
 // NewDispatcher builds the online tier-execution runtime over the
 // backends (backend index i serves version i of the profiled service).
 func NewDispatcher(backends []Backend, opts DispatchOptions) *Dispatcher {
@@ -263,6 +321,44 @@ func ReplayRequests(m *Matrix) []*Request { return dispatch.ReplayRequests(m) }
 // "objective/tolerance".
 func DispatchTierKey(obj Objective, tolerance float64) string {
 	return dispatch.TierKey(string(obj), tolerance)
+}
+
+// NewChaosBackend wraps a backend with a deterministic perturbation
+// schedule: latency inflations, accuracy degradations and error bursts
+// keyed to the backend's own invocation counter, so scripted fault
+// scenarios replay bit-identically.
+func NewChaosBackend(inner Backend, perts ...Perturbation) *ChaosBackend {
+	return dispatch.Chaos(inner, perts...)
+}
+
+// NewDriftMonitor builds a drift monitor over the named backends. Hang
+// it on DispatchOptions.Observer so every dispatched outcome feeds the
+// per-tier detectors, and call its Check method periodically to run the
+// per-backend quantile tests and collect confirmed shift events.
+// baselineP95Ns supplies the profiled per-backend latency p95 reference
+// (see DriftBackendBaselines; nil disables the quantile tests).
+func NewDriftMonitor(cfg DriftConfig, backendNames []string, baselineP95Ns []float64) *DriftMonitor {
+	return drift.NewMonitor(cfg, backendNames, baselineP95Ns)
+}
+
+// DriftBackendBaselines derives the per-version latency p95 baselines
+// (ns) a drift monitor holds live backends to from a profile matrix.
+// Use DriftBackendBaselinesAt when the dispatcher hedges at a
+// different quantile — baseline and live estimate must use the same
+// one.
+func DriftBackendBaselines(m *Matrix) []float64 { return drift.BackendBaselines(m) }
+
+// DriftBackendBaselinesAt is DriftBackendBaselines at an arbitrary
+// latency quantile (match it to DispatchOptions.HedgeQuantile).
+func DriftBackendBaselinesAt(m *Matrix, quantile float64) []float64 {
+	return drift.BackendBaselinesAt(m, quantile)
+}
+
+// ProfileBackends measures every backend against every request and
+// returns a fresh profile matrix — the live counterpart of Profile, and
+// the re-profiling half of the drift monitor's self-healing loop.
+func ProfileBackends(ctx context.Context, domain Domain, backends []Backend, reqs []*Request) (*Matrix, error) {
+	return dispatch.ProfileBackends(ctx, domain, backends, reqs)
 }
 
 // NewClient returns the Go SDK for a Tolerance Tiers endpoint.
