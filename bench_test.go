@@ -12,6 +12,7 @@ package toltiers_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -537,6 +538,35 @@ func BenchmarkRegistryHandle(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAdmit measures the admission layer's accept path — the toll
+// every request pays before reaching the dispatcher once a server arms
+// ServerConfig.Admission. It must stay allocation-free and well under a
+// microsecond (the alloc-regression test in internal/admit pins the
+// zero-allocation property; scripts/bench_check.sh gates the ns/op), or
+// the QoS layer would eat the contention-free fast path it guards.
+func BenchmarkAdmit(b *testing.B) {
+	ctrl := toltiers.NewAdmissionController(toltiers.AdmissionConfig{
+		Enabled:     true,
+		MaxInFlight: 1 << 20,
+		DefaultRate: toltiers.TenantRate{PerSec: 1e9, Burst: 1e9},
+		Brownout:    true,
+	})
+	// Warm: materialize the tenant bucket so the steady state is the
+	// read-locked lookup, not the first-touch creation.
+	for i := 0; i < 64; i++ {
+		ctrl.Done(ctrl.Admit(time.Now(), "tenant-a", 0.05, 0, math.NaN()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := ctrl.Admit(time.Now(), "tenant-a", 0.05, 0, math.NaN())
+		if dec.Verdict != toltiers.AdmitAccept {
+			b.Fatalf("shed at iteration %d: %v", i, dec.Verdict)
+		}
+		ctrl.Done(dec)
 	}
 }
 

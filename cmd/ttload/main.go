@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"github.com/toltiers/toltiers"
+	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/client"
 	"github.com/toltiers/toltiers/internal/dispatch"
@@ -55,6 +57,8 @@ type tierSeries struct {
 	hedged      int
 	misses      int
 	failures    int
+	downgraded  int
+	shed        int
 }
 
 // collector accumulates per-tier latency series across workers.
@@ -63,13 +67,18 @@ type collector struct {
 	tiers map[string]*tierSeries
 }
 
-func (c *collector) observe(tier string, wall time.Duration, simulated time.Duration, escalated, hedged, missed bool) {
-	c.mu.Lock()
+func (c *collector) series(tier string) *tierSeries {
 	ts := c.tiers[tier]
 	if ts == nil {
 		ts = &tierSeries{}
 		c.tiers[tier] = ts
 	}
+	return ts
+}
+
+func (c *collector) observe(tier string, wall time.Duration, simulated time.Duration, escalated, hedged, missed, downgraded bool) {
+	c.mu.Lock()
+	ts := c.series(tier)
 	ts.wallMS = append(ts.wallMS, float64(wall)/1e6)
 	ts.simulatedMS = append(ts.simulatedMS, float64(simulated)/1e6)
 	if escalated {
@@ -81,17 +90,22 @@ func (c *collector) observe(tier string, wall time.Duration, simulated time.Dura
 	if missed {
 		ts.misses++
 	}
+	if downgraded {
+		ts.downgraded++
+	}
 	c.mu.Unlock()
 }
 
 func (c *collector) fail(tier string) {
 	c.mu.Lock()
-	ts := c.tiers[tier]
-	if ts == nil {
-		ts = &tierSeries{}
-		c.tiers[tier] = ts
-	}
-	ts.failures++
+	c.series(tier).failures++
+	c.mu.Unlock()
+}
+
+// shed records n admission rejections of one consumer class.
+func (c *collector) shed(tier string, n int) {
+	c.mu.Lock()
+	c.series(tier).shed += n
 	c.mu.Unlock()
 }
 
@@ -113,6 +127,10 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", "scripted backend perturbations for in-process mode, e.g. 'backend=0,kind=latency,shape=step,start=1000,magnitude=2/backend=1,kind=accuracy,magnitude=0.5' (kinds latency|accuracy|error; shapes step|ramp|osc; logical time = invocations)")
 		driftOn     = flag.Bool("drift", false, "watch the traffic with a drift monitor (in-process: attached to the dispatcher; remote: reported from the target's GET /drift) and print detector state")
 		driftWindow = flag.Int("drift-window", 64, "dispatches per drift-detector window (in-process -drift)")
+
+		overload      = flag.Bool("overload", false, "overload scenario: gate in-process dispatch through an admission controller with brownout armed (remote mode: count the target's 429/503 sheds) and report graceful-degradation counters")
+		admitInflight = flag.Int("admit-max-inflight", 0, "admitted in-flight cap for -overload's in-process admission layer (0 = half of -concurrency)")
+		admitRate     = flag.Float64("admit-rate", 0, "per-consumer-class token-bucket refill for -overload, req/s (0 = unlimited)")
 	)
 	flag.Parse()
 	if *batchN < 1 {
@@ -135,12 +153,32 @@ func main() {
 	var issueBatch func(ctx context.Context, arrs []workload.Arrival, col *collector)
 	var disp *dispatch.Dispatcher
 	var mon *toltiers.DriftMonitor
+	var ctrl *admit.Controller
 	corpusSize := *corpusN
 	if *target == "" {
 		var reqs []*toltiers.Request
 		disp, reqs, mon = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend, chaos, *driftOn, *driftWindow)
 		corpusSize = len(reqs)
 		reg := mustRegistry(*svcName, *corpusN, *step)
+		if *overload {
+			capIF := *admitInflight
+			if capIF <= 0 {
+				capIF = *concurrency / 2
+				if capIF < 4 {
+					capIF = 4
+				}
+			}
+			ctrl = admit.New(admit.Config{
+				Enabled:     true,
+				MaxInFlight: capIF,
+				DefaultRate: admit.Rate{PerSec: *admitRate},
+				Brownout:    true,
+				Interval:    250 * time.Millisecond,
+			})
+		}
+		// Under -overload both paths gate through ctrl first (tenant =
+		// the requested annotation, so every consumer class gets its own
+		// bucket and admission-status row).
 		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
 			// The report keys by the *requested* annotation so successes
 			// and failures of one consumer class always share a row; the
@@ -151,17 +189,34 @@ func main() {
 				col.fail(tier)
 				return
 			}
+			downgraded := false
+			if ctrl != nil {
+				dec := ctrl.Admit(time.Now(), tier, arr.Tolerance, budget, disp.Floor(rule.Candidate.Policy.Primary))
+				if dec.Verdict.Shed() {
+					col.shed(tier, 1)
+					return
+				}
+				defer ctrl.Done(dec)
+				if dec.Verdict == admit.Downgrade {
+					if drule, derr := reg.Resolve(dec.Tolerance, arr.Objective); derr == nil && drule.Tolerance > rule.Tolerance {
+						rule = drule
+						downgraded = true
+					}
+				}
+			}
 			start := time.Now()
 			o, err := disp.Do(ctx, reqs[arr.RequestIndex%len(reqs)], dispatch.Ticket{
-				Tier:   dispatch.TierKey(string(arr.Objective), rule.Tolerance),
-				Policy: rule.Candidate.Policy,
-				Budget: budget,
+				Tier:       dispatch.TierKey(string(arr.Objective), rule.Tolerance),
+				Tenant:     tier,
+				Policy:     rule.Candidate.Policy,
+				Budget:     budget,
+				Downgraded: downgraded,
 			})
 			if err != nil {
 				col.fail(tier)
 				return
 			}
-			col.observe(tier, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded)
+			col.observe(tier, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
 		}
 		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
@@ -172,15 +227,32 @@ func main() {
 				}
 				return
 			}
+			downgraded := false
+			if ctrl != nil {
+				dec := ctrl.AdmitBatch(time.Now(), tier, arrs[0].Tolerance, budget, disp.Floor(rule.Candidate.Policy.Primary), len(arrs))
+				if dec.Verdict.Shed() {
+					col.shed(tier, len(arrs))
+					return
+				}
+				defer ctrl.Done(dec)
+				if dec.Verdict == admit.Downgrade {
+					if drule, derr := reg.Resolve(dec.Tolerance, arrs[0].Objective); derr == nil && drule.Tolerance > rule.Tolerance {
+						rule = drule
+						downgraded = true
+					}
+				}
+			}
 			batchReqs := make([]*toltiers.Request, len(arrs))
 			for i, arr := range arrs {
 				batchReqs[i] = reqs[arr.RequestIndex%len(reqs)]
 			}
 			start := time.Now()
 			outs, errs, err := disp.DoBatch(ctx, batchReqs, dispatch.Ticket{
-				Tier:   dispatch.TierKey(string(arrs[0].Objective), rule.Tolerance),
-				Policy: rule.Candidate.Policy,
-				Budget: budget,
+				Tier:       dispatch.TierKey(string(arrs[0].Objective), rule.Tolerance),
+				Tenant:     tier,
+				Policy:     rule.Candidate.Policy,
+				Budget:     budget,
+				Downgraded: downgraded,
 			}, nil, nil)
 			wall := time.Since(start)
 			if err != nil {
@@ -194,7 +266,7 @@ func main() {
 					col.fail(tier)
 					continue
 				}
-				col.observe(tier, wall, o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded)
+				col.observe(tier, wall, o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
 			}
 		}
 	} else {
@@ -208,17 +280,28 @@ func main() {
 		if st.Corpus > 0 {
 			corpusSize = st.Corpus
 		}
+		// isShed classifies a remote failure as an admission shed (the
+		// target's 429 bucket / 503 capacity-or-deadline rejections).
+		isShed := func(err error) bool {
+			var apiErr *client.APIError
+			return errors.As(err, &apiErr) &&
+				(apiErr.StatusCode == 429 || apiErr.StatusCode == 503)
+		}
 		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
 			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
 			start := time.Now()
 			res, err := cl.Dispatch(ctx, arr.RequestIndex, arr.Tolerance, arr.Objective, budget)
 			if err != nil {
+				if *overload && isShed(err) {
+					col.shed(tier, 1)
+					return
+				}
 				col.fail(tier)
 				return
 			}
 			col.observe(tier, time.Since(start),
 				time.Duration(res.LatencyMS*float64(time.Millisecond)),
-				res.Escalated, res.Hedged, res.DeadlineExceeded)
+				res.Escalated, res.Hedged, res.DeadlineExceeded, res.Downgraded)
 		}
 		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
@@ -230,6 +313,10 @@ func main() {
 			res, err := cl.DispatchBatch(ctx, ids, arrs[0].Tolerance, arrs[0].Objective, budget)
 			wall := time.Since(start)
 			if err != nil {
+				if *overload && isShed(err) {
+					col.shed(tier, len(arrs))
+					return
+				}
 				for range arrs {
 					col.fail(tier)
 				}
@@ -242,7 +329,7 @@ func main() {
 				}
 				col.observe(tier, wall,
 					time.Duration(item.LatencyMS*float64(time.Millisecond)),
-					item.Escalated, item.Hedged, item.DeadlineExceeded)
+					item.Escalated, item.Hedged, item.DeadlineExceeded, item.Downgraded)
 			}
 		}
 	}
@@ -339,6 +426,18 @@ func main() {
 	if disp != nil {
 		reportTelemetry(disp)
 	}
+	if *overload {
+		if ctrl != nil {
+			reportAdmission(ctrl.Status())
+		} else {
+			st, err := client.New(*target, nil).Admission(context.Background())
+			if err != nil {
+				log.Printf("admission status: %v", err)
+			} else {
+				reportAdmission(*st)
+			}
+		}
+	}
 	if mon != nil {
 		mon.Check(time.Now(), disp.P95)
 		reportDrift(mon.Status(disp.P95))
@@ -397,12 +496,12 @@ func report(col *collector, elapsed time.Duration, batchN int) {
 	total := 0
 	for k, ts := range col.tiers {
 		keys = append(keys, k)
-		total += len(ts.wallMS) + ts.failures
+		total += len(ts.wallMS) + ts.failures + ts.shed
 	}
 	sort.Strings(keys)
 	t := tablewriter.New(
 		fmt.Sprintf("ttload — %d requests in %v (%.0f achieved rps)", total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds()),
-		"tier", "n", "wall p50 (ms)", "wall p95 (ms)", "wall p99 (ms)", "svc p50 (ms)", "svc p95 (ms)", "escalated", "hedged", "deadline miss", "fail")
+		"tier", "n", "wall p50 (ms)", "wall p95 (ms)", "wall p99 (ms)", "svc p50 (ms)", "svc p95 (ms)", "escalated", "hedged", "deadline miss", "downgraded", "shed", "fail")
 	for _, k := range keys {
 		ts := col.tiers[k]
 		t.AddStrings(k, fmt.Sprint(len(ts.wallMS)),
@@ -411,7 +510,8 @@ func report(col *collector, elapsed time.Duration, batchN int) {
 			fmt.Sprintf("%.3f", quantile(ts.wallMS, 0.99)),
 			fmt.Sprintf("%.2f", quantile(ts.simulatedMS, 0.50)),
 			fmt.Sprintf("%.2f", quantile(ts.simulatedMS, 0.95)),
-			fmt.Sprint(ts.escalated), fmt.Sprint(ts.hedged), fmt.Sprint(ts.misses), fmt.Sprint(ts.failures))
+			fmt.Sprint(ts.escalated), fmt.Sprint(ts.hedged), fmt.Sprint(ts.misses),
+			fmt.Sprint(ts.downgraded), fmt.Sprint(ts.shed), fmt.Sprint(ts.failures))
 	}
 	t.Caption = "tiers key by requested annotation; wall = end-to-end dispatch time at the generator; svc = reported service latency"
 	if batchN > 1 {
@@ -431,6 +531,25 @@ func reportTelemetry(d *dispatch.Dispatcher) {
 			fmt.Sprintf("%.2f", b.MeanLatencyMS), fmt.Sprintf("%.2f", b.P95LatencyMS),
 			fmt.Sprintf("%.4f", b.InvocationUSD), fmt.Sprintf("%.6f", b.IaaSUSD))
 	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reportAdmission prints the admission layer's per-tenant counters and
+// brownout state (the graceful-degradation ledger of an -overload run).
+func reportAdmission(st api.AdmissionStatus) {
+	t := tablewriter.New(
+		fmt.Sprintf("admission — state %s, in-flight %d, brownout engaged %d / released %d",
+			st.State, st.InFlight, st.BrownoutEngaged, st.BrownoutReleased),
+		"tenant", "admitted", "shed 429", "shed 503 capacity", "shed 503 deadline", "downgraded")
+	for _, tn := range st.Tenants {
+		t.AddStrings(tn.Tenant, fmt.Sprint(tn.Admitted), fmt.Sprint(tn.ShedRate),
+			fmt.Sprint(tn.ShedCapacity), fmt.Sprint(tn.ShedDeadline), fmt.Sprint(tn.Downgraded))
+	}
+	t.AddStrings("(fleet)", fmt.Sprint(st.Admitted), fmt.Sprint(st.ShedRate),
+		fmt.Sprint(st.ShedCapacity), fmt.Sprint(st.ShedDeadline), fmt.Sprint(st.Downgraded))
+	t.Caption = "admitted + shed + downgraded account for every arrival the layer saw; downgrades are also admitted"
 	if err := t.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -30,6 +30,14 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent shard workers (0 = one per shard)")
 		driftOn    = flag.Bool("drift", false, "watch live telemetry for distribution shifts and self-heal: a confirmed shift re-profiles the backends and regenerates the rule tables in place")
 		driftTick  = flag.Duration("drift-interval", 0, "drift check cadence (0 = 2s)")
+
+		admitOn       = flag.Bool("admit", false, "enable the admission layer: per-tenant token buckets, priority admission, deadline shedding (GET /admission, POST /admission/config)")
+		admitInflight = flag.Int("admit-max-inflight", 0, "admitted in-flight dispatch cap (0 = unlimited)")
+		admitReserve  = flag.Int("admit-priority-reserve", 0, "in-flight slots reserved for priority tiers (0 = 10% of the cap)")
+		admitRate     = flag.Float64("admit-rate", 0, "default per-tenant token-bucket refill, requests/s (0 = unlimited)")
+		admitBurst    = flag.Float64("admit-burst", 0, "default per-tenant bucket burst (0 = refill rate)")
+		brownoutOn    = flag.Bool("brownout", false, "arm the brownout controller: sustained shedding downgrades tolerant traffic to the -brownout-tier policy until the overload clears")
+		brownoutTier  = flag.Float64("brownout-tier", 0, "tolerance tier brownout downgrades to (0 = 0.10)")
 	)
 	flag.Parse()
 
@@ -58,10 +66,21 @@ func main() {
 		Matrix:        matrix,
 		Drift:         toltiers.DriftConfig{Enabled: *driftOn, AutoReprofile: *driftOn},
 		DriftInterval: *driftTick,
+		Admission: toltiers.AdmissionConfig{
+			Enabled:           *admitOn || *brownoutOn,
+			MaxInFlight:       *admitInflight,
+			PriorityReserve:   *admitReserve,
+			DefaultRate:       toltiers.TenantRate{PerSec: *admitRate, Burst: *admitBurst},
+			Brownout:          *brownoutOn,
+			BrownoutTolerance: *brownoutTier,
+		},
 	})
 	defer srv.Close()
 	if *driftOn {
 		log.Printf("drift monitor armed (GET /drift, POST /drift/config)")
+	}
+	if *admitOn || *brownoutOn {
+		log.Printf("admission layer armed (GET /admission, POST /admission/config; brownout %v)", *brownoutOn)
 	}
 	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {

@@ -1,0 +1,44 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation-regression pin for the admit-accept fast path. The
+// admission check runs in front of every dispatch, so alloc creep here
+// taxes the whole serving stack; the budget is exactly zero — the
+// tenant entry is long-lived, the Decision travels by value, and every
+// counter is an atomic.
+
+func TestAdmitAcceptAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budget measured without -race")
+	}
+	c := New(Config{
+		Enabled:     true,
+		MaxInFlight: 1024,
+		DefaultRate: Rate{PerSec: 1e9, Burst: 1e9},
+		Brownout:    true,
+	})
+	now := t0
+	// Warm the tenant entry and the brownout interval clock.
+	for i := 0; i < 64; i++ {
+		d := c.Admit(now, "tenant-a", 0.05, time.Millisecond, float64(time.Microsecond))
+		if d.Verdict != Accept {
+			t.Fatalf("warmup admit: %v", d.Verdict)
+		}
+		c.Done(d)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		now = now.Add(10 * time.Microsecond)
+		d := c.Admit(now, "tenant-a", 0.05, time.Millisecond, float64(time.Microsecond))
+		if d.Verdict != Accept {
+			t.Fatal(d.Verdict)
+		}
+		c.Done(d)
+	})
+	if avg != 0 {
+		t.Fatalf("admit-accept fast path allocates %v allocs/op, want 0", avg)
+	}
+}

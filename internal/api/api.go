@@ -69,6 +69,11 @@ type DispatchResult struct {
 	// DeadlineExceeded reports that the response latency overran the
 	// request's budget.
 	DeadlineExceeded bool `json:"deadline_exceeded,omitempty"`
+	// Downgraded reports the admission layer's brownout controller
+	// served this request with a cheaper tier's policy than the one its
+	// Tolerance header resolved to; the embedded Tier echoes the tier
+	// actually served.
+	Downgraded bool `json:"downgraded,omitempty"`
 	// IaaSUSD is the provider-side node-time cost of the dispatch.
 	IaaSUSD float64 `json:"iaas_usd"`
 }
@@ -206,6 +211,99 @@ type RuleGenStatus struct {
 	// Drift reports the job was started by the drift monitor's
 	// self-healing loop (re-profiled backends, then regenerated).
 	Drift bool `json:"drift,omitempty"`
+}
+
+// TenantRate is one tenant's token-bucket override inside
+// AdmissionConfig.
+type TenantRate struct {
+	// RatePerSec refills the tenant's bucket (0 = unlimited).
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Burst caps the bucket (0 = max(rate, 1)).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// AdmissionConfig is the admission layer's configuration — the JSON
+// body of POST /admission/config and the config echo inside
+// GET /admission. Zero values select the controller's defaults.
+type AdmissionConfig struct {
+	// Enabled turns admission control on; disabled, every request is
+	// accepted untouched.
+	Enabled bool `json:"enabled"`
+	// MaxInFlight caps concurrently admitted dispatches (0 = unlimited:
+	// capacity admission and the queue-depth brownout trigger are off).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// PriorityReserve is the slice of MaxInFlight only priority tiers
+	// (tolerance <= PriorityTolerance) may occupy, so bulk traffic can
+	// never starve the strict tiers of slots (default: 10%, min 1).
+	PriorityReserve int `json:"priority_reserve,omitempty"`
+	// PriorityTolerance bounds the priority class (default 0.01).
+	PriorityTolerance float64 `json:"priority_tolerance,omitempty"`
+	// DefaultRatePerSec / DefaultBurst parameterize the token bucket of
+	// tenants without an override (0 rate = unlimited).
+	DefaultRatePerSec float64 `json:"default_rate_per_sec,omitempty"`
+	DefaultBurst      float64 `json:"default_burst,omitempty"`
+	// Tenants overrides per-tenant bucket rates, keyed by tenant ID.
+	Tenants map[string]TenantRate `json:"tenants,omitempty"`
+	// ShedMargin scales the observed latency floor in the deadline shed
+	// test: a request is rejected when budget < floor*ShedMargin
+	// (default 1; 0 keeps the default, negative disables the shed).
+	ShedMargin float64 `json:"shed_margin,omitempty"`
+	// Brownout arms the tier-downgrade controller.
+	Brownout bool `json:"brownout,omitempty"`
+	// BrownoutTolerance is the cheaper tier brownout serves downgradable
+	// traffic with (default 0.10). Requests already at or above it, and
+	// priority-tier requests, are never touched.
+	BrownoutTolerance float64 `json:"brownout_tolerance,omitempty"`
+	// BrownoutEngageShed / BrownoutReleaseShed are the per-interval shed
+	// fractions that engage and release the brownout (defaults 0.10 and
+	// 0.02; release also requires the queue-depth trigger quiet).
+	BrownoutEngageShed  float64 `json:"brownout_engage_shed,omitempty"`
+	BrownoutReleaseShed float64 `json:"brownout_release_shed,omitempty"`
+	// BrownoutEngageIntervals / BrownoutReleaseIntervals are the
+	// consecutive evaluation intervals the trigger condition must hold
+	// (the hysteresis; defaults 2 and 4).
+	BrownoutEngageIntervals  int `json:"brownout_engage_intervals,omitempty"`
+	BrownoutReleaseIntervals int `json:"brownout_release_intervals,omitempty"`
+	// BrownoutIntervalMS is the evaluation interval (default 500ms).
+	BrownoutIntervalMS float64 `json:"brownout_interval_ms,omitempty"`
+	// RetryAfterMS is the Retry-After hint on capacity and deadline
+	// sheds (default 250ms); rate sheds compute theirs from the bucket.
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+}
+
+// TenantAdmission is one tenant's admission counters in GET /admission.
+type TenantAdmission struct {
+	Tenant   string `json:"tenant"`
+	Admitted int64  `json:"admitted"`
+	// ShedRate / ShedCapacity / ShedDeadline count rejections by cause:
+	// token bucket (429), slot exhaustion (503), provably unmeetable
+	// deadline (503).
+	ShedRate     int64 `json:"shed_rate,omitempty"`
+	ShedCapacity int64 `json:"shed_capacity,omitempty"`
+	ShedDeadline int64 `json:"shed_deadline,omitempty"`
+	// Downgraded counts admissions served under brownout with the
+	// cheaper tier's policy (a subset of Admitted).
+	Downgraded int64 `json:"downgraded,omitempty"`
+}
+
+// AdmissionStatus is the JSON response of GET /admission.
+type AdmissionStatus struct {
+	Config AdmissionConfig `json:"config"`
+	// State is disabled | normal | brownout.
+	State string `json:"state"`
+	// InFlight is the current admitted-but-unfinished dispatch count.
+	InFlight int64 `json:"in_flight"`
+	// Fleet-wide counters (sums of the per-tenant ones).
+	Admitted     int64 `json:"admitted"`
+	ShedRate     int64 `json:"shed_rate,omitempty"`
+	ShedCapacity int64 `json:"shed_capacity,omitempty"`
+	ShedDeadline int64 `json:"shed_deadline,omitempty"`
+	Downgraded   int64 `json:"downgraded,omitempty"`
+	// BrownoutEngaged / BrownoutReleased count controller transitions.
+	BrownoutEngaged  int64 `json:"brownout_engaged,omitempty"`
+	BrownoutReleased int64 `json:"brownout_released,omitempty"`
+	// Tenants lists per-tenant counters, sorted by tenant ID.
+	Tenants []TenantAdmission `json:"tenants,omitempty"`
 }
 
 // DriftConfig is the drift monitor's configuration — the JSON body of

@@ -19,8 +19,9 @@ import (
 
 // Client talks to one Tolerance Tiers service endpoint.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	tenant string
+	http   *http.Client
 }
 
 // New builds a client for the endpoint base URL (e.g.
@@ -30,6 +31,26 @@ func New(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: base, http: httpClient}
+}
+
+// WithTenant returns a copy of the client that identifies as tenant id
+// on every compute/dispatch request (the Tenant header), which is what
+// the server's admission layer keys its token buckets and counters by.
+// An empty id addresses the default tenant.
+func (c *Client) WithTenant(id string) *Client {
+	cp := *c
+	cp.tenant = id
+	return &cp
+}
+
+// annotate sets the §IV-A tier annotation headers (plus the tenant).
+func (c *Client) annotate(req *http.Request, tolerance float64, objective rulegen.Objective) {
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
+	req.Header.Set("Objective", string(objective))
+	if c.tenant != "" {
+		req.Header.Set("Tenant", c.tenant)
+	}
 }
 
 // Compute sends one annotated request.
@@ -42,9 +63,7 @@ func (c *Client) Compute(ctx context.Context, requestID int, tolerance float64, 
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
-	req.Header.Set("Objective", string(objective))
+	c.annotate(req, tolerance, objective)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: compute: %w", err)
@@ -75,9 +94,7 @@ func (c *Client) Dispatch(ctx context.Context, requestID int, tolerance float64,
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
-	req.Header.Set("Objective", string(objective))
+	c.annotate(req, tolerance, objective)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: dispatch: %w", err)
@@ -111,9 +128,7 @@ func (c *Client) DispatchBatch(ctx context.Context, requestIDs []int, tolerance 
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
-	req.Header.Set("Objective", string(objective))
+	c.annotate(req, tolerance, objective)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: dispatch batch: %w", err)
@@ -299,6 +314,58 @@ func (c *Client) SetDriftConfig(ctx context.Context, cfg api.DriftConfig) (*api.
 	return &out, nil
 }
 
+// Admission fetches the node's admission-layer status: configuration,
+// brownout state, the in-flight gauge, and per-tenant
+// accept/shed/downgrade counters (GET /admission).
+func (c *Client) Admission(ctx context.Context) (*api.AdmissionStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/admission", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: admission: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.AdmissionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode admission status: %w", err)
+	}
+	return &out, nil
+}
+
+// SetAdmissionConfig replaces the node's admission configuration
+// (POST /admission/config) — enabling the layer, retuning tenant
+// bucket rates, or arming the brownout controller. Counters and
+// brownout state carry over. It returns the resulting status.
+func (c *Client) SetAdmissionConfig(ctx context.Context, cfg api.AdmissionConfig) (*api.AdmissionStatus, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode admission config: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/admission/config", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: set admission config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.AdmissionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode admission status: %w", err)
+	}
+	return &out, nil
+}
+
 // Healthy reports whether the endpoint answers /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
 	_, err := c.Health(ctx)
@@ -331,6 +398,10 @@ func (c *Client) Health(ctx context.Context) (*api.HealthStatus, error) {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's backoff hint on 429/503 admission
+	// sheds (0 when the response carried none). The retry policies
+	// honor it.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -346,5 +417,26 @@ func decodeError(resp *http.Response) error {
 	if err := json.Unmarshal(data, &payload); err != nil || payload.Error == "" {
 		payload.Error = string(data)
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: payload.Error}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    payload.Error,
+		RetryAfter: retryAfterHint(resp.Header),
+	}
+}
+
+// retryAfterHint parses the server's backoff hint: the
+// millisecond-precision X-Toltiers-Retry-After-MS when present, the
+// standard whole-second Retry-After otherwise.
+func retryAfterHint(h http.Header) time.Duration {
+	if ms := h.Get("X-Toltiers-Retry-After-MS"); ms != "" {
+		if v, err := strconv.ParseFloat(ms, 64); err == nil && v > 0 {
+			return time.Duration(v * float64(time.Millisecond))
+		}
+	}
+	if s := h.Get("Retry-After"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return 0
 }

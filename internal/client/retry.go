@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -11,19 +12,30 @@ import (
 	"github.com/toltiers/toltiers/internal/rulegen"
 )
 
-// RetryPolicy controls ComputeWithRetry. Transient failures (transport
-// errors and 5xx responses) are retried with exponential backoff; 4xx
-// responses are permanent and returned immediately.
+// RetryPolicy controls the *WithRetry calls. Transient failures —
+// transport errors, 5xx responses, and 429 admission sheds — are
+// retried with decorrelated-jitter backoff; other 4xx responses are
+// permanent and returned immediately. A server Retry-After hint (sent
+// by the admission layer on 429/503 sheds) overrides a computed delay
+// that is shorter, so a fleet of clients backs off as told instead of
+// hammering an overloaded node in sync. Sleeping always honors context
+// cancellation.
 type RetryPolicy struct {
 	// MaxAttempts bounds total attempts (including the first). Values
 	// below 1 are treated as 1.
 	MaxAttempts int
-	// BaseBackoff is the first retry's delay; each subsequent retry
-	// doubles it. Zero disables sleeping (useful in tests).
+	// BaseBackoff is the decorrelated-jitter floor: each retry sleeps a
+	// uniform draw from [BaseBackoff, 3*previous], capped at
+	// MaxBackoff. Zero disables sleeping (useful in tests).
 	BaseBackoff time.Duration
-	// Sleep overrides the sleeping function (nil = time.Sleep with
+	// MaxBackoff caps the jittered delay (0 = 10s).
+	MaxBackoff time.Duration
+	// Sleep overrides the sleeping function (nil = timer sleep with
 	// context cancellation).
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand overrides the jitter source with a function returning
+	// [0, 1) draws (nil = math/rand/v2; tests pin it).
+	Rand func() float64
 }
 
 // DefaultRetryPolicy retries three times starting at 50ms.
@@ -48,39 +60,98 @@ func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// next draws the decorrelated-jitter delay following prev, stretched to
+// at least the server's Retry-After hint when the last error carried
+// one.
+func (p RetryPolicy) next(prev time.Duration, lastErr error) time.Duration {
+	capd := p.MaxBackoff
+	if capd <= 0 {
+		capd = 10 * time.Second
+	}
+	d := prev
+	if p.BaseBackoff > 0 {
+		r := p.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		hi := 3 * prev
+		if hi < p.BaseBackoff {
+			hi = p.BaseBackoff
+		}
+		d = p.BaseBackoff + time.Duration(r()*float64(hi-p.BaseBackoff))
+		if d > capd {
+			d = capd
+		}
+	}
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+		if d > capd {
+			d = capd
+		}
+	}
+	return d
+}
+
 // retryable reports whether err warrants another attempt.
 func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.StatusCode >= http.StatusInternalServerError
+		// 429 is the admission layer's token-bucket shed: transient by
+		// definition, and it tells the client when to come back.
+		return apiErr.StatusCode >= http.StatusInternalServerError ||
+			apiErr.StatusCode == http.StatusTooManyRequests
 	}
 	// Transport-level failures are retryable.
 	return true
 }
 
-// ComputeWithRetry is Compute with the retry policy applied.
-func (c *Client) ComputeWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, policy RetryPolicy) (*api.ComputeResult, error) {
+// withRetry drives one idempotent call through the policy. All the
+// repo's API calls are idempotent (corpus requests are pure lookups by
+// ID), so retrying a response that may already have been computed is
+// safe.
+func withRetry[T any](ctx context.Context, policy RetryPolicy, call func() (T, error)) (T, error) {
+	var zero T
 	attempts := policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := policy.BaseBackoff
+	var backoff time.Duration
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			backoff = policy.next(backoff, lastErr)
 			if err := policy.sleep(ctx, backoff); err != nil {
-				return nil, err
+				return zero, err
 			}
-			backoff *= 2
 		}
-		res, err := c.Compute(ctx, requestID, tolerance, objective)
+		res, err := call()
 		if err == nil {
 			return res, nil
 		}
 		lastErr = err
 		if !retryable(err) {
-			return nil, err
+			return zero, err
+		}
+		if ctx.Err() != nil {
+			return zero, lastErr
 		}
 	}
-	return nil, fmt.Errorf("client: %d attempts failed: %w", attempts, lastErr)
+	return zero, fmt.Errorf("client: %d attempts failed: %w", attempts, lastErr)
+}
+
+// ComputeWithRetry is Compute with the retry policy applied.
+func (c *Client) ComputeWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, policy RetryPolicy) (*api.ComputeResult, error) {
+	return withRetry(ctx, policy, func() (*api.ComputeResult, error) {
+		return c.Compute(ctx, requestID, tolerance, objective)
+	})
+}
+
+// DispatchWithRetry is Dispatch with the retry policy applied —
+// notably, a 429 token-bucket shed backs off by the server's
+// Retry-After hint before the next attempt.
+func (c *Client) DispatchWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, deadline time.Duration, policy RetryPolicy) (*api.DispatchResult, error) {
+	return withRetry(ctx, policy, func() (*api.DispatchResult, error) {
+		return c.Dispatch(ctx, requestID, tolerance, objective, deadline)
+	})
 }

@@ -213,7 +213,7 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(o)
-	if d.obs != nil {
+	if d.obs != nil && !t.Downgraded {
 		d.obs.ObserveOutcome(t.Tier, o)
 	}
 	return nil

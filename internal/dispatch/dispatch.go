@@ -78,7 +78,9 @@ type Options struct {
 // Dispatches that died because the *request* went away (a cancelled or
 // deadline-expired context, including a batch dying on its limiter
 // lease) are counted by telemetry but deliberately never reported here:
-// client churn says nothing about the backends.
+// client churn says nothing about the backends. Tickets marked
+// Downgraded (brownout traffic running a cheaper tier's policy) are
+// likewise withheld, outcome and failure alike — see Ticket.Downgraded.
 type Observer interface {
 	ObserveOutcome(tier string, o *Outcome)
 	ObserveFailure(tier string)
@@ -89,12 +91,23 @@ type Ticket struct {
 	// Tier keys telemetry, canonically "objective/tolerance"
 	// (TierKey builds it from a resolved rule).
 	Tier string
+	// Tenant identifies the requesting principal for admission control
+	// and QoS accounting ("" = the anonymous default tenant). The
+	// dispatcher itself never branches on it.
+	Tenant string
 	// Policy is the tier's routing configuration.
 	Policy ensemble.Policy
 	// Budget is the per-request deadline on reported response latency
 	// (0 = none). A budget both arms the hedging decision and marks
 	// DeadlineExceeded on outcomes that overrun it.
 	Budget time.Duration
+	// Downgraded marks a request the admission layer browned out to a
+	// cheaper tier's policy. The dispatch runs normally, but the outcome
+	// is withheld from the Observer: brownout traffic executes a policy
+	// its tier label did not profile, and feeding its (deliberately
+	// degraded) results to the drift detectors would let an overload
+	// episode impersonate model drift and fire a spurious re-profile.
+	Downgraded bool
 }
 
 // TierKey renders the canonical telemetry key of a tier.
@@ -186,6 +199,14 @@ func (d *Dispatcher) Snapshot() api.TelemetrySnapshot {
 // nanoseconds (NaN until enough observations).
 func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
 
+// Floor returns the minimum latency observed in a backend's sliding
+// window, in nanoseconds (NaN until enough observations) — the
+// empirical floor deadline-aware admission compares budgets against.
+// Every policy's response includes its primary's service time, so a
+// budget below Floor(policy.Primary) is provably unmeetable on current
+// evidence. Served from the same lazily refreshed cache as P95.
+func (d *Dispatcher) Floor(backend int) float64 { return d.trackers[backend].estimateFloor() }
+
 // dispatchCall is the pooled per-dispatch scratch: the buffered
 // telemetry transaction, the reusable hedge-leg channel, and the
 // batch-lease flag. A call serves one Do (or one whole DoBatch) at a
@@ -253,7 +274,7 @@ func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) 
 		// disconnect, deadline) says nothing about the backends: feeding
 		// it to a drift monitor as a failure would let routine
 		// cancellation churn impersonate a backend outage.
-		if c.d.obs != nil && ctx.Err() == nil {
+		if c.d.obs != nil && ctx.Err() == nil && !t.Downgraded {
 			c.d.obs.ObserveFailure(t.Tier)
 		}
 		return Outcome{}, err
@@ -262,7 +283,7 @@ func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) 
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(&o)
-	if c.d.obs != nil {
+	if c.d.obs != nil && !t.Downgraded {
 		c.obsOut = o
 		c.d.obs.ObserveOutcome(t.Tier, &c.obsOut)
 	}

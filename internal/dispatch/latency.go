@@ -29,6 +29,7 @@ type latencyTracker struct {
 	total       atomic.Uint64 // lifetime observation count (ring cursor)
 	refreshedAt atomic.Uint64 // total at the last cache refresh (0 = never)
 	cached      atomic.Uint64 // float64 bits; NaN until trackerMinSamples
+	floorCached atomic.Uint64 // float64 bits of the window minimum; NaN until samples
 	window      [trackerWindow]atomic.Uint64
 
 	refreshMu sync.Mutex
@@ -49,6 +50,7 @@ func newLatencyTracker(quantile float64) *latencyTracker {
 		scratch:  make([]float64, 0, trackerWindow),
 	}
 	t.cached.Store(math.Float64bits(math.NaN()))
+	t.floorCached.Store(math.Float64bits(math.NaN()))
 	return t
 }
 
@@ -79,6 +81,7 @@ func (t *latencyTracker) refresh() {
 		return
 	}
 	s := t.scratch[:0]
+	floor := math.Inf(1)
 	for i := 0; i < fill; i++ {
 		// A slot whose observe claimed the cursor but has not stored yet
 		// reads as zero bits; skip it rather than folding a fabricated
@@ -86,7 +89,11 @@ func (t *latencyTracker) refresh() {
 		// the bit pattern and is dropped too — harmless for an upper
 		// latency quantile.)
 		if bits := t.window[i].Load(); bits != 0 {
-			s = append(s, math.Float64frombits(bits))
+			v := math.Float64frombits(bits)
+			s = append(s, v)
+			if v < floor {
+				floor = v
+			}
 		}
 	}
 	t.scratch = s
@@ -95,6 +102,11 @@ func (t *latencyTracker) refresh() {
 	}
 	idx := int(t.quantile * float64(len(s)-1))
 	t.cached.Store(math.Float64bits(selectKth(s, idx)))
+	// The window minimum rides along for free: it is the empirical floor
+	// of the backend's recent latency, which admission control compares
+	// deadline budgets against (a budget below the floor is provably
+	// unmeetable on current evidence).
+	t.floorCached.Store(math.Float64bits(floor))
 	t.refreshedAt.Store(n)
 }
 
@@ -152,9 +164,24 @@ func selectKth(s []float64, k int) float64 {
 // this is two atomic loads, safe to call at request rate from any
 // goroutine.
 func (t *latencyTracker) estimate() float64 {
+	t.maybeRefresh()
+	return math.Float64frombits(t.cached.Load())
+}
+
+// estimateFloor returns the cached window-minimum latency in ns, or NaN
+// when too few observations have arrived. Same refresh discipline and
+// cost profile as estimate — the two caches are recomputed together.
+func (t *latencyTracker) estimateFloor() float64 {
+	t.maybeRefresh()
+	return math.Float64frombits(t.floorCached.Load())
+}
+
+// maybeRefresh recomputes the caches when they are at least
+// trackerRefresh observations stale; otherwise it is two atomic loads.
+func (t *latencyTracker) maybeRefresh() {
 	n := t.total.Load()
 	if n < trackerMinSamples {
-		return math.NaN()
+		return
 	}
 	// The r < n guard keeps a racing reader whose n predates another
 	// reader's fresher refresh mark from underflowing the staleness
@@ -162,5 +189,4 @@ func (t *latencyTracker) estimate() float64 {
 	if r := t.refreshedAt.Load(); r == 0 || (r < n && n-r >= trackerRefresh) {
 		t.refresh()
 	}
-	return math.Float64frombits(t.cached.Load())
 }

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // HTTP transport: the same batch protocol over POST /shard/run. A
@@ -51,21 +54,69 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // HTTPTransport runs batches against a remote worker serving
 // NewWorkerHandler at Base (e.g. "http://worker-3:9090").
+//
+// Transient failures — transport errors, 5xx responses, and 429
+// overload sheds — are retried up to MaxAttempts with
+// decorrelated-jitter backoff, honoring a Retry-After header and the
+// caller's context. Batch runs are pure functions of the deployed
+// matrix slice, so re-sending one is always safe. Other 4xx responses
+// (a malformed frame, a worker/spec mismatch) are permanent and
+// returned immediately.
 type HTTPTransport struct {
 	Base string
 	// Client defaults to http.DefaultClient.
 	Client *http.Client
+	// MaxAttempts bounds total attempts including the first (0 = 3;
+	// 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff is the decorrelated-jitter floor (0 = 25ms); each
+	// retry sleeps a uniform draw from [BaseBackoff, 3*previous],
+	// capped at MaxBackoff (0 = 2s), stretched to a server Retry-After.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Rand overrides the jitter source with [0, 1) draws (tests pin
+	// it); nil uses math/rand/v2.
+	Rand func() float64
 }
 
-// Run implements Transport by POSTing the batch to the remote worker.
+// Run implements Transport by POSTing the batch to the remote worker,
+// retrying transient failures.
 func (t *HTTPTransport) Run(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return BatchResponse{}, fmt.Errorf("shard: encode batch: %w", err)
 	}
+	attempts := t.MaxAttempts
+	if attempts < 1 {
+		attempts = 3
+	}
+	var backoff time.Duration
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := t.sleep(ctx, backoff); err != nil {
+				return BatchResponse{}, err
+			}
+		}
+		resp, retryAfter, transient, err := t.post(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !transient || ctx.Err() != nil {
+			return BatchResponse{}, err
+		}
+		backoff = t.next(backoff, retryAfter)
+	}
+	return BatchResponse{}, fmt.Errorf("shard: %d attempts failed: %w", attempts, lastErr)
+}
+
+// post sends one attempt. transient classifies the failure; retryAfter
+// carries the worker's backoff hint, if any.
+func (t *HTTPTransport) post(ctx context.Context, body []byte) (BatchResponse, time.Duration, bool, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+workerPath, bytes.NewReader(body))
 	if err != nil {
-		return BatchResponse{}, err
+		return BatchResponse{}, 0, false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	client := t.Client
@@ -74,16 +125,69 @@ func (t *HTTPTransport) Run(ctx context.Context, req BatchRequest) (BatchRespons
 	}
 	hresp, err := client.Do(hreq)
 	if err != nil {
-		return BatchResponse{}, fmt.Errorf("shard: worker %s: %w", t.Base, err)
+		return BatchResponse{}, 0, true, fmt.Errorf("shard: worker %s: %w", t.Base, err)
 	}
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
-		return BatchResponse{}, fmt.Errorf("shard: worker %s: status %d: %s", t.Base, hresp.StatusCode, bytes.TrimSpace(msg))
+		transient := hresp.StatusCode >= http.StatusInternalServerError ||
+			hresp.StatusCode == http.StatusTooManyRequests
+		var retryAfter time.Duration
+		if s := hresp.Header.Get("Retry-After"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				retryAfter = time.Duration(v) * time.Second
+			}
+		}
+		return BatchResponse{}, retryAfter, transient,
+			fmt.Errorf("shard: worker %s: status %d: %s", t.Base, hresp.StatusCode, bytes.TrimSpace(msg))
 	}
 	var resp BatchResponse
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-		return BatchResponse{}, fmt.Errorf("shard: decode batch response: %w", err)
+		return BatchResponse{}, 0, true, fmt.Errorf("shard: decode batch response: %w", err)
 	}
-	return resp, nil
+	return resp, 0, false, nil
+}
+
+// next draws the decorrelated-jitter delay following prev, stretched to
+// at least the worker's Retry-After hint.
+func (t *HTTPTransport) next(prev, retryAfter time.Duration) time.Duration {
+	base := t.BaseBackoff
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	capd := t.MaxBackoff
+	if capd <= 0 {
+		capd = 2 * time.Second
+	}
+	r := t.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	hi := 3 * prev
+	if hi < base {
+		hi = base
+	}
+	d := base + time.Duration(r()*float64(hi-base))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > capd {
+		d = capd
+	}
+	return d
+}
+
+// sleep waits d or until the context dies.
+func (t *HTTPTransport) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tm.C:
+		return nil
+	}
 }

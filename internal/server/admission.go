@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/admit"
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// Admission endpoints and the per-request admission check.
+//
+//	GET  /admission         -> api.AdmissionStatus (counters, brownout state)
+//	POST /admission/config  body: api.AdmissionConfig -> api.AdmissionStatus
+//
+// Every tier-execution handler (/compute, /dispatch, /dispatch/batch)
+// runs its resolved rule through the admission controller before the
+// dispatcher leases any backend slot. The tenant travels in the Tenant
+// header ("" = the default tenant). Sheds answer 429 (token bucket) or
+// 503 (capacity, unmeetable deadline) with a Retry-After header in
+// whole seconds (rounded up) and the precise hint in
+// X-Toltiers-Retry-After-MS; a brownout downgrade re-resolves the
+// request at the cheaper brownout tier and marks the response
+// Downgraded.
+
+func (s *Server) handleAdmission(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.adm.Status())
+}
+
+func (s *Server) handleAdmissionConfig(w http.ResponseWriter, r *http.Request) {
+	var wcfg api.AdmissionConfig
+	if err := json.NewDecoder(r.Body).Decode(&wcfg); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if wcfg.MaxInFlight < 0 || wcfg.PriorityReserve < 0 || wcfg.PriorityTolerance < 0 ||
+		wcfg.DefaultRatePerSec < 0 || wcfg.DefaultBurst < 0 ||
+		wcfg.BrownoutTolerance < 0 || wcfg.BrownoutEngageShed < 0 || wcfg.BrownoutReleaseShed < 0 ||
+		wcfg.BrownoutEngageIntervals < 0 || wcfg.BrownoutReleaseIntervals < 0 ||
+		wcfg.BrownoutIntervalMS < 0 || wcfg.RetryAfterMS < 0 {
+		httpError(w, http.StatusBadRequest, "admission config fields must be non-negative")
+		return
+	}
+	for id, tr := range wcfg.Tenants {
+		if tr.RatePerSec < 0 || tr.Burst < 0 {
+			httpError(w, http.StatusBadRequest, "tenant %q rate fields must be non-negative", id)
+			return
+		}
+	}
+	s.adm.SetConfig(admit.FromWire(wcfg))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.adm.Status())
+}
+
+// policyFloor is the observed latency floor of a policy's primary
+// backend in nanoseconds (NaN until the tracker warms). Every response
+// the policy can produce includes its primary's service time, so the
+// primary's window minimum lower-bounds the tier's latency.
+func (s *Server) policyFloor(p ensemble.Policy) float64 {
+	return s.disp.Floor(p.Primary)
+}
+
+// admitRequest runs one resolved rule through the admission controller.
+// n > 1 admits a batch as one unit. On a shed the 429/503 response is
+// already written and ok is false. On admission the returned rule is
+// the one to serve — the brownout tier's when the decision downgraded —
+// and the caller must hand dec back to s.adm.Done once the dispatch
+// finishes, which is what makes brownout transitions drop nothing:
+// in-flight requests hold their slot and complete under the policy
+// they were admitted with.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request, obj rulegen.Objective, rule rulegen.Rule, budget time.Duration, n int) (rulegen.Rule, admit.Decision, bool) {
+	tenantID := r.Header.Get("Tenant")
+	floor := s.policyFloor(rule.Candidate.Policy)
+	var dec admit.Decision
+	if n > 1 {
+		dec = s.adm.AdmitBatch(time.Now(), tenantID, rule.Tolerance, budget, floor, n)
+	} else {
+		dec = s.adm.Admit(time.Now(), tenantID, rule.Tolerance, budget, floor)
+	}
+	if dec.Verdict.Shed() {
+		writeShed(w, dec)
+		return rule, dec, false
+	}
+	if dec.Verdict == admit.Downgrade {
+		if drule, err := s.registry().Resolve(dec.Tolerance, obj); err == nil && drule.Tolerance > rule.Tolerance {
+			rule = drule
+		} else {
+			// The grid offers nothing cheaper than the tier already
+			// resolved; serve it unchanged.
+			dec.Verdict = admit.Accept
+		}
+	}
+	return rule, dec, true
+}
+
+// writeShed answers a shed decision: 429 for a drained token bucket,
+// 503 for capacity or deadline sheds, Retry-After in both the standard
+// whole-second form and millisecond precision.
+func writeShed(w http.ResponseWriter, dec admit.Decision) {
+	secs := (dec.RetryAfter + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	w.Header().Set("X-Toltiers-Retry-After-MS",
+		strconv.FormatFloat(float64(dec.RetryAfter)/float64(time.Millisecond), 'f', 3, 64))
+	httpError(w, dec.Verdict.StatusCode(), "admission: %s (retry after %v)", dec.Verdict, dec.RetryAfter)
+}

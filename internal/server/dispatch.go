@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/rulegen"
@@ -102,10 +103,17 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	rule, dec, admitted := s.admitRequest(w, r, obj, rule, budget, 1)
+	if !admitted {
+		return
+	}
+	defer s.adm.Done(dec)
 	ticket := dispatch.Ticket{
-		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
-		Policy: rule.Candidate.Policy,
-		Budget: budget,
+		Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
+		Tenant:     r.Header.Get("Tenant"),
+		Policy:     rule.Candidate.Policy,
+		Budget:     budget,
+		Downgraded: dec.Verdict == admit.Downgrade,
 	}
 	out, err := s.disp.Do(r.Context(), req, ticket)
 	if err != nil {
@@ -118,6 +126,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		Started:          out.Started,
 		Hedged:           out.Hedged,
 		DeadlineExceeded: out.DeadlineExceeded,
+		Downgraded:       ticket.Downgraded,
 		IaaSUSD:          out.IaaSCost,
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -218,10 +227,17 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 		e.reqs = append(e.reqs, req)
 	}
 
+	rule, dec, admitted := s.admitRequest(w, r, obj, rule, budget, len(e.reqs))
+	if !admitted {
+		return
+	}
+	defer s.adm.Done(dec)
 	ticket := dispatch.Ticket{
-		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
-		Policy: rule.Candidate.Policy,
-		Budget: budget,
+		Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
+		Tenant:     r.Header.Get("Tenant"),
+		Policy:     rule.Candidate.Policy,
+		Budget:     budget,
+		Downgraded: dec.Verdict == admit.Downgrade,
 	}
 	e.outs, e.errs, err = s.disp.DoBatch(r.Context(), e.reqs, ticket, e.outs, e.errs)
 	if err != nil {
@@ -242,6 +258,7 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 				Started:          out.Started,
 				Hedged:           out.Hedged,
 				DeadlineExceeded: out.DeadlineExceeded,
+				Downgraded:       ticket.Downgraded,
 				IaaSUSD:          out.IaaSCost,
 			}
 		}

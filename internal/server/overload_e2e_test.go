@@ -1,0 +1,368 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/admit"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/drift"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// TestEndToEndOverloadGracefulDegradation is the admission layer's
+// proof of purpose, run end to end over HTTP (and under -race in CI):
+// a worker pool sized at ~5x the node's admitted capacity hammers the
+// node while scripted chaos inflates the bulk tier's reported
+// latencies. Graceful degradation means, and the test asserts:
+//
+//   - admitted 1%-tier requests keep their p95 inside the tier budget
+//     even at full overload (priority admission defeats starvation);
+//   - every admitted request completes — nothing is dropped in flight,
+//     including across the brownout engage and release transitions;
+//   - the shed and downgrade ledgers account exactly for the excess
+//     (per class: sent = completed + shed, no silent losses);
+//   - brownout engages under the sustained overload, downgrades only
+//     tolerant traffic, and releases with hysteresis once load clears.
+func TestEndToEndOverloadGracefulDegradation(t *testing.T) {
+	ctx := context.Background()
+
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 240, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	gcfg := rulegen.DefaultConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 24
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	g := rulegen.New(m, nil, gcfg)
+	tols := []float64{0, 0.01, 0.05, 0.10}
+	reg := tiers.NewRegistry(c.Service, g.Generate(tols, rulegen.MinimizeLatency))
+
+	// Replay backends occupy real wall time (SleepScale 1: a few ms to
+	// ~20ms per invocation), so admitted work genuinely holds its slot.
+	// The bulk tier's primary additionally suffers a scripted latency
+	// inflation partway through the overload — reported latencies (and
+	// with them the telemetry and deadline floors) triple.
+	bulkRule, err := reg.Resolve(0.05, rulegen.MinimizeLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := dispatch.NewReplayBackends(m)
+	for _, b := range backends {
+		b.(*dispatch.ReplayBackend).SleepScale = 1
+	}
+	backends[bulkRule.Candidate.Policy.Primary] = dispatch.Chaos(backends[bulkRule.Candidate.Policy.Primary],
+		dispatch.Perturbation{Kind: dispatch.LatencyInflate, Shape: dispatch.Step, Start: 400, Magnitude: 2})
+
+	const maxInFlight = 8
+	srv := NewWithConfig(reg, c.Requests, Config{
+		Matrix:   m,
+		Backends: backends,
+		Admission: admit.Config{
+			Enabled:          true,
+			MaxInFlight:      maxInFlight,
+			PriorityReserve:  2,
+			Brownout:         true,
+			Interval:         100 * time.Millisecond,
+			EngageIntervals:  2,
+			ReleaseIntervals: 3,
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+
+	// Phase 1 — warm: sequential traffic on both tiers. Nothing sheds
+	// at in-flight <= 1, and the latency trackers pass their minimum
+	// sample counts so deadline floors are live for phase 2.
+	for i := 0; i < 48; i++ {
+		tol := 0.05
+		if i%4 == 0 {
+			tol = 0.01
+		}
+		if _, err := cl.Dispatch(ctx, c.Requests[i%len(c.Requests)].ID, tol, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatalf("warm dispatch %d: %v", i, err)
+		}
+	}
+	st, err := cl.Admission(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "normal" || st.ShedRate+st.ShedCapacity+st.ShedDeadline != 0 {
+		t.Fatalf("warm phase not clean: %+v", st)
+	}
+
+	// Phase 2 — overload: 5x capacity in closed loop for ~1.2s. One in
+	// five workers drives the 1%-tier with a real budget; the rest push
+	// bulk 5%-tier traffic as hard as they can.
+	const (
+		workers    = 5 * maxInFlight
+		prioBudget = 250 * time.Millisecond
+		runFor     = 1200 * time.Millisecond
+	)
+	type classCounts struct {
+		sent, completed, shed, downgraded, errors atomic.Int64
+	}
+	var bulk, prio classCounts
+	var prioWallMu sync.Mutex
+	var prioWallMS []float64
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			isPrio := w%5 == 0
+			cc := &bulk
+			tol, budget := 0.05, time.Duration(0)
+			if isPrio {
+				cc, tol, budget = &prio, 0.01, prioBudget
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cc.sent.Add(1)
+				start := time.Now()
+				res, err := cl.Dispatch(ctx, c.Requests[(w*31+i)%len(c.Requests)].ID, tol, rulegen.MinimizeLatency, budget)
+				if err != nil {
+					if apiErr, ok := err.(*client.APIError); ok && (apiErr.StatusCode == 429 || apiErr.StatusCode == 503) {
+						cc.shed.Add(1)
+						time.Sleep(time.Millisecond) // a fleet would honor Retry-After; stay hot but not spinning
+						continue
+					}
+					cc.errors.Add(1)
+					continue
+				}
+				cc.completed.Add(1)
+				if res.Downgraded {
+					cc.downgraded.Add(1)
+				}
+				if isPrio {
+					wall := float64(time.Since(start)) / 1e6
+					prioWallMu.Lock()
+					prioWallMS = append(prioWallMS, wall)
+					prioWallMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// The sustained overload must engage brownout while the pool runs.
+	engageDeadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cl.Admission(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "brownout" {
+			break
+		}
+		if time.Now().After(engageDeadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("brownout never engaged under 5x overload: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+
+	// Phase 3 — calm: light sequential traffic; the node must release
+	// brownout with hysteresis and return to normal service.
+	releaseDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cl.Dispatch(ctx, c.Requests[0].ID, 0.05, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatalf("calm dispatch: %v", err)
+		}
+		st, err = cl.Admission(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "normal" {
+			break
+		}
+		if time.Now().After(releaseDeadline) {
+			t.Fatalf("brownout never released after load cleared: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Nothing dropped in flight — every admitted request of both
+	// classes completed, across both brownout transitions.
+	if n := bulk.errors.Load() + prio.errors.Load(); n != 0 {
+		t.Fatalf("%d admitted requests failed in flight", n)
+	}
+	// The ledger balances per class: sent = completed + shed.
+	if bulk.sent.Load() != bulk.completed.Load()+bulk.shed.Load() {
+		t.Fatalf("bulk ledger: sent %d != completed %d + shed %d",
+			bulk.sent.Load(), bulk.completed.Load(), bulk.shed.Load())
+	}
+	if prio.sent.Load() != prio.completed.Load()+prio.shed.Load() {
+		t.Fatalf("priority ledger: sent %d != completed %d + shed %d",
+			prio.sent.Load(), prio.completed.Load(), prio.shed.Load())
+	}
+	// The overload really was over capacity, and shedding (not
+	// queueing) absorbed the excess while admitted throughput held.
+	if bulk.shed.Load() == 0 {
+		t.Fatal("5x overload produced no bulk sheds")
+	}
+	if bulk.completed.Load() == 0 || prio.completed.Load() == 0 {
+		t.Fatalf("throughput collapsed: bulk %d, priority %d completed",
+			bulk.completed.Load(), prio.completed.Load())
+	}
+	// Brownout downgraded only tolerant traffic.
+	if bulk.downgraded.Load() == 0 {
+		t.Fatal("engaged brownout downgraded no bulk traffic")
+	}
+	if prio.downgraded.Load() != 0 {
+		t.Fatalf("%d priority requests downgraded — brownout must never touch the 1%% tier",
+			prio.downgraded.Load())
+	}
+	// Admitted 1%-tier latency stayed inside the tier budget at p95.
+	sort.Float64s(prioWallMS)
+	if len(prioWallMS) == 0 {
+		t.Fatal("no priority requests admitted")
+	}
+	p95 := prioWallMS[int(math.Ceil(0.95*float64(len(prioWallMS))))-1]
+	if p95 > float64(prioBudget)/1e6 {
+		t.Fatalf("admitted 1%%-tier p95 = %.1fms, above the %v budget", p95, prioBudget)
+	}
+	// The server-side ledger agrees: sheds and downgrades were
+	// recorded, brownout engaged and released exactly as observed.
+	st, err = cl.Admission(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedCapacity == 0 || st.Downgraded == 0 {
+		t.Fatalf("server ledger missing the overload: %+v", st)
+	}
+	if st.BrownoutEngaged < 1 || st.BrownoutReleased < 1 {
+		t.Fatalf("brownout transitions: engaged %d, released %d", st.BrownoutEngaged, st.BrownoutReleased)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", st.InFlight)
+	}
+}
+
+// TestDriftHygieneUnderAdmission pins the drift-stream hygiene rule
+// end to end: admission sheds never reach the dispatcher, and brownout
+// downgrades dispatch with the Downgraded mark — so neither advances
+// any drift-detector stream. Without this, every overload episode
+// would double as a phantom drift episode: the brownout's own cheaper
+// policy (different latency distribution) and the shed storm would
+// feed the detectors a shift the models never had.
+func TestDriftHygieneUnderAdmission(t *testing.T) {
+	ctx := context.Background()
+
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 240, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	gcfg := rulegen.DefaultConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 24
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	g := rulegen.New(m, nil, gcfg)
+	reg := tiers.NewRegistry(c.Service, g.Generate([]float64{0, 0.01, 0.05, 0.10}, rulegen.MinimizeLatency))
+
+	srv := NewWithConfig(reg, c.Requests, Config{
+		Matrix: m,
+		Drift:  drift.Config{Enabled: true, Window: 8},
+		Admission: admit.Config{
+			Enabled:         true,
+			MaxInFlight:     1,
+			Brownout:        true,
+			EngageIntervals: 1,
+			Interval:        time.Hour, // one white-box engage fold; no rollover during the test body
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+
+	windowsOf := func() map[string]int64 {
+		st, err := cl.Drift(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]int64)
+		for _, ti := range st.Tiers {
+			out[ti.Tier] = ti.Windows
+		}
+		return out
+	}
+
+	// Clean traffic advances the 5%-tier stream.
+	for i := 0; i < 16; i++ {
+		if _, err := cl.Dispatch(ctx, c.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := windowsOf()
+	key := dispatch.TierKey(string(rulegen.MinimizeLatency), 0.05)
+	if before[key] != 2 {
+		t.Fatalf("clean traffic advanced %q to %d windows, want 2 (16 dispatches / window 8)", key, before[key])
+	}
+
+	// Engage brownout white-box (saturate one interval, roll past it).
+	adm := srv.Admission()
+	now := time.Now()
+	hold := adm.Admit(now, "", 0.05, 0, math.NaN())
+	adm.Admit(now, "", 0.05, 0, math.NaN())
+	adm.Admit(now.Add(time.Hour+time.Millisecond), "", 0.05, 0, math.NaN())
+	if !adm.Engaged() {
+		t.Fatal("brownout not engaged")
+	}
+
+	// Shed storm: with the only slot held, every request is rejected at
+	// admission and never dispatches.
+	for i := 0; i < 24; i++ {
+		if _, err := cl.Dispatch(ctx, c.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0); err == nil {
+			t.Fatal("saturated node admitted")
+		}
+	}
+	adm.Done(hold)
+
+	// Downgrade storm: admitted, served at the 10% tier, but marked —
+	// excluded from the streams like a client cancellation.
+	for i := 0; i < 24; i++ {
+		res, err := cl.Dispatch(ctx, c.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Downgraded {
+			t.Fatalf("request %d not downgraded under brownout", i)
+		}
+	}
+
+	after := windowsOf()
+	for tier, n := range after {
+		if n != before[tier] {
+			t.Fatalf("stream %q advanced %d -> %d during shed/downgrade storm", tier, before[tier], n)
+		}
+	}
+	st, err := cl.Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events) != 0 {
+		t.Fatalf("admission overload impersonated drift: %+v", st.Events)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
@@ -50,6 +51,10 @@ type Config struct {
 	// Drift configures the drift monitor (zero = constructed but
 	// disabled; POST /drift/config can enable it at runtime).
 	Drift drift.Config
+	// Admission configures the admission-and-overload layer (zero =
+	// constructed but disabled; POST /admission/config can enable it at
+	// runtime).
+	Admission admit.Config
 	// DriftInterval is the drift loop's check cadence (0 = 2s; < 0
 	// disables the loop entirely — Check is then never called).
 	DriftInterval time.Duration
@@ -80,6 +85,10 @@ type Server struct {
 	disp     *dispatch.Dispatcher
 	backends []dispatch.Backend
 	domain   service.Domain
+
+	// adm gates every tier-execution handler before the dispatcher
+	// leases a backend slot (see admission.go).
+	adm *admit.Controller
 
 	// matrix is the profiled training corpus backing the rule-generation
 	// endpoints; nil disables them (see rules.go). Guarded by jobMu — a
@@ -166,6 +175,7 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	dopts := cfg.Dispatch
 	dopts.Observer = s.mon
 	s.disp = dispatch.New(s.backends, dopts)
+	s.adm = admit.New(cfg.Admission)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compute", s.handleCompute)
@@ -179,6 +189,8 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	mux.HandleFunc("DELETE /rules/generate", s.handleRulesCancel)
 	mux.HandleFunc("GET /drift", s.handleDrift)
 	mux.HandleFunc("POST /drift/config", s.handleDriftConfig)
+	mux.HandleFunc("GET /admission", s.handleAdmission)
+	mux.HandleFunc("POST /admission/config", s.handleAdmissionConfig)
 	s.mux = mux
 
 	s.driftInterval = cfg.DriftInterval
@@ -233,6 +245,9 @@ func (s *Server) Dispatcher() *dispatch.Dispatcher { return s.disp }
 
 // DriftMonitor exposes the node's drift monitor.
 func (s *Server) DriftMonitor() *drift.Monitor { return s.mon }
+
+// Admission exposes the node's admission controller.
+func (s *Server) Admission() *admit.Controller { return s.adm }
 
 // trainingMatrix returns the matrix backing rule generation (nil
 // disables the endpoints); a successful drift re-profile swaps it.
@@ -291,11 +306,18 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	rule, dec, admitted := s.admitRequest(w, r, obj, rule, 0, 1)
+	if !admitted {
+		return
+	}
+	defer s.adm.Done(dec)
 	// /compute routes through the dispatcher (no deadline, no hedging),
 	// reproducing Registry.Handle's outcome while feeding telemetry.
 	ticket := dispatch.Ticket{
-		Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
-		Policy: rule.Candidate.Policy,
+		Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
+		Tenant:     r.Header.Get("Tenant"),
+		Policy:     rule.Candidate.Policy,
+		Downgraded: dec.Verdict == admit.Downgrade,
 	}
 	out, err := s.disp.Do(r.Context(), req, ticket)
 	if err != nil {

@@ -9,9 +9,11 @@
 # count defaults to 3 repetitions (passed through to bench.sh);
 # threshold defaults to 30 (percent). Gated benchmarks: the dispatch
 # runtime (BenchmarkDispatch*), the Fig.-7 sweep (BenchmarkRuleGenerator),
-# the bootstrap kernel (BenchmarkEvaluatorTrial) and the drift monitor's
+# the bootstrap kernel (BenchmarkEvaluatorTrial), the drift monitor's
 # observe path (BenchmarkDriftObserve, which must also stay at 0
-# allocs/op — see internal/drift's alloc-regression test). Benchmarks present
+# allocs/op — see internal/drift's alloc-regression test) and the
+# admission accept path (BenchmarkAdmit, pinned at 0 allocs/op by
+# internal/admit's alloc-regression test). Benchmarks present
 # in the fresh run but absent from the baseline are reported as new and
 # do not fail the gate. When fresh-out.json is given, the fresh run's
 # JSON is kept there (CI uploads it as the new baseline artifact instead
@@ -51,7 +53,7 @@ status=0
 echo "bench_check: comparing against $BASELINE (threshold +${THRESHOLD}%)"
 while read -r name fresh_ns; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve) ;;
+        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
         *) continue ;;
     esac
     base_ns="$(awk -v n="$name" '$1 == n {print $2}' /tmp/bench_base.$$)"
@@ -73,7 +75,7 @@ done < /tmp/bench_fresh.$$
 # otherwise losing the benchmark silently loses its protection.
 while read -r name _; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve) ;;
+        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
         *) continue ;;
     esac
     if ! awk -v n="$name" '$1 == n {found=1} END {exit !found}' /tmp/bench_fresh.$$; then

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/client"
 	"github.com/toltiers/toltiers/internal/dataset"
@@ -139,6 +140,38 @@ type (
 	ChaosBackend = dispatch.ChaosBackend
 	// Perturbation is one scripted distortion of a backend's behaviour.
 	Perturbation = dispatch.Perturbation
+)
+
+// Admission & overload control (the QoS layer in front of the
+// dispatcher).
+type (
+	// AdmissionController is the admission-and-overload layer between
+	// the HTTP handlers and the dispatcher: per-tenant token buckets,
+	// tier-aware priority admission, deadline-aware shedding against
+	// the dispatcher's observed latency floors, and a brownout
+	// controller that downgrades tolerant traffic under sustained
+	// overload. The admit-accept fast path is allocation-free.
+	AdmissionController = admit.Controller
+	// AdmissionConfig parameterizes an AdmissionController. The zero
+	// value is a disabled layer that admits everything untouched.
+	AdmissionConfig = admit.Config
+	// AdmissionDecision is one admission outcome; hand admitted
+	// decisions back to the controller's Done exactly once.
+	AdmissionDecision = admit.Decision
+	// AdmissionVerdict classifies an AdmissionDecision (accept,
+	// downgrade, or one of the shed classes).
+	AdmissionVerdict = admit.Verdict
+	// TenantRate is one tenant's token-bucket parameters.
+	TenantRate = admit.Rate
+)
+
+// Admission verdicts.
+const (
+	AdmitAccept       = admit.Accept
+	AdmitDowngrade    = admit.Downgrade
+	AdmitShedRate     = admit.ShedRate
+	AdmitShedCapacity = admit.ShedCapacity
+	AdmitShedDeadline = admit.ShedDeadline
 )
 
 // Drift detection (the self-healing loop).
@@ -296,6 +329,13 @@ type HTTPServer interface {
 func NewHTTPServer(reg *Registry, reqs []*Request, cfg ServerConfig) HTTPServer {
 	return server.NewWithConfig(reg, reqs, cfg)
 }
+
+// NewAdmissionController builds the admission-and-overload layer.
+// NewHTTPServer constructs one automatically from
+// ServerConfig.Admission; build one directly to gate an embedded
+// Dispatcher (Admit before Do, Done after — see cmd/ttload's
+// -overload scenario).
+func NewAdmissionController(cfg AdmissionConfig) *AdmissionController { return admit.New(cfg) }
 
 // NewDispatcher builds the online tier-execution runtime over the
 // backends (backend index i serves version i of the profiled service).
