@@ -61,10 +61,25 @@ type tierSeries struct {
 	shed        int
 }
 
-// collector accumulates per-tier latency series across workers.
+// tenantTally is one round-robin tenant's arrival ledger: every sent
+// arrival lands in exactly one of graded/failed/shed, and unrouted
+// marks the failures that never reached the dispatcher (no rule), so
+// the tenant's telemetry partition should read graded + failed -
+// unrouted requests.
+type tenantTally struct {
+	sent     int
+	graded   int
+	failed   int
+	shed     int
+	unrouted int
+}
+
+// collector accumulates per-tier latency series (and, under -tenants,
+// per-tenant ledgers) across workers.
 type collector struct {
-	mu    sync.Mutex
-	tiers map[string]*tierSeries
+	mu      sync.Mutex
+	tiers   map[string]*tierSeries
+	tenants map[string]*tenantTally
 }
 
 func (c *collector) series(tier string) *tierSeries {
@@ -76,7 +91,26 @@ func (c *collector) series(tier string) *tierSeries {
 	return ts
 }
 
-func (c *collector) observe(tier string, wall time.Duration, simulated time.Duration, escalated, hedged, missed, downgraded bool) {
+func (c *collector) tally(tenant string) *tenantTally {
+	tl := c.tenants[tenant]
+	if tl == nil {
+		tl = &tenantTally{}
+		c.tenants[tenant] = tl
+	}
+	return tl
+}
+
+// sent records n arrivals handed to a tenant's issue path.
+func (c *collector) sent(tenant string, n int) {
+	if tenant == "" {
+		return
+	}
+	c.mu.Lock()
+	c.tally(tenant).sent += n
+	c.mu.Unlock()
+}
+
+func (c *collector) observe(tier, tenant string, wall time.Duration, simulated time.Duration, escalated, hedged, missed, downgraded bool) {
 	c.mu.Lock()
 	ts := c.series(tier)
 	ts.wallMS = append(ts.wallMS, float64(wall)/1e6)
@@ -93,19 +127,32 @@ func (c *collector) observe(tier string, wall time.Duration, simulated time.Dura
 	if downgraded {
 		ts.downgraded++
 	}
+	if tenant != "" {
+		c.tally(tenant).graded++
+	}
 	c.mu.Unlock()
 }
 
-func (c *collector) fail(tier string) {
+func (c *collector) fail(tier, tenant string, unrouted bool) {
 	c.mu.Lock()
 	c.series(tier).failures++
+	if tenant != "" {
+		tl := c.tally(tenant)
+		tl.failed++
+		if unrouted {
+			tl.unrouted++
+		}
+	}
 	c.mu.Unlock()
 }
 
 // shed records n admission rejections of one consumer class.
-func (c *collector) shed(tier string, n int) {
+func (c *collector) shed(tier, tenant string, n int) {
 	c.mu.Lock()
 	c.series(tier).shed += n
+	if tenant != "" {
+		c.tally(tenant).shed += n
+	}
 	c.mu.Unlock()
 }
 
@@ -131,10 +178,32 @@ func main() {
 		overload      = flag.Bool("overload", false, "overload scenario: gate in-process dispatch through an admission controller with brownout armed (remote mode: count the target's 429/503 sheds) and report graceful-degradation counters")
 		admitInflight = flag.Int("admit-max-inflight", 0, "admitted in-flight cap for -overload's in-process admission layer (0 = half of -concurrency)")
 		admitRate     = flag.Float64("admit-rate", 0, "per-consumer-class token-bucket refill for -overload, req/s (0 = unlimited)")
+
+		coalesceOn     = flag.Bool("coalesce", false, "gather concurrent per-request dispatches of one consumer class into batch windows before the dispatcher (in-process mode)")
+		coalesceWindow = flag.Duration("coalesce-window", 0, "coalescing time trigger (0 = 200µs; clamped to 100µs–500µs)")
+		coalesceMax    = flag.Int("coalesce-max", 0, "coalescing size trigger (0 = 64)")
+		tenants        = flag.Int("tenants", 0, "spread arrivals round-robin across this many named tenants (tenant-0..): each gets its own telemetry partition and report row (in-process mode)")
+		assertMode     = flag.Bool("assert", false, "after the run, verify the accounting reconciles — per tenant, sent = graded + failed + shed and the dispatcher's partition agrees — and exit 1 on mismatch (in-process mode)")
 	)
 	flag.Parse()
 	if *batchN < 1 {
 		log.Fatal("-batch must be >= 1")
+	}
+	if *target != "" {
+		switch {
+		case *coalesceOn:
+			log.Fatal("-coalesce applies to in-process replay mode; point -target at a ttserver started with -coalesce instead")
+		case *tenants > 0:
+			log.Fatal("-tenants applies to in-process replay mode")
+		case *assertMode:
+			log.Fatal("-assert applies to in-process replay mode")
+		}
+	}
+	if *coalesceOn && *batchN != 1 {
+		log.Fatal("-coalesce gathers per-request dispatch into windows; drop -batch")
+	}
+	if *coalesceOn && *overload {
+		log.Fatal("-coalesce composes with admission server-side: drive a ttserver -coalesce -admit target")
 	}
 	var chaos []dispatch.ChaosSpec
 	if *chaosSpec != "" {
@@ -149,9 +218,10 @@ func main() {
 
 	budget := time.Duration(*deadlineMS * float64(time.Millisecond))
 
-	var issue func(ctx context.Context, arr workload.Arrival, col *collector)
-	var issueBatch func(ctx context.Context, arrs []workload.Arrival, col *collector)
+	var issue func(ctx context.Context, arr workload.Arrival, tenant string, col *collector)
+	var issueBatch func(ctx context.Context, arrs []workload.Arrival, tenant string, col *collector)
 	var disp *dispatch.Dispatcher
+	var coal *toltiers.Coalescer
 	var mon *toltiers.DriftMonitor
 	var ctrl *admit.Controller
 	corpusSize := *corpusN
@@ -160,6 +230,20 @@ func main() {
 		disp, reqs, mon = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend, chaos, *driftOn, *driftWindow)
 		corpusSize = len(reqs)
 		reg := mustRegistry(*svcName, *corpusN, *step)
+		if *coalesceOn {
+			coal = toltiers.NewCoalescer(disp, toltiers.CoalesceOptions{Window: *coalesceWindow, MaxBatch: *coalesceMax})
+			log.Printf("coalescing per-request dispatch (window %v, max batch %d)", coal.Window(), coal.MaxBatch())
+		}
+		// doOne is the per-request dispatch seam: straight through the
+		// dispatcher, or through the coalescer's batch windows under
+		// -coalesce.
+		doOne := func(ctx context.Context, req *toltiers.Request, t dispatch.Ticket) (dispatch.Outcome, error) {
+			if coal == nil {
+				return disp.Do(ctx, req, t)
+			}
+			o, _, err := coal.Do(ctx, req, t)
+			return o, err
+		}
 		if *overload {
 			capIF := *admitInflight
 			if capIF <= 0 {
@@ -179,21 +263,27 @@ func main() {
 		// Under -overload both paths gate through ctrl first (tenant =
 		// the requested annotation, so every consumer class gets its own
 		// bucket and admission-status row).
-		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
+		issue = func(ctx context.Context, arr workload.Arrival, tenant string, col *collector) {
 			// The report keys by the *requested* annotation so successes
 			// and failures of one consumer class always share a row; the
-			// dispatcher's own telemetry keys by the resolved tier.
+			// dispatcher's own telemetry keys by the resolved tier and
+			// partitions by the ticket's tenant — the consumer class
+			// unless -tenants assigned a named one.
 			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
 			rule, err := reg.Resolve(arr.Tolerance, arr.Objective)
 			if err != nil {
-				col.fail(tier)
+				col.fail(tier, tenant, true)
 				return
+			}
+			partition := tier
+			if tenant != "" {
+				partition = tenant
 			}
 			downgraded := false
 			if ctrl != nil {
 				dec := ctrl.Admit(time.Now(), tier, arr.Tolerance, budget, disp.Floor(rule.Candidate.Policy.Primary))
 				if dec.Verdict.Shed() {
-					col.shed(tier, 1)
+					col.shed(tier, tenant, 1)
 					return
 				}
 				defer ctrl.Done(dec)
@@ -205,33 +295,37 @@ func main() {
 				}
 			}
 			start := time.Now()
-			o, err := disp.Do(ctx, reqs[arr.RequestIndex%len(reqs)], dispatch.Ticket{
+			o, err := doOne(ctx, reqs[arr.RequestIndex%len(reqs)], dispatch.Ticket{
 				Tier:       dispatch.TierKey(string(arr.Objective), rule.Tolerance),
-				Tenant:     tier,
+				Tenant:     partition,
 				Policy:     rule.Candidate.Policy,
 				Budget:     budget,
 				Downgraded: downgraded,
 			})
 			if err != nil {
-				col.fail(tier)
+				col.fail(tier, tenant, false)
 				return
 			}
-			col.observe(tier, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
+			col.observe(tier, tenant, time.Since(start), o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
 		}
-		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
+		issueBatch = func(ctx context.Context, arrs []workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
 			rule, err := reg.Resolve(arrs[0].Tolerance, arrs[0].Objective)
 			if err != nil {
 				for range arrs {
-					col.fail(tier)
+					col.fail(tier, tenant, true)
 				}
 				return
+			}
+			partition := tier
+			if tenant != "" {
+				partition = tenant
 			}
 			downgraded := false
 			if ctrl != nil {
 				dec := ctrl.AdmitBatch(time.Now(), tier, arrs[0].Tolerance, budget, disp.Floor(rule.Candidate.Policy.Primary), len(arrs))
 				if dec.Verdict.Shed() {
-					col.shed(tier, len(arrs))
+					col.shed(tier, tenant, len(arrs))
 					return
 				}
 				defer ctrl.Done(dec)
@@ -249,7 +343,7 @@ func main() {
 			start := time.Now()
 			outs, errs, err := disp.DoBatch(ctx, batchReqs, dispatch.Ticket{
 				Tier:       dispatch.TierKey(string(arrs[0].Objective), rule.Tolerance),
-				Tenant:     tier,
+				Tenant:     partition,
 				Policy:     rule.Candidate.Policy,
 				Budget:     budget,
 				Downgraded: downgraded,
@@ -257,16 +351,16 @@ func main() {
 			wall := time.Since(start)
 			if err != nil {
 				for range arrs {
-					col.fail(tier)
+					col.fail(tier, tenant, false)
 				}
 				return
 			}
 			for i, o := range outs {
 				if errs[i] != nil {
-					col.fail(tier)
+					col.fail(tier, tenant, false)
 					continue
 				}
-				col.observe(tier, wall, o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
+				col.observe(tier, tenant, wall, o.Latency, o.Escalated, o.Hedged, o.DeadlineExceeded, downgraded)
 			}
 		}
 	} else {
@@ -287,23 +381,23 @@ func main() {
 			return errors.As(err, &apiErr) &&
 				(apiErr.StatusCode == 429 || apiErr.StatusCode == 503)
 		}
-		issue = func(ctx context.Context, arr workload.Arrival, col *collector) {
+		issue = func(ctx context.Context, arr workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
 			start := time.Now()
 			res, err := cl.Dispatch(ctx, arr.RequestIndex, arr.Tolerance, arr.Objective, budget)
 			if err != nil {
 				if *overload && isShed(err) {
-					col.shed(tier, 1)
+					col.shed(tier, tenant, 1)
 					return
 				}
-				col.fail(tier)
+				col.fail(tier, tenant, false)
 				return
 			}
-			col.observe(tier, time.Since(start),
+			col.observe(tier, tenant, time.Since(start),
 				time.Duration(res.LatencyMS*float64(time.Millisecond)),
 				res.Escalated, res.Hedged, res.DeadlineExceeded, res.Downgraded)
 		}
-		issueBatch = func(ctx context.Context, arrs []workload.Arrival, col *collector) {
+		issueBatch = func(ctx context.Context, arrs []workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
 			ids := make([]int, len(arrs))
 			for i, arr := range arrs {
@@ -314,20 +408,20 @@ func main() {
 			wall := time.Since(start)
 			if err != nil {
 				if *overload && isShed(err) {
-					col.shed(tier, len(arrs))
+					col.shed(tier, tenant, len(arrs))
 					return
 				}
 				for range arrs {
-					col.fail(tier)
+					col.fail(tier, tenant, false)
 				}
 				return
 			}
 			for _, item := range res.Items {
 				if item.Error != "" {
-					col.fail(tier)
+					col.fail(tier, tenant, false)
 					continue
 				}
-				col.observe(tier, wall,
+				col.observe(tier, tenant, wall,
 					time.Duration(item.LatencyMS*float64(time.Millisecond)),
 					item.Escalated, item.Hedged, item.DeadlineExceeded, item.Downgraded)
 			}
@@ -345,9 +439,17 @@ func main() {
 		log.Fatal("empty trace: check -rps/-duration/-corpus")
 	}
 
+	var tenantNames []string
+	if *tenants > 0 {
+		tenantNames = make([]string, *tenants)
+		for i := range tenantNames {
+			tenantNames[i] = fmt.Sprintf("tenant-%d", i)
+		}
+	}
+
 	log.Printf("driving %d arrivals over %v at target %.0f rps with %d workers (batch %d) ...",
 		len(trace), *duration, *rps, *concurrency, *batchN)
-	col := &collector{tiers: make(map[string]*tierSeries)}
+	col := &collector{tiers: make(map[string]*tierSeries), tenants: make(map[string]*tenantTally)}
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	var start time.Time
@@ -372,47 +474,57 @@ func main() {
 		}()
 	}
 	if *batchN > 1 {
+		type batchJob struct {
+			arrs   []workload.Arrival
+			tenant string
+		}
 		jobs := batchTrace(trace, *batchN)
-		next := make(chan []workload.Arrival, *concurrency)
+		next := make(chan batchJob, *concurrency)
 		start = time.Now()
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for arrs := range next {
+				for j := range next {
 					// A batch is complete — and dispatchable — when its
 					// last arrival lands.
-					if wait := arrs[len(arrs)-1].At - time.Since(start); wait > 0 {
+					if wait := j.arrs[len(j.arrs)-1].At - time.Since(start); wait > 0 {
 						time.Sleep(wait)
 					}
-					issueBatch(ctx, arrs, col)
+					col.sent(j.tenant, len(j.arrs))
+					issueBatch(ctx, j.arrs, j.tenant, col)
 				}
 			}()
 		}
-		for _, j := range jobs {
-			next <- j
+		for i, j := range jobs {
+			next <- batchJob{j, tenantName(tenantNames, i)}
 		}
 		close(next)
 	} else {
-		next := make(chan workload.Arrival, *concurrency)
+		type job struct {
+			arr    workload.Arrival
+			tenant string
+		}
+		next := make(chan job, *concurrency)
 		start = time.Now()
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for arr := range next {
+				for j := range next {
 					// Open-loop pacing to the trace clock, closed-loop
 					// back-pressure from the bounded pool: a saturated pool
 					// falls behind rather than piling up unbounded work.
-					if wait := arr.At - time.Since(start); wait > 0 {
+					if wait := j.arr.At - time.Since(start); wait > 0 {
 						time.Sleep(wait)
 					}
-					issue(ctx, arr, col)
+					col.sent(j.tenant, 1)
+					issue(ctx, j.arr, j.tenant, col)
 				}
 			}()
 		}
-		for _, arr := range trace {
-			next <- arr
+		for i, arr := range trace {
+			next <- job{arr, tenantName(tenantNames, i)}
 		}
 		close(next)
 	}
@@ -425,6 +537,14 @@ func main() {
 	report(col, elapsed, *batchN)
 	if disp != nil {
 		reportTelemetry(disp)
+		if *tenants > 0 {
+			reportTenants(col, disp)
+		}
+		if coal != nil {
+			st := coal.Stats()
+			log.Printf("coalescer: %d bypassed, %d coalesced into %d windows (%d size-triggered), %d shed, %d left",
+				st.Bypassed, st.Coalesced, st.Windows, st.SizeFlushes, st.Shed, st.Left)
+		}
 	}
 	if *overload {
 		if ctrl != nil {
@@ -449,6 +569,88 @@ func main() {
 			reportDrift(*st)
 		}
 	}
+	if *assertMode {
+		if err := assertRun(col, disp, coal); err != nil {
+			log.Fatalf("assert: %v", err)
+		}
+		log.Printf("assert: accounting reconciles (per tenant, sent = graded + failed + shed; telemetry partitions agree)")
+	}
+}
+
+// tenantName assigns arrivals (or batches) round-robin across the
+// named tenants; empty when -tenants is off.
+func tenantName(names []string, i int) string {
+	if len(names) == 0 {
+		return ""
+	}
+	return names[i%len(names)]
+}
+
+// reportTenants prints the round-robin tenants' arrival ledgers
+// alongside the dispatcher's per-tenant telemetry partitions.
+func reportTenants(col *collector, d *dispatch.Dispatcher) {
+	keys := make([]string, 0, len(col.tenants))
+	for k := range col.tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := tablewriter.New("per-tenant accounting",
+		"tenant", "sent", "graded", "failed", "shed", "partition reqs", "partition fails")
+	for _, k := range keys {
+		tl := col.tenants[k]
+		snap := d.TenantSnapshot(k)
+		t.AddStrings(k, fmt.Sprint(tl.sent), fmt.Sprint(tl.graded), fmt.Sprint(tl.failed),
+			fmt.Sprint(tl.shed), fmt.Sprint(snap.Requests), fmt.Sprint(snap.Failures))
+	}
+	t.Caption = "partition columns read back the dispatcher's per-tenant telemetry; sheds and unrouted failures never reach it"
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// assertRun verifies the run's ledger: every arrival is accounted
+// exactly once (sent = graded + failed + shed per tenant), each
+// tenant's telemetry partition agrees with the generator's own tally,
+// the global snapshot equals the sum of the partitions, and — under
+// -coalesce — no waiter was lost, double-delivered, or stranded.
+func assertRun(col *collector, d *dispatch.Dispatcher, coal *toltiers.Coalescer) error {
+	var sentTotal, unroutedTotal int
+	var partitionTotal int64
+	for k, tl := range col.tenants {
+		if tl.sent != tl.graded+tl.failed+tl.shed {
+			return fmt.Errorf("%s: sent %d != graded %d + failed %d + shed %d",
+				k, tl.sent, tl.graded, tl.failed, tl.shed)
+		}
+		snap := d.TenantSnapshot(k)
+		if dispatched := int64(tl.graded + tl.failed - tl.unrouted); snap.Requests != dispatched {
+			return fmt.Errorf("%s: telemetry partition saw %d requests, generator dispatched %d",
+				k, snap.Requests, dispatched)
+		}
+		if failed := int64(tl.failed - tl.unrouted); snap.Failures != failed {
+			return fmt.Errorf("%s: telemetry partition saw %d failures, generator recorded %d",
+				k, snap.Failures, failed)
+		}
+		sentTotal += tl.sent
+		unroutedTotal += tl.unrouted
+		partitionTotal += snap.Requests
+	}
+	if len(col.tenants) > 0 {
+		if global := d.Snapshot(); global.Requests != partitionTotal {
+			return fmt.Errorf("global telemetry saw %d requests, tenant partitions sum to %d",
+				global.Requests, partitionTotal)
+		}
+	}
+	if coal != nil {
+		st := coal.Stats()
+		if st.Shed != 0 || st.Left != 0 {
+			return fmt.Errorf("coalescer shed %d / abandoned %d under a nil gate and background context", st.Shed, st.Left)
+		}
+		if want := int64(sentTotal - unroutedTotal); len(col.tenants) > 0 && st.Bypassed+st.Coalesced != want {
+			return fmt.Errorf("coalescer delivered %d (bypassed %d + coalesced %d), %d routed",
+				st.Bypassed+st.Coalesced, st.Bypassed, st.Coalesced, want)
+		}
+	}
+	return nil
 }
 
 // batchTrace groups a time-ordered trace into per-consumer-class

@@ -38,6 +38,10 @@ func main() {
 		admitBurst    = flag.Float64("admit-burst", 0, "default per-tenant bucket burst (0 = refill rate)")
 		brownoutOn    = flag.Bool("brownout", false, "arm the brownout controller: sustained shedding downgrades tolerant traffic to the -brownout-tier policy until the overload clears")
 		brownoutTier  = flag.Float64("brownout-tier", 0, "tolerance tier brownout downgrades to (0 = 0.10)")
+
+		coalesceOn     = flag.Bool("coalesce", false, "coalesce concurrent POST /dispatch requests of the same tier into batch windows (zero added latency when idle, at most one window under load)")
+		coalesceWindow = flag.Duration("coalesce-window", 0, "coalescing time trigger (0 = 200µs; clamped to 100µs–500µs)")
+		coalesceMax    = flag.Int("coalesce-max", 0, "coalescing size trigger: flush a window at this many requests (0 = 64)")
 	)
 	flag.Parse()
 
@@ -62,7 +66,7 @@ func main() {
 		gen.Generate(grid, toltiers.MinimizeLatency),
 		gen.Generate(grid, toltiers.MinimizeCost))
 
-	srv := toltiers.NewHTTPServer(reg, reqs, toltiers.ServerConfig{
+	cfg := toltiers.ServerConfig{
 		Matrix:        matrix,
 		Drift:         toltiers.DriftConfig{Enabled: *driftOn, AutoReprofile: *driftOn},
 		DriftInterval: *driftTick,
@@ -74,13 +78,20 @@ func main() {
 			Brownout:          *brownoutOn,
 			BrownoutTolerance: *brownoutTier,
 		},
-	})
+	}
+	if *coalesceOn {
+		cfg.Coalesce = &toltiers.CoalesceOptions{Window: *coalesceWindow, MaxBatch: *coalesceMax}
+	}
+	srv := toltiers.NewHTTPServer(reg, reqs, cfg)
 	defer srv.Close()
 	if *driftOn {
 		log.Printf("drift monitor armed (GET /drift, POST /drift/config)")
 	}
 	if *admitOn || *brownoutOn {
 		log.Printf("admission layer armed (GET /admission, POST /admission/config; brownout %v)", *brownoutOn)
+	}
+	if *coalesceOn {
+		log.Printf("dispatch coalescing armed (window %v, max batch %d)", *coalesceWindow, *coalesceMax)
 	}
 	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {

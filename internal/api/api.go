@@ -144,6 +144,20 @@ type BackendTelemetry struct {
 	IaaSUSD       float64 `json:"iaas_usd"`
 }
 
+// TenantTelemetry is one tenant's telemetry partition: the JSON
+// response of GET /telemetry?tenant=... and one row of the snapshot's
+// per-tenant rollup. Backends lists only the backends the tenant's
+// traffic touched, with the tenant's own billing share; P95LatencyMS is
+// always 0 here — the hedging estimate is a dispatcher-global order
+// statistic, not a per-tenant one.
+type TenantTelemetry struct {
+	Tenant   string             `json:"tenant"`
+	Requests int64              `json:"requests"`
+	Failures int64              `json:"failures,omitempty"`
+	Tiers    []TierTelemetry    `json:"tiers"`
+	Backends []BackendTelemetry `json:"backends"`
+}
+
 // TelemetrySnapshot is the JSON response of GET /telemetry.
 type TelemetrySnapshot struct {
 	// Requests counts dispatches since the runtime started.
@@ -152,6 +166,10 @@ type TelemetrySnapshot struct {
 	Failures int64              `json:"failures,omitempty"`
 	Tiers    []TierTelemetry    `json:"tiers"`
 	Backends []BackendTelemetry `json:"backends"`
+	// Tenants is the per-tenant rollup: every named tenant's partition,
+	// sorted by tenant ID. Anonymous (tenant-less) traffic appears only
+	// in the global totals above.
+	Tenants []TenantTelemetry `json:"tenants"`
 }
 
 // RuleGenRequest is the JSON body of POST /rules/generate: start a

@@ -54,7 +54,21 @@ func FuzzTelemetrySnapshot(f *testing.F) {
 		}},
 	})
 	f.Add(seed)
+	tenantSeed, _ := json.Marshal(TelemetrySnapshot{
+		Requests: 500, Failures: 3,
+		Tiers: []TierTelemetry{{Tier: "response-time/0.05", Requests: 500, Graded: 497}},
+		Tenants: []TenantTelemetry{
+			{
+				Tenant: "acme", Requests: 320, Failures: 2,
+				Tiers:    []TierTelemetry{{Tier: "response-time/0.05", Requests: 320, Graded: 318, MeanErr: 0.031}},
+				Backends: []BackendTelemetry{{Backend: "replay:v0", Invocations: 320, InvocationUSD: 0.02}},
+			},
+			{Tenant: "blue", Requests: 180, Failures: 1},
+		},
+	})
+	f.Add(tenantSeed)
 	f.Add([]byte(`{"requests": 0, "tiers": null, "backends": null}`))
+	f.Add([]byte(`{"tenants": [{"tenant": "", "requests": -1, "tiers": [{}]}, {}]}`))
 	f.Add([]byte(`{"requests": 1, "tiers": [{"tier": "", "graded": -1}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`[]`))

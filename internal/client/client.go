@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -165,6 +166,36 @@ func (c *Client) Telemetry(ctx context.Context) (*api.TelemetrySnapshot, error) 
 	var out api.TelemetrySnapshot
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("client: decode telemetry: %w", err)
+	}
+	return &out, nil
+}
+
+// TelemetryForTenant fetches one tenant's telemetry partition
+// (GET /telemetry?tenant=...): the tenant's own per-tier streams and
+// per-backend billing share. A tenant the runtime has never served
+// returns the zero partition, not an error. The tenant ID must be
+// non-empty — anonymous traffic has no partition, only the global
+// snapshot.
+func (c *Client) TelemetryForTenant(ctx context.Context, tenant string) (*api.TenantTelemetry, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("client: empty tenant (anonymous traffic has no partition; use Telemetry)")
+	}
+	u := c.base + "/telemetry?tenant=" + url.QueryEscape(tenant)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: tenant telemetry: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.TenantTelemetry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode tenant telemetry: %w", err)
 	}
 	return &out, nil
 }

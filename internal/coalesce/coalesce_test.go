@@ -1,0 +1,316 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+var testMatrixOnce sync.Once
+var testMatrix *profile.Matrix
+
+func visionMatrix(t testing.TB) *profile.Matrix {
+	t.Helper()
+	testMatrixOnce.Do(func() {
+		c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 300, Device: vision.GPU})
+		testMatrix = profile.Build(c.Service, c.Requests)
+	})
+	return testMatrix
+}
+
+// newRuntime builds a replay dispatcher and a coalescer in front of it.
+func newRuntime(t testing.TB, opts Options) (*Coalescer, *dispatch.Dispatcher, []*service.Request) {
+	t.Helper()
+	m := visionMatrix(t)
+	d := dispatch.New(dispatch.NewReplayBackends(m), dispatch.Options{DisableHedging: true})
+	return New(d, opts), d, dispatch.ReplayRequests(m)
+}
+
+func singleTicket(tier string) dispatch.Ticket {
+	return dispatch.Ticket{Tier: tier, Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}}
+}
+
+// sameOutcome is bitwise outcome equality (Outcome itself is not
+// comparable: Result carries the ASR transcript slice).
+func sameOutcome(a, b dispatch.Outcome) bool {
+	if a.Err != b.Err && !(a.Err != a.Err && b.Err != b.Err) { // NaN-tolerant
+		return false
+	}
+	if len(a.Result.Transcript) != len(b.Result.Transcript) {
+		return false
+	}
+	for i := range a.Result.Transcript {
+		if a.Result.Transcript[i] != b.Result.Transcript[i] {
+			return false
+		}
+	}
+	return a.Result.Class == b.Result.Class &&
+		a.Result.Confidence == b.Result.Confidence &&
+		a.Result.Latency == b.Result.Latency &&
+		a.Result.WorkUnits == b.Result.WorkUnits &&
+		a.Latency == b.Latency &&
+		a.InvCost == b.InvCost &&
+		a.IaaSCost == b.IaaSCost &&
+		a.Escalated == b.Escalated &&
+		a.Hedged == b.Hedged &&
+		a.DeadlineExceeded == b.DeadlineExceeded &&
+		a.Started == b.Started &&
+		a.Backend == b.Backend
+}
+
+// TestOptionClamps pins the documented defaults and clamp ranges.
+func TestOptionClamps(t *testing.T) {
+	c, _, _ := newRuntime(t, Options{})
+	if c.MaxBatch() != defaultMaxBatch || c.Window() != defaultWindow {
+		t.Fatalf("zero options: MaxBatch %d Window %v, want %d/%v",
+			c.MaxBatch(), c.Window(), defaultMaxBatch, defaultWindow)
+	}
+	c, _, _ = newRuntime(t, Options{MaxBatch: 1 << 20, Window: time.Second})
+	if c.MaxBatch() != maxMaxBatch || c.Window() != maxWindow {
+		t.Fatalf("oversized options not clamped: MaxBatch %d Window %v", c.MaxBatch(), c.Window())
+	}
+	c, _, _ = newRuntime(t, Options{MaxBatch: 1, Window: time.Nanosecond})
+	if c.MaxBatch() != 1 || c.Window() != minWindow {
+		t.Fatalf("undersized options: MaxBatch %d Window %v, want 1/%v", c.MaxBatch(), c.Window(), minWindow)
+	}
+}
+
+// TestSoloBypasses pins the zero-wait contract: a sequential caller —
+// never more than one request pending — always takes the bypass and
+// never opens a window.
+func TestSoloBypasses(t *testing.T) {
+	c, d, reqs := newRuntime(t, Options{})
+	tk := singleTicket("solo/0")
+	ctx := context.Background()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Do(ctx, reqs[i], tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bypassed != n || st.Coalesced != 0 || st.Windows != 0 {
+		t.Fatalf("sequential traffic: %+v, want %d bypassed and no windows", st, n)
+	}
+	if snap := d.Snapshot(); snap.Requests != n {
+		t.Fatalf("dispatcher saw %d requests, want %d", snap.Requests, n)
+	}
+}
+
+// TestGateShedsWindow pins the shed contract: a gate rejection delivers
+// the gate's error and Served value to every waiter in the window, and
+// the dispatcher is never entered.
+func TestGateShedsWindow(t *testing.T) {
+	errShed := errors.New("shed for test")
+	var gateN int
+	c, d, reqs := newRuntime(t, Options{MaxBatch: 1, Gate: func(n int, tk dispatch.Ticket) (Grant, error) {
+		gateN = n
+		return Grant{Served: "shed-meta"}, errShed
+	}})
+	// MaxBatch 1 with a faked-out bypass forces the full window cycle,
+	// so the rejection exercises the flush fan-out, not the solo path.
+	c.pending.Add(1)
+	defer c.pending.Add(-1)
+	out, served, err := c.Do(context.Background(), reqs[0], singleTicket("shed/0"))
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want the gate's rejection", err)
+	}
+	if served != "shed-meta" {
+		t.Fatalf("served = %v, want the grant's Served", served)
+	}
+	if !sameOutcome(out, dispatch.Outcome{}) {
+		t.Fatalf("shed returned a non-zero outcome: %+v", out)
+	}
+	if gateN != 1 {
+		t.Fatalf("gate saw n=%d, want 1", gateN)
+	}
+	if snap := d.Snapshot(); snap.Requests != 0 {
+		t.Fatalf("shed traffic entered the dispatcher: %d requests", snap.Requests)
+	}
+	if st := c.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestGateRewritesTicket pins the downgrade seam: the dispatched batch
+// runs under the gate's rewritten ticket, and every waiter receives the
+// grant's Served value and the Release hook fires.
+func TestGateRewritesTicket(t *testing.T) {
+	released := 0
+	c, d, reqs := newRuntime(t, Options{MaxBatch: 1, Gate: func(n int, tk dispatch.Ticket) (Grant, error) {
+		tk.Tier = "rewritten/0.10"
+		tk.Downgraded = true
+		return Grant{Ticket: tk, Served: 42, Release: func() { released++ }}, nil
+	}})
+	c.pending.Add(1)
+	defer c.pending.Add(-1)
+	_, served, err := c.Do(context.Background(), reqs[0], singleTicket("requested/0.01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != 42 {
+		t.Fatalf("served = %v, want the grant's Served", served)
+	}
+	if released != 1 {
+		t.Fatalf("release ran %d times, want 1", released)
+	}
+	snap := d.Snapshot()
+	if len(snap.Tiers) != 1 || snap.Tiers[0].Tier != "rewritten/0.10" {
+		t.Fatalf("telemetry tiers = %+v, want only the rewritten tier", snap.Tiers)
+	}
+}
+
+// TestCancelWhileQueued pins the removal path deterministically: a
+// waiter whose context dies while its window is still open leaves the
+// window, gets its context error, and the emptied window is retired
+// without ever flushing. The window's timer is stopped by hand (white
+// box) so the flush can never race the cancellation.
+func TestCancelWhileQueued(t *testing.T) {
+	c, d, reqs := newRuntime(t, Options{MaxBatch: 64})
+	// White box: disarm the time trigger entirely (bypassing the clamp)
+	// so only cancellation can resolve the waiter — a real window would
+	// flush before a test on a loaded box could observe it queued.
+	c.opts.Window = time.Hour
+	tk := singleTicket("cancel/queued")
+	// Fake a second pending request so Do queues instead of bypassing.
+	c.pending.Add(1)
+	defer c.pending.Add(-1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, reqs[0], tk)
+		done <- err
+	}()
+
+	// Wait for the waiter to join its window.
+	for {
+		c.mu.Lock()
+		win := c.windows[tk]
+		if win != nil && len(win.waiters) == 1 {
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		time.Sleep(10 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	c.mu.Lock()
+	open := len(c.windows)
+	c.mu.Unlock()
+	if open != 0 {
+		t.Fatalf("%d windows still open after the last waiter left", open)
+	}
+	if st := c.Stats(); st.Left != 1 || st.Windows != 0 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want one departure and no flush", st)
+	}
+	if snap := d.Snapshot(); snap.Requests != 0 {
+		t.Fatalf("cancelled request reached the dispatcher: %d requests", snap.Requests)
+	}
+}
+
+// TestCancelAfterClaim pins the other half of the cancellation
+// contract: once a flush has claimed a waiter (window detached), a
+// dying context no longer removes it — the caller receives the
+// dispatched outcome. Claim and cancellation are sequenced by hand
+// (white box), so the test is exact, not probabilistic.
+func TestCancelAfterClaim(t *testing.T) {
+	c, d, reqs := newRuntime(t, Options{MaxBatch: 64})
+	c.opts.Window = time.Hour // white box: only the test's own claim may flush
+	tk := singleTicket("cancel/claimed")
+	c.pending.Add(1)
+	defer c.pending.Add(-1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type res struct {
+		out dispatch.Outcome
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		out, _, err := c.Do(ctx, reqs[0], tk)
+		done <- res{out, err}
+	}()
+
+	var win *window
+	for {
+		c.mu.Lock()
+		if w := c.windows[tk]; w != nil && len(w.waiters) == 1 {
+			// Claim the window exactly as a trigger would, before the
+			// cancellation below can observe it queued.
+			c.detachLocked(w)
+			win = w
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		time.Sleep(10 * time.Microsecond)
+	}
+	cancel()
+	c.flush(win)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("claimed waiter returned %v, want its dispatched outcome", r.err)
+	}
+	want, err := dispatch.New(dispatch.NewReplayBackends(visionMatrix(t)), dispatch.Options{DisableHedging: true}).
+		Do(context.Background(), reqs[0], tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOutcome(r.out, want) {
+		t.Fatalf("outcome %+v != serial %+v", r.out, want)
+	}
+	if snap := d.Snapshot(); snap.Requests != 1 {
+		t.Fatalf("dispatcher saw %d requests, want 1", snap.Requests)
+	}
+	if st := c.Stats(); st.Left != 0 || st.Coalesced != 1 || st.Windows != 1 {
+		t.Fatalf("stats = %+v, want one coalesced flush and no departure", st)
+	}
+}
+
+// TestSizeTriggerFlushesInline pins the size trigger: a window that
+// fills to MaxBatch flushes without waiting for its timer, as one
+// batch.
+func TestSizeTriggerFlushesInline(t *testing.T) {
+	const batch = 4
+	c, d, reqs := newRuntime(t, Options{MaxBatch: batch})
+	c.opts.Window = time.Hour // white box: only the size trigger may flush
+	tk := singleTicket("size/0")
+	c.pending.Add(1) // defeat the bypass so every request queues
+	defer c.pending.Add(-1)
+
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	for i := 0; i < batch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(context.Background(), reqs[i], tk)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced != batch || st.Windows != 1 || st.SizeFlushes != 1 {
+		t.Fatalf("stats = %+v, want %d coalesced in one size-triggered window", st, batch)
+	}
+	if snap := d.Snapshot(); snap.Requests != batch {
+		t.Fatalf("dispatcher saw %d requests", snap.Requests)
+	}
+}

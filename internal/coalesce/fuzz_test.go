@@ -1,0 +1,109 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/ensemble"
+)
+
+// FuzzCoalesceWindow drives the window state machine with an
+// adversarial schedule decoded from raw bytes: each byte spawns one
+// concurrent Do whose tier, cancellation, and arrival order the fuzzer
+// controls, while the first byte picks the batch cap and a shedding
+// cadence for the gate. The invariants are the ones that make the
+// coalescer safe to put in front of a server: no panic, every caller
+// returns exactly once (no stranded waiter, no double delivery), no
+// window object leaks after quiescence, and the stats ledger balances.
+func FuzzCoalesceWindow(f *testing.F) {
+	m := visionMatrix(f)
+	reqs := dispatch.ReplayRequests(m)
+
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x17, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0x51, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x31, 0x00, 0x08, 0x00, 0x08, 0x00, 0x08, 0x00, 0x08})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 64 {
+			t.Skip()
+		}
+		maxBatch := 1 + int(data[0]&7)
+		shedEvery := int64(data[0] >> 4)
+
+		d := dispatch.New(dispatch.NewReplayBackends(m), dispatch.Options{DisableHedging: true})
+		errShed := errors.New("fuzz shed")
+		var flushSeq atomic.Int64
+		var gate Gate
+		if shedEvery > 0 {
+			gate = func(n int, tk dispatch.Ticket) (Grant, error) {
+				if flushSeq.Add(1)%(shedEvery+1) == 0 {
+					return Grant{}, errShed
+				}
+				return Grant{Ticket: tk}, nil
+			}
+		}
+		c := New(d, Options{MaxBatch: maxBatch, Window: minWindow, Gate: gate})
+
+		tiers := [3]dispatch.Ticket{
+			{Tier: "fz/a", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}},
+			{Tier: "fz/b", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}},
+			{Tier: "fz/c", Policy: ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: m.NumVersions() - 1, Threshold: 0.5}},
+		}
+
+		var ok, shed, ctxErr, returned atomic.Int64
+		var wg sync.WaitGroup
+		for i, b := range data {
+			wg.Add(1)
+			go func(i int, b byte) {
+				defer wg.Done()
+				ctx := context.Background()
+				if b&0x08 != 0 {
+					cctx, cancel := context.WithCancel(ctx)
+					defer cancel()
+					ctx = cctx
+					go cancel()
+				}
+				_, _, err := c.Do(ctx, reqs[i%len(reqs)], tiers[int(b)%len(tiers)])
+				returned.Add(1)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, errShed):
+					shed.Add(1)
+				case errors.Is(err, context.Canceled):
+					ctxErr.Add(1)
+				default:
+					t.Errorf("byte %d: unexpected error %v", i, err)
+				}
+			}(i, b)
+		}
+		wg.Wait()
+
+		if got := returned.Load(); got != int64(len(data)) {
+			t.Fatalf("%d callers returned, %d spawned — waiter stranded or double-counted", got, len(data))
+		}
+		c.mu.Lock()
+		live := len(c.windows)
+		c.mu.Unlock()
+		if live != 0 {
+			t.Fatalf("%d windows still open after all callers returned", live)
+		}
+		st := c.Stats()
+		if st.Bypassed+st.Coalesced != ok.Load()+shed.Load() {
+			t.Fatalf("stats %+v: delivered %d, ground truth ok %d + shed %d",
+				st, st.Bypassed+st.Coalesced, ok.Load(), shed.Load())
+		}
+		if st.Shed != shed.Load() {
+			t.Fatalf("stats Shed %d, ground truth %d", st.Shed, shed.Load())
+		}
+		if st.Left > ctxErr.Load() {
+			t.Fatalf("stats Left %d exceeds %d context cancellations", st.Left, ctxErr.Load())
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package coalesce
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// pins are skipped under -race because instrumentation allocates.
+const raceEnabled = true

@@ -1,0 +1,157 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/ensemble"
+)
+
+// TestCoalesceReconciliation hammers the coalescer from many goroutines
+// across three tenants and two tiers, with a gate that sheds every
+// fifth flush and a caller that cancels every seventh request
+// mid-window, then reconciles every ledger in sight. Under `go test
+// -race` (a CI job) this is the proof that the window state machine
+// neither loses nor double-delivers a waiter:
+//
+//   - per tenant, sent = graded + shed + cancelled (every Do returned
+//     exactly once, classified exactly once);
+//   - per tenant, the dispatcher's telemetry partition saw exactly the
+//     graded requests (shed and cancelled traffic never dispatches);
+//   - globally, the snapshot equals the sum of the tenant partitions;
+//   - the coalescer's own counters balance: bypassed + coalesced =
+//     graded + shed, and departures never exceed cancellations.
+func TestCoalesceReconciliation(t *testing.T) {
+	m := visionMatrix(t)
+	d := dispatch.New(dispatch.NewReplayBackends(m), dispatch.Options{DisableHedging: true})
+	reqs := dispatch.ReplayRequests(m)
+	nv := m.NumVersions()
+
+	errShed := errors.New("gate shed")
+	var flushSeq atomic.Int64
+	gate := func(n int, tk dispatch.Ticket) (Grant, error) {
+		if flushSeq.Add(1)%5 == 0 {
+			return Grant{}, errShed
+		}
+		return Grant{Ticket: tk}, nil
+	}
+	c := New(d, Options{MaxBatch: 8, Window: minWindow, Gate: gate})
+
+	tenants := []string{"acme", "blue", "crab"}
+	tickets := []dispatch.Ticket{
+		{Tier: "race/0.05", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}},
+		{Tier: "race/0.01", Policy: ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: nv - 1, Threshold: 0.5}},
+	}
+
+	const (
+		workers = 8
+		perWork = 300
+	)
+	type tally struct {
+		sent, graded, shed, cancelled int64
+	}
+	tallies := make([]map[string]*tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tal := make(map[string]*tally, len(tenants))
+		for _, tn := range tenants {
+			tal[tn] = &tally{}
+		}
+		tallies[w] = tal
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWork; i++ {
+				tenant := tenants[(w+i)%len(tenants)]
+				tk := tickets[(w+i/3)%len(tickets)]
+				tk.Tenant = tenant
+				ctx := context.Background()
+				if i%7 == 6 {
+					// Mid-window cancellation racing the flush: both
+					// resolutions (removed with ctx error, or claimed and
+					// delivered) are legal; losing the waiter is not.
+					cctx, cancel := context.WithCancel(ctx)
+					ctx = cctx
+					go cancel()
+					defer cancel()
+				}
+				tl := tal[tenant]
+				tl.sent++
+				_, _, err := c.Do(ctx, reqs[(w*perWork+i)%len(reqs)], tk)
+				switch {
+				case err == nil:
+					tl.graded++
+				case errors.Is(err, errShed):
+					tl.shed++
+				case errors.Is(err, context.Canceled):
+					tl.cancelled++
+				default:
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	agg := make(map[string]*tally, len(tenants))
+	for _, tn := range tenants {
+		agg[tn] = &tally{}
+	}
+	for _, tal := range tallies {
+		for k, tl := range tal {
+			a := agg[k]
+			a.sent += tl.sent
+			a.graded += tl.graded
+			a.shed += tl.shed
+			a.cancelled += tl.cancelled
+		}
+	}
+
+	var gradedTotal, shedTotal, cancelledTotal, partitionTotal int64
+	for _, tn := range tenants {
+		a := agg[tn]
+		if a.sent != a.graded+a.shed+a.cancelled {
+			t.Fatalf("%s: sent %d != graded %d + shed %d + cancelled %d — a Do was lost or returned twice",
+				tn, a.sent, a.graded, a.shed, a.cancelled)
+		}
+		snap := d.TenantSnapshot(tn)
+		if snap.Requests != a.graded || snap.Failures != 0 {
+			t.Fatalf("%s: partition saw %d requests (%d failures), ground truth graded %d",
+				tn, snap.Requests, snap.Failures, a.graded)
+		}
+		gradedTotal += a.graded
+		shedTotal += a.shed
+		cancelledTotal += a.cancelled
+		partitionTotal += snap.Requests
+	}
+
+	global := d.Snapshot()
+	if global.Requests != partitionTotal || global.Requests != gradedTotal {
+		t.Fatalf("global %d requests, tenant partitions sum to %d, ground truth %d",
+			global.Requests, partitionTotal, gradedTotal)
+	}
+	var rollup int64
+	for _, tn := range global.Tenants {
+		rollup += tn.Requests
+	}
+	if rollup != partitionTotal || len(global.Tenants) != len(tenants) {
+		t.Fatalf("snapshot rollup: %d tenants summing to %d, want %d/%d",
+			len(global.Tenants), rollup, len(tenants), partitionTotal)
+	}
+
+	st := c.Stats()
+	if st.Bypassed+st.Coalesced != gradedTotal+shedTotal {
+		t.Fatalf("coalescer delivered %d (bypassed %d + coalesced %d), ground truth graded+shed = %d",
+			st.Bypassed+st.Coalesced, st.Bypassed, st.Coalesced, gradedTotal+shedTotal)
+	}
+	if st.Shed != shedTotal {
+		t.Fatalf("coalescer Shed = %d, ground truth %d", st.Shed, shedTotal)
+	}
+	if st.Left > cancelledTotal {
+		t.Fatalf("coalescer Left = %d exceeds %d cancellations", st.Left, cancelledTotal)
+	}
+}

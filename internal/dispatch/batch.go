@@ -38,7 +38,7 @@ func (d *Dispatcher) DoBatch(ctx context.Context, reqs []*service.Request, t Tic
 		return outs, errs, nil
 	}
 	c := d.calls.Get().(*dispatchCall)
-	c.txn.reset(t.Tier)
+	c.txn.reset(t.Tier, t.Tenant)
 	release, err := d.leaseBatch(ctx, p)
 	if err != nil {
 		// A batch that dies on the limiter lease counts every item as a

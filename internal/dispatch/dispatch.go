@@ -92,8 +92,9 @@ type Ticket struct {
 	// (TierKey builds it from a resolved rule).
 	Tier string
 	// Tenant identifies the requesting principal for admission control
-	// and QoS accounting ("" = the anonymous default tenant). The
-	// dispatcher itself never branches on it.
+	// and QoS accounting ("" = the anonymous default tenant). A named
+	// tenant's dispatches additionally fold into that tenant's telemetry
+	// partition (see Telemetry); the routing itself never branches on it.
 	Tenant string
 	// Policy is the tier's routing configuration.
 	Policy ensemble.Policy
@@ -195,6 +196,12 @@ func (d *Dispatcher) Snapshot() api.TelemetrySnapshot {
 	return d.tel.snapshot(func(i int) float64 { return d.trackers[i].estimate() })
 }
 
+// TenantSnapshot renders one tenant's telemetry partition — what
+// GET /telemetry?tenant=... serves.
+func (d *Dispatcher) TenantSnapshot(tenant string) api.TenantTelemetry {
+	return d.tel.TenantSnapshot(tenant)
+}
+
 // P95 returns the observed latency quantile estimate of one backend in
 // nanoseconds (NaN until enough observations).
 func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
@@ -238,7 +245,7 @@ func (d *Dispatcher) Do(ctx context.Context, req *service.Request, t Ticket) (Ou
 		return Outcome{}, err
 	}
 	c := d.calls.Get().(*dispatchCall)
-	c.txn.reset(t.Tier)
+	c.txn.reset(t.Tier, t.Tenant)
 	c.leased = false
 	o, err := c.run(ctx, req, t)
 	d.tel.commit(&c.txn)

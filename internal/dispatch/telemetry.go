@@ -29,9 +29,18 @@ import (
 // differ from a single sequential stream only in the last float bits
 // (see Stream.Merge), far inside every guarantee the runtime reports.
 //
+// Beyond the global stripe, every shard also carries per-tenant
+// partitions: a ticket with a non-empty Tenant folds its transaction
+// into the tenant's own tier/backend streams and billing in the same
+// commit, under the same single shard lock. The anonymous tenant ("")
+// is not partitioned — it is the global stripe — so the tenant-less
+// dispatch path stays allocation-free (the alloc-regression tests pin
+// this with partitions compiled in).
+//
 // All methods are safe for concurrent use.
 type Telemetry struct {
 	shards []telemetryShard
+	names  []string
 	// pool hands each P a preferred shard pointer so repeated commits
 	// from one core hit one uncontended mutex; rr round-robins shard
 	// assignment when the pool mints a new preference.
@@ -39,15 +48,89 @@ type Telemetry struct {
 	rr   atomic.Uint64
 }
 
-// telemetryShard is one stripe of the telemetry. The padding keeps
-// independently-locked shards off each other's cache lines.
-type telemetryShard struct {
-	mu       sync.Mutex
+// partition is one stripe's worth of serving statistics — the global
+// view and each tenant's view have identical shape, so the commit fold
+// and the snapshot merge are written once against this type.
+type partition struct {
 	requests int64
 	failures int64
 	tiers    map[string]*tierStats
 	backends []backendStats
-	_        [64]byte
+}
+
+func newPartition(names []string) *partition {
+	p := &partition{tiers: make(map[string]*tierStats), backends: make([]backendStats, len(names))}
+	for j, n := range names {
+		p.backends[j].name = n
+	}
+	return p
+}
+
+// apply folds one committed transaction into the partition. The caller
+// holds the owning shard's lock.
+func (p *partition) apply(x *telemetryTxn) {
+	p.requests += x.outcomes + x.failures
+	p.failures += x.failures
+	if x.outcomes > 0 || x.escalationFailures > 0 {
+		ts := p.tiers[x.tier]
+		if ts == nil {
+			ts = &tierStats{}
+			p.tiers[x.tier] = ts
+		}
+		ts.requests += x.outcomes
+		ts.escalations += x.escalations
+		ts.hedges += x.hedges
+		ts.deadlineMisses += x.deadlineMisses
+		ts.escalationFailures += x.escalationFailures
+		for _, v := range x.errVals {
+			ts.err.Add(v)
+		}
+		for _, v := range x.latVals {
+			ts.latNs.Add(v)
+		}
+		for _, v := range x.invVals {
+			ts.inv.Add(v)
+		}
+	}
+	for i := range x.backendObs {
+		o := &x.backendObs[i]
+		b := &p.backends[o.backend]
+		if !o.billedOnly {
+			b.latNs.Add(o.latNs)
+		}
+		b.billing.AddPriced(o.invCost, o.iaasCost)
+	}
+}
+
+// merge folds o into p (counts exact, streams via Stream.Merge). Both
+// partitions must cover the same backend list.
+func (p *partition) merge(o *partition) {
+	p.requests += o.requests
+	p.failures += o.failures
+	for k, ts := range o.tiers {
+		cp := *ts
+		agg := p.tiers[k]
+		if agg == nil {
+			agg = &tierStats{}
+			p.tiers[k] = agg
+		}
+		agg.merge(&cp)
+	}
+	for j := range o.backends {
+		p.backends[j].latNs.Merge(o.backends[j].latNs)
+		p.backends[j].billing.Merge(o.backends[j].billing)
+	}
+}
+
+// telemetryShard is one stripe of the telemetry: the embedded global
+// partition plus this stripe's slice of every tenant's partition. The
+// padding keeps independently-locked shards off each other's cache
+// lines.
+type telemetryShard struct {
+	mu sync.Mutex
+	partition
+	tenants map[string]*partition
+	_       [64]byte
 }
 
 type tierStats struct {
@@ -96,14 +179,11 @@ func newTelemetry(names []string, shards int) *Telemetry {
 	if shards <= 0 {
 		shards = defaultTelemetryShards()
 	}
-	t := &Telemetry{shards: make([]telemetryShard, shards)}
+	t := &Telemetry{shards: make([]telemetryShard, shards), names: names}
 	for i := range t.shards {
 		sh := &t.shards[i]
-		sh.tiers = make(map[string]*tierStats)
-		sh.backends = make([]backendStats, len(names))
-		for j, n := range names {
-			sh.backends[j].name = n
-		}
+		sh.partition = *newPartition(names)
+		sh.tenants = make(map[string]*partition)
 	}
 	t.pool.New = func() any {
 		return &t.shards[t.rr.Add(1)%uint64(len(t.shards))]
@@ -119,6 +199,9 @@ func newTelemetry(names []string, shards int) *Telemetry {
 // the former observe-as-you-go accounting.
 type telemetryTxn struct {
 	tier string
+	// tenant selects the per-tenant partition the transaction also
+	// folds into ("" = global stripe only, the allocation-free path).
+	tenant string
 	// outcomes counts finished dispatches, failures dispatches that
 	// produced no result; both count toward total requests but only
 	// outcomes create tier rows.
@@ -146,9 +229,11 @@ type backendObs struct {
 	billedOnly bool
 }
 
-// reset rewinds the transaction for a new tier, keeping capacity.
-func (x *telemetryTxn) reset(tier string) {
+// reset rewinds the transaction for a new tier and tenant, keeping
+// capacity.
+func (x *telemetryTxn) reset(tier, tenant string) {
 	x.tier = tier
+	x.tenant = tenant
 	x.outcomes, x.failures = 0, 0
 	x.escalations, x.hedges, x.deadlineMisses, x.escalationFailures = 0, 0, 0, 0
 	x.errVals = x.errVals[:0]
@@ -201,40 +286,22 @@ func (x *telemetryTxn) addEscalationFailure() { x.escalationFailures++ }
 // addFailure counts a dispatch that produced no result at all.
 func (x *telemetryTxn) addFailure() { x.failures++ }
 
-// commit applies the transaction to one shard under a single lock.
+// commit applies the transaction to one shard under a single lock: the
+// global stripe always, and the tenant's partition of the same shard
+// when the ticket named one. The tenant fold allocates only the first
+// time a tenant lands on a shard; the tenant-less path takes one
+// predictable branch.
 func (t *Telemetry) commit(x *telemetryTxn) {
 	sh := t.pool.Get().(*telemetryShard)
 	sh.mu.Lock()
-	sh.requests += x.outcomes + x.failures
-	sh.failures += x.failures
-	if x.outcomes > 0 || x.escalationFailures > 0 {
-		ts := sh.tiers[x.tier]
-		if ts == nil {
-			ts = &tierStats{}
-			sh.tiers[x.tier] = ts
+	sh.partition.apply(x)
+	if x.tenant != "" {
+		tn := sh.tenants[x.tenant]
+		if tn == nil {
+			tn = newPartition(t.names)
+			sh.tenants[x.tenant] = tn
 		}
-		ts.requests += x.outcomes
-		ts.escalations += x.escalations
-		ts.hedges += x.hedges
-		ts.deadlineMisses += x.deadlineMisses
-		ts.escalationFailures += x.escalationFailures
-		for _, v := range x.errVals {
-			ts.err.Add(v)
-		}
-		for _, v := range x.latVals {
-			ts.latNs.Add(v)
-		}
-		for _, v := range x.invVals {
-			ts.inv.Add(v)
-		}
-	}
-	for i := range x.backendObs {
-		o := &x.backendObs[i]
-		b := &sh.backends[o.backend]
-		if !o.billedOnly {
-			b.latNs.Add(o.latNs)
-		}
-		b.billing.AddPriced(o.invCost, o.iaasCost)
+		tn.apply(x)
 	}
 	sh.mu.Unlock()
 	t.pool.Put(sh)
@@ -278,50 +345,17 @@ func (t *Telemetry) Billing(backend int) costmodel.Billing {
 	return agg
 }
 
-// snapshot renders the wire view by merging every shard. trackerP95
-// supplies the dispatcher's cached per-backend hedging estimates (ns;
-// NaN when unknown). Shards are locked one at a time, so a snapshot in
-// flight never stalls more than one concurrent dispatch commit.
-func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.TelemetrySnapshot {
-	var requests, failures int64
-	tiers := make(map[string]*tierStats)
-	var backends []backendStats
-	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.Lock()
-		requests += sh.requests
-		failures += sh.failures
-		for k, ts := range sh.tiers {
-			cp := *ts
-			agg := tiers[k]
-			if agg == nil {
-				agg = &tierStats{}
-				tiers[k] = agg
-			}
-			agg.merge(&cp)
-		}
-		if backends == nil {
-			backends = make([]backendStats, len(sh.backends))
-			for j := range sh.backends {
-				backends[j].name = sh.backends[j].name
-			}
-		}
-		for j := range sh.backends {
-			backends[j].latNs.Merge(sh.backends[j].latNs)
-			backends[j].billing.Merge(sh.backends[j].billing)
-		}
-		sh.mu.Unlock()
-	}
-
-	snap := api.TelemetrySnapshot{Requests: requests, Failures: failures}
+// renderTiers flattens a merged tier map into sorted wire rows.
+func renderTiers(tiers map[string]*tierStats) []api.TierTelemetry {
 	keys := make([]string, 0, len(tiers))
 	for k := range tiers {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	rows := make([]api.TierTelemetry, 0, len(keys))
 	for _, k := range keys {
 		ts := tiers[k]
-		snap.Tiers = append(snap.Tiers, api.TierTelemetry{
+		rows = append(rows, api.TierTelemetry{
 			Tier:               k,
 			Requests:           ts.requests,
 			Escalations:        ts.escalations,
@@ -335,15 +369,28 @@ func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.Telemetry
 			MeanCostUSD:        ts.inv.Mean,
 		})
 	}
+	return rows
+}
+
+// renderBackends flattens merged backend stripes into wire rows.
+// trackerP95 supplies the dispatcher's cached hedging estimates (nil for
+// tenant partitions — the estimate is a dispatcher-global order
+// statistic, not a per-tenant one). skipIdle drops backends the
+// partition never touched, keeping tenant rollups compact.
+func renderBackends(backends []backendStats, trackerP95 func(backend int) float64, skipIdle bool) []api.BackendTelemetry {
+	var rows []api.BackendTelemetry
 	for i := range backends {
 		b := &backends[i]
+		if skipIdle && b.billing.Invocations == 0 && b.latNs.N == 0 {
+			continue
+		}
 		p95 := 0.0
 		if trackerP95 != nil {
 			if v := trackerP95(i); !math.IsNaN(v) {
 				p95 = v / 1e6
 			}
 		}
-		snap.Backends = append(snap.Backends, api.BackendTelemetry{
+		rows = append(rows, api.BackendTelemetry{
 			Backend:       b.name,
 			Invocations:   int64(b.billing.Invocations),
 			MeanLatencyMS: b.latNs.Mean / 1e6,
@@ -352,5 +399,71 @@ func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.Telemetry
 			IaaSUSD:       b.billing.IaaSTotal,
 		})
 	}
+	return rows
+}
+
+// renderTenant flattens one tenant's merged partition into its wire row.
+func renderTenant(id string, p *partition) api.TenantTelemetry {
+	return api.TenantTelemetry{
+		Tenant:   id,
+		Requests: p.requests,
+		Failures: p.failures,
+		Tiers:    renderTiers(p.tiers),
+		Backends: renderBackends(p.backends, nil, true),
+	}
+}
+
+// snapshot renders the wire view by merging every shard: the global
+// stripe plus the per-tenant rollup. trackerP95 supplies the
+// dispatcher's cached per-backend hedging estimates (ns; NaN when
+// unknown). Shards are locked one at a time, so a snapshot in flight
+// never stalls more than one concurrent dispatch commit.
+func (t *Telemetry) snapshot(trackerP95 func(backend int) float64) api.TelemetrySnapshot {
+	agg := newPartition(t.names)
+	tenants := make(map[string]*partition)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		agg.merge(&sh.partition)
+		for id, tn := range sh.tenants {
+			dst := tenants[id]
+			if dst == nil {
+				dst = newPartition(t.names)
+				tenants[id] = dst
+			}
+			dst.merge(tn)
+		}
+		sh.mu.Unlock()
+	}
+	snap := api.TelemetrySnapshot{
+		Requests: agg.requests,
+		Failures: agg.failures,
+		Tiers:    renderTiers(agg.tiers),
+		Backends: renderBackends(agg.backends, trackerP95, false),
+	}
+	ids := make([]string, 0, len(tenants))
+	for id := range tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		snap.Tenants = append(snap.Tenants, renderTenant(id, tenants[id]))
+	}
 	return snap
+}
+
+// TenantSnapshot renders one tenant's partition merged across shards
+// (the zero row when the tenant was never observed). The anonymous
+// tenant "" has no partition — its traffic is only the global stripe.
+func (t *Telemetry) TenantSnapshot(tenant string) api.TenantTelemetry {
+	agg := newPartition(t.names)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if tn := sh.tenants[tenant]; tn != nil {
+			agg.merge(tn)
+		}
+		sh.mu.Unlock()
+	}
+	return renderTenant(tenant, agg)
 }

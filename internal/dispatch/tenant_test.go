@@ -1,0 +1,197 @@
+package dispatch
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/ensemble"
+)
+
+// TestTenantPartitions pins the striping semantics: a ticket's Tenant
+// folds the same committed transaction into that tenant's partition,
+// anonymous traffic lands only in the global stripe, and the snapshot's
+// Tenants rollup is the sorted set of named partitions.
+func TestTenantPartitions(t *testing.T) {
+	m := visionMatrix(t)
+	d := New(NewReplayBackends(m), Options{DisableHedging: true})
+	reqs := ReplayRequests(m)
+	ctx := context.Background()
+	single := ensemble.Policy{Kind: ensemble.Single, Primary: 0}
+
+	run := func(tier, tenant string, n int) float64 {
+		t.Helper()
+		var errSum float64
+		tk := Ticket{Tier: tier, Tenant: tenant, Policy: single}
+		for i := 0; i < n; i++ {
+			o, err := d.Do(ctx, reqs[i%len(reqs)], tk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errSum += o.Err
+		}
+		return errSum
+	}
+	acmeErr := run("part/hot", "acme", 10)
+	run("part/hot", "blue", 7)
+	run("part/cold", "blue", 5)
+	run("part/hot", "", 3) // anonymous: global stripe only
+
+	acme := d.TenantSnapshot("acme")
+	if acme.Tenant != "acme" || acme.Requests != 10 || acme.Failures != 0 {
+		t.Fatalf("acme partition %+v, want 10 requests", acme)
+	}
+	if len(acme.Tiers) != 1 || acme.Tiers[0].Tier != "part/hot" || acme.Tiers[0].Graded != 10 {
+		t.Fatalf("acme tiers %+v, want part/hot graded 10", acme.Tiers)
+	}
+	if want := acmeErr / 10; math.Abs(acme.Tiers[0].MeanErr-want) > 1e-9 {
+		t.Fatalf("acme mean err %v, want %v", acme.Tiers[0].MeanErr, want)
+	}
+	var acmeInv int64
+	for _, b := range acme.Backends {
+		acmeInv += b.Invocations
+	}
+	if acmeInv != 10 {
+		t.Fatalf("acme backend invocations %d, want 10 (Single policy: one per request)", acmeInv)
+	}
+
+	blue := d.TenantSnapshot("blue")
+	if blue.Requests != 12 || len(blue.Tiers) != 2 {
+		t.Fatalf("blue partition %+v, want 12 requests over 2 tiers", blue)
+	}
+	if ghost := d.TenantSnapshot("ghost"); ghost.Tenant != "ghost" || ghost.Requests != 0 || len(ghost.Tiers) != 0 {
+		t.Fatalf("unknown tenant must render the zero row, got %+v", ghost)
+	}
+	if anon := d.TenantSnapshot(""); anon.Requests != 0 {
+		t.Fatalf("anonymous traffic must not grow a partition, got %+v", anon)
+	}
+
+	snap := d.Snapshot()
+	if snap.Requests != 25 {
+		t.Fatalf("global requests %d, want 25 (tenants plus anonymous)", snap.Requests)
+	}
+	if len(snap.Tenants) != 2 || snap.Tenants[0].Tenant != "acme" || snap.Tenants[1].Tenant != "blue" {
+		t.Fatalf("tenant rollup %+v, want sorted [acme blue]", snap.Tenants)
+	}
+	if got := snap.Tenants[0].Requests + snap.Tenants[1].Requests; got != 22 {
+		t.Fatalf("rollup sums to %d, want 22 — anonymous traffic leaked into a partition", got)
+	}
+}
+
+// TestTenantDispatchAllocs pins the partitioned commit at the same
+// budget as the global-only path: striping a tenant must not put
+// allocations on the replay fast path once the partition exists.
+func TestTenantDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budget measured without -race")
+	}
+	m := visionMatrix(t)
+	d := New(NewReplayBackends(m), Options{DisableHedging: true})
+	reqs := ReplayRequests(m)
+	tk := Ticket{Tier: "alloc/tenant", Tenant: "acme", Policy: ensemble.Policy{Kind: ensemble.Single, Primary: 0}}
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		if _, err := d.Do(ctx, reqs[i%len(reqs)], tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(300, func() {
+		if _, err := d.Do(ctx, reqs[i%len(reqs)], tk); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > replayAllocBudget {
+		t.Fatalf("%v allocs/op with a tenant partition, budget %v", avg, replayAllocBudget)
+	}
+}
+
+// TestTenantConcurrentReconciliation mixes tenanted and anonymous
+// traffic, singles and batches, across goroutines, then proves the
+// partitions reconcile exactly: per tenant the partition equals ground
+// truth, and the global stripe equals anonymous plus every partition.
+func TestTenantConcurrentReconciliation(t *testing.T) {
+	m := visionMatrix(t)
+	d := New(NewReplayBackends(m), Options{DisableHedging: true})
+	reqs := ReplayRequests(m)
+	nv := m.NumVersions()
+	tenants := []string{"acme", "blue", ""}
+	p := ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: nv - 1, Threshold: 0.5}
+
+	const (
+		workers  = 6
+		perWork  = 300
+		batchLen = 8
+	)
+	counts := make([]map[string]int64, workers)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		cnt := map[string]int64{}
+		counts[w] = cnt
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var outs []Outcome
+			var errs []error
+			for i := 0; i < perWork; i++ {
+				tenant := tenants[(w+i)%len(tenants)]
+				tk := Ticket{Tier: "recon/only", Tenant: tenant, Policy: p}
+				if i%8 == 7 {
+					lo := (w*perWork + i) % (len(reqs) - batchLen)
+					var err error
+					outs, errs, err = d.DoBatch(ctx, reqs[lo:lo+batchLen], tk, outs, errs)
+					if err != nil {
+						panic(err)
+					}
+					for _, e := range errs {
+						if e != nil {
+							panic(e)
+						}
+					}
+					cnt[tenant] += batchLen
+					continue
+				}
+				if _, err := d.Do(ctx, reqs[(w*perWork+i)%len(reqs)], tk); err != nil {
+					panic(err)
+				}
+				cnt[tenant]++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := map[string]int64{}
+	var total int64
+	for _, cnt := range counts {
+		for k, n := range cnt {
+			want[k] += n
+			total += n
+		}
+	}
+	var partitioned int64
+	for _, tenant := range tenants {
+		if tenant == "" {
+			continue
+		}
+		snap := d.TenantSnapshot(tenant)
+		if snap.Requests != want[tenant] || snap.Failures != 0 {
+			t.Fatalf("%s: partition %d requests, ground truth %d", tenant, snap.Requests, want[tenant])
+		}
+		partitioned += snap.Requests
+	}
+	global := d.Snapshot()
+	if global.Requests != total {
+		t.Fatalf("global %d requests, ground truth %d", global.Requests, total)
+	}
+	var rollup int64
+	for _, tn := range global.Tenants {
+		rollup += tn.Requests
+	}
+	if rollup != partitioned || total-partitioned != want[""] {
+		t.Fatalf("rollup %d, partitions %d, anonymous %d of %d — stripes do not reconcile",
+			rollup, partitioned, want[""], total)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/admit"
+	"github.com/toltiers/toltiers/internal/coalesce"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/rulegen"
+)
+
+// The coalescing dispatch path: with Config.Coalesce set, POST /dispatch
+// routes through internal/coalesce instead of admitting and dispatching
+// each request alone. The handler resolves the rule and builds the
+// ticket exactly as the serial path does, then hands the request to the
+// coalescer; admission moves from per-request to per-flush — the gate
+// below runs AdmitBatch once per window (n bucket tokens, one in-flight
+// slot), so a shed rejects the whole window before the dispatcher
+// leases anything and shed traffic never enters a dispatch window.
+
+// servedRule is the flush grant's Served payload: what the handler
+// needs to render each item's response — the rule the window was
+// actually dispatched under (the brownout tier's when the gate
+// downgraded it).
+type servedRule struct {
+	rule       rulegen.Rule
+	obj        rulegen.Objective
+	downgraded bool
+}
+
+// shedError transports a flush-time admission shed back to each waiting
+// handler, which renders it exactly like a serial-path shed (429/503
+// with Retry-After).
+type shedError struct {
+	dec admit.Decision
+}
+
+func (e *shedError) Error() string {
+	return "admission: " + e.dec.Verdict.String() + " (retry after " + e.dec.RetryAfter.String() + ")"
+}
+
+// splitTierKey inverts dispatch.TierKey ("objective/tolerance"):
+// objectives never contain '/', so the last slash is the separator.
+func splitTierKey(tier string) (rulegen.Objective, float64, bool) {
+	i := strings.LastIndexByte(tier, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	obj, err := rulegen.ParseObjective(tier[:i])
+	if err != nil {
+		return "", 0, false
+	}
+	tol, err := strconv.ParseFloat(tier[i+1:], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return obj, tol, true
+}
+
+// coalesceGate admits one window flush. It mirrors admitRequest's
+// verdict handling — brownout downgrades re-resolve the whole window at
+// the cheaper tier (every member shares the ticket, so the rewrite is
+// coherent), and an unsheddable downgrade falls back to Accept — but
+// draws the window's n tokens and a single in-flight slot in one
+// AdmitBatch call. The returned Release hands the slot back after the
+// flush, which keeps brownout transitions lossless exactly like the
+// serial path: in-flight windows complete under the policy they were
+// admitted with.
+func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) {
+	obj, tol, ok := splitTierKey(t.Tier)
+	if !ok {
+		// Unreachable from the handler, which built the key with
+		// TierKey; fail the window rather than dispatch unadmitted.
+		return coalesce.Grant{}, errBadTierKey(t.Tier)
+	}
+	rule, err := s.registry().Resolve(tol, obj)
+	if err != nil {
+		return coalesce.Grant{}, err
+	}
+	floor := s.policyFloor(rule.Candidate.Policy)
+	dec := s.adm.AdmitBatch(time.Now(), t.Tenant, rule.Tolerance, t.Budget, floor, n)
+	if dec.Verdict.Shed() {
+		return coalesce.Grant{}, &shedError{dec: dec}
+	}
+	if dec.Verdict == admit.Downgrade {
+		if drule, rerr := s.registry().Resolve(dec.Tolerance, obj); rerr == nil && drule.Tolerance > rule.Tolerance {
+			rule = drule
+		} else {
+			dec.Verdict = admit.Accept
+		}
+	}
+	t.Tier = dispatch.TierKey(string(obj), rule.Tolerance)
+	t.Policy = rule.Candidate.Policy
+	t.Downgraded = dec.Verdict == admit.Downgrade
+	return coalesce.Grant{
+		Ticket:  t,
+		Served:  servedRule{rule: rule, obj: obj, downgraded: t.Downgraded},
+		Release: func() { s.adm.Done(dec) },
+	}, nil
+}
+
+type errBadTierKey string
+
+func (e errBadTierKey) Error() string { return "coalesce: malformed tier key " + strconv.Quote(string(e)) }

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/toltiers/toltiers/internal/admit"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/coalesce"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// coalesceFixture builds the small vision registry the coalescing
+// server tests share.
+func coalesceFixture(t testing.TB) (*tiers.Registry, *profile.Matrix, *dataset.VisionCorpus) {
+	t.Helper()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 240, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	cfg := rulegen.DefaultConfig()
+	cfg.MinTrials = 5
+	cfg.MaxTrials = 24
+	cfg.ThresholdPoints = 4
+	cfg.IncludePickBest = false
+	g := rulegen.New(m, nil, cfg)
+	reg := tiers.NewRegistry(c.Service, g.Generate([]float64{0, 0.01, 0.05, 0.10}, rulegen.MinimizeLatency))
+	return reg, m, c
+}
+
+// coalesceServer builds a serving node with dispatch coalescing armed
+// (and optionally admission) over the shared fixture.
+func coalesceServer(t testing.TB, reg *tiers.Registry, m *profile.Matrix, c *dataset.VisionCorpus,
+	copts coalesce.Options, acfg admit.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewWithConfig(reg, c.Requests, Config{Matrix: m, Coalesce: &copts, Admission: acfg})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestSplitTierKey(t *testing.T) {
+	obj, tol, ok := splitTierKey("response-time/0.05")
+	if !ok || obj != rulegen.MinimizeLatency || tol != 0.05 {
+		t.Fatalf("got %v/%v/%v", obj, tol, ok)
+	}
+	for _, bad := range []string{"", "noslash", "bogus-objective/0.05", "response-time/notanumber"} {
+		if _, _, ok := splitTierKey(bad); ok {
+			t.Fatalf("%q parsed as a tier key", bad)
+		}
+	}
+}
+
+// dispatchEcho is the deterministic slice of a dispatch response
+// (latency and cost renderings ride the simulated clock).
+type dispatchEcho struct {
+	class  int
+	conf   float64
+	tier   float64
+	policy string
+	esc    bool
+}
+
+// TestCoalescedDispatchParity proves the HTTP contract is unchanged by
+// coalescing: a coalesced node and a serial node over the same registry
+// and corpus answer POST /dispatch identically (grade, policy, tier,
+// escalation), and the coalesced node's per-tenant telemetry is
+// reachable both through GET /telemetry?tenant= and the snapshot's
+// rollup.
+func TestCoalescedDispatchParity(t *testing.T) {
+	reg, m, corpus := coalesceFixture(t)
+	srv, ts := coalesceServer(t, reg, m, corpus, coalesce.Options{MaxBatch: 8}, admit.Config{})
+	serialSrv := New(reg, corpus.Requests)
+	serialTS := httptest.NewServer(serialSrv)
+	t.Cleanup(serialSrv.Close)
+	t.Cleanup(serialTS.Close)
+	ctx := context.Background()
+
+	cl := client.New(ts.URL, ts.Client()).WithTenant("acme")
+	serialCl := client.New(serialTS.URL, serialTS.Client())
+
+	const n = 96
+	want := make([]dispatchEcho, n)
+	for i := 0; i < n; i++ {
+		res, err := serialCl.Dispatch(ctx, corpus.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = dispatchEcho{class: *res.Class, conf: res.Confidence, tier: res.Tier, policy: res.Policy, esc: res.Escalated}
+	}
+
+	got := make([]dispatchEcho, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := cl.Dispatch(ctx, corpus.Requests[i].ID, 0.05, rulegen.MinimizeLatency, 0)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				got[i] = dispatchEcho{class: *res.Class, conf: res.Confidence, tier: res.Tier, policy: res.Policy, esc: res.Escalated}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("request %d diverged under coalescing:\ncoalesced %+v\nserial    %+v", i, got[i], want[i])
+		}
+	}
+
+	st := srv.Coalescer().Stats()
+	if st.Bypassed+st.Coalesced != n || st.Shed != 0 || st.Left != 0 {
+		t.Fatalf("coalescer stats %+v, want %d delivered", st, n)
+	}
+
+	tn, err := cl.TelemetryForTenant(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Tenant != "acme" || tn.Requests != n {
+		t.Fatalf("tenant partition %+v, want %d requests", tn, n)
+	}
+	snap, err := cl.Telemetry(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != n || len(snap.Tenants) != 1 || snap.Tenants[0].Requests != n {
+		t.Fatalf("snapshot rollup %+v, want one tenant with %d requests", snap.Tenants, n)
+	}
+	if ghost, err := cl.TelemetryForTenant(ctx, "ghost"); err != nil || ghost.Requests != 0 {
+		t.Fatalf("unknown tenant: %+v, %v — want the zero row", ghost, err)
+	}
+}
+
+// TestCoalescedShedWireFormat proves a flush-time admission shed
+// renders exactly like a serial-path shed: 429 with both Retry-After
+// forms, even though the rejection happened inside the coalesce gate.
+func TestCoalescedShedWireFormat(t *testing.T) {
+	reg, m, corpus := coalesceFixture(t)
+	_, ts := coalesceServer(t, reg, m, corpus, coalesce.Options{}, admit.Config{
+		Enabled:     true,
+		DefaultRate: admit.Rate{PerSec: 0.001, Burst: 1},
+	})
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// The single burst token admits one request through the gate...
+	if _, err := cl.Dispatch(ctx, corpus.Requests[0].ID, 0.05, rulegen.MinimizeLatency, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...the next flush sheds, and the wire shape matches the serial path.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/dispatch",
+		strings.NewReader(`{"request_id": `+strconv.Itoa(corpus.Requests[0].ID)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Tolerance", "0.05")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q: whole positive seconds required", resp.Header.Get("Retry-After"))
+	}
+	if ms, err := strconv.ParseFloat(resp.Header.Get("X-Toltiers-Retry-After-MS"), 64); err != nil || ms <= 0 {
+		t.Fatalf("X-Toltiers-Retry-After-MS %q invalid", resp.Header.Get("X-Toltiers-Retry-After-MS"))
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 //	  Objective: response-time
 //	  body: {"request_ids": [1234, 1235, 1236], "deadline_ms": 40}
 //	GET /telemetry -> api.TelemetrySnapshot
+//	GET /telemetry?tenant=acme -> api.TenantTelemetry
 
 // parseAnnotation reads the §IV-A tier annotation headers shared by
 // /compute and /dispatch. A missing Objective defaults to
@@ -103,22 +105,56 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	rule, dec, admitted := s.admitRequest(w, r, obj, rule, budget, 1)
-	if !admitted {
-		return
-	}
-	defer s.adm.Done(dec)
-	ticket := dispatch.Ticket{
-		Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
-		Tenant:     r.Header.Get("Tenant"),
-		Policy:     rule.Candidate.Policy,
-		Budget:     budget,
-		Downgraded: dec.Verdict == admit.Downgrade,
-	}
-	out, err := s.disp.Do(r.Context(), req, ticket)
-	if err != nil {
-		httpError(w, http.StatusBadGateway, "%v", err)
-		return
+	var (
+		out        dispatch.Outcome
+		downgraded bool
+	)
+	if s.coal != nil {
+		// Coalescing path: the ticket is the coalescing key, so it
+		// carries the resolved tier as-is; admission happens per window
+		// in the coalesce gate, which also applies any brownout
+		// downgrade to the whole window (see coalesce.go).
+		ticket := dispatch.Ticket{
+			Tier:   dispatch.TierKey(string(obj), rule.Tolerance),
+			Tenant: r.Header.Get("Tenant"),
+			Policy: rule.Candidate.Policy,
+			Budget: budget,
+		}
+		var served any
+		out, served, err = s.coal.Do(r.Context(), req, ticket)
+		if err != nil {
+			var sh *shedError
+			if errors.As(err, &sh) {
+				writeShed(w, sh.dec)
+				return
+			}
+			httpError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		if sv, ok := served.(servedRule); ok {
+			rule, downgraded = sv.rule, sv.downgraded
+		}
+	} else {
+		var dec admit.Decision
+		var admitted bool
+		rule, dec, admitted = s.admitRequest(w, r, obj, rule, budget, 1)
+		if !admitted {
+			return
+		}
+		defer s.adm.Done(dec)
+		downgraded = dec.Verdict == admit.Downgrade
+		ticket := dispatch.Ticket{
+			Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
+			Tenant:     r.Header.Get("Tenant"),
+			Policy:     rule.Candidate.Policy,
+			Budget:     budget,
+			Downgraded: downgraded,
+		}
+		out, err = s.disp.Do(r.Context(), req, ticket)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
 	}
 	resp := api.DispatchResult{
 		ComputeResult:    computeResult(req, out.Result, rule, obj, out.Latency, out.InvCost, out.Escalated),
@@ -126,7 +162,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		Started:          out.Started,
 		Hedged:           out.Hedged,
 		DeadlineExceeded: out.DeadlineExceeded,
-		Downgraded:       ticket.Downgraded,
+		Downgraded:       downgraded,
 		IaaSUSD:          out.IaaSCost,
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -158,8 +194,14 @@ func computeResult(req *service.Request, res service.Result, rule rulegen.Rule, 
 	return out
 }
 
-func (s *Server) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+// handleTelemetry serves the global snapshot (with its per-tenant
+// rollup), or a single tenant's partition when ?tenant= names one.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		_ = json.NewEncoder(w).Encode(s.disp.TenantSnapshot(tenant))
+		return
+	}
 	_ = json.NewEncoder(w).Encode(s.disp.Snapshot())
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/coalesce"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
 	"github.com/toltiers/toltiers/internal/profile"
@@ -55,6 +56,14 @@ type Config struct {
 	// constructed but disabled; POST /admission/config can enable it at
 	// runtime).
 	Admission admit.Config
+	// Coalesce, when non-nil, inserts a cross-request coalescer between
+	// POST /dispatch and the dispatcher: concurrent single dispatches of
+	// the same resolved tier gather in time/size windows and flush as
+	// one DoBatch, admitted per window through AdmitBatch (see
+	// internal/coalesce and coalesce.go). Other endpoints keep the
+	// serial per-request path. The Gate field is overwritten with the
+	// node's admission gate.
+	Coalesce *coalesce.Options
 	// DriftInterval is the drift loop's check cadence (0 = 2s; < 0
 	// disables the loop entirely — Check is then never called).
 	DriftInterval time.Duration
@@ -89,6 +98,10 @@ type Server struct {
 	// adm gates every tier-execution handler before the dispatcher
 	// leases a backend slot (see admission.go).
 	adm *admit.Controller
+
+	// coal, when configured, coalesces POST /dispatch traffic into
+	// batch windows (nil = serial per-request path; see coalesce.go).
+	coal *coalesce.Coalescer
 
 	// matrix is the profiled training corpus backing the rule-generation
 	// endpoints; nil disables them (see rules.go). Guarded by jobMu — a
@@ -176,6 +189,11 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	dopts.Observer = s.mon
 	s.disp = dispatch.New(s.backends, dopts)
 	s.adm = admit.New(cfg.Admission)
+	if cfg.Coalesce != nil {
+		copts := *cfg.Coalesce
+		copts.Gate = s.coalesceGate
+		s.coal = coalesce.New(s.disp, copts)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compute", s.handleCompute)
@@ -248,6 +266,10 @@ func (s *Server) DriftMonitor() *drift.Monitor { return s.mon }
 
 // Admission exposes the node's admission controller.
 func (s *Server) Admission() *admit.Controller { return s.adm }
+
+// Coalescer exposes the node's dispatch coalescer (nil when coalescing
+// is not configured).
+func (s *Server) Coalescer() *coalesce.Coalescer { return s.coal }
 
 // trainingMatrix returns the matrix backing rule generation (nil
 // disables the endpoints); a successful drift re-profile swaps it.

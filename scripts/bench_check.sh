@@ -53,7 +53,7 @@ status=0
 echo "bench_check: comparing against $BASELINE (threshold +${THRESHOLD}%)"
 while read -r name fresh_ns; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
+        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
         *) continue ;;
     esac
     base_ns="$(awk -v n="$name" '$1 == n {print $2}' /tmp/bench_base.$$)"
@@ -75,7 +75,7 @@ done < /tmp/bench_fresh.$$
 # otherwise losing the benchmark silently loses its protection.
 while read -r name _; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
+        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
         *) continue ;;
     esac
     if ! awk -v n="$name" '$1 == n {found=1} END {exit !found}' /tmp/bench_fresh.$$; then

@@ -34,6 +34,7 @@ import (
 	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/coalesce"
 	"github.com/toltiers/toltiers/internal/dataset"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
@@ -141,6 +142,39 @@ type (
 	// Perturbation is one scripted distortion of a backend's behaviour.
 	Perturbation = dispatch.Perturbation
 )
+
+// Cross-request coalescing (batch throughput for single-dispatch
+// traffic).
+type (
+	// Coalescer gathers concurrent single dispatches of the same
+	// resolved ticket into time/size-windowed DoBatch calls, fanning
+	// per-item outcomes back to each waiting caller. An idle coalescer
+	// adds zero latency (the zero-wait bypass); a loaded one adds at
+	// most one window of queueing delay and pays the ~125 ns/item fused
+	// batch path instead of the serial path per request. Outcomes are
+	// bit-identical to Dispatcher.Do per request — the equivalence tests
+	// in internal/coalesce pin this.
+	Coalescer = coalesce.Coalescer
+	// CoalesceOptions parameterizes a Coalescer (size trigger, 100–500 µs
+	// time trigger, admission gate).
+	CoalesceOptions = coalesce.Options
+	// CoalesceGate admits one window flush (compose with an
+	// AdmissionController's AdmitBatch: n bucket tokens, one slot).
+	CoalesceGate = coalesce.Gate
+	// CoalesceGrant is a gate's admission of one flush.
+	CoalesceGrant = coalesce.Grant
+	// CoalesceStats counts a coalescer's traffic shape.
+	CoalesceStats = coalesce.Stats
+	// TenantTelemetry is one tenant's telemetry partition: per-tier
+	// streams and per-backend billing attributed to that tenant alone
+	// (GET /telemetry?tenant=..., Dispatcher.TenantSnapshot).
+	TenantTelemetry = api.TenantTelemetry
+)
+
+// NewCoalescer builds a coalescer in front of a dispatcher. Servers
+// built with NewHTTPServer construct one automatically from
+// ServerConfig.Coalesce, gated by the node's admission controller.
+func NewCoalescer(d *Dispatcher, opts CoalesceOptions) *Coalescer { return coalesce.New(d, opts) }
 
 // Admission & overload control (the QoS layer in front of the
 // dispatcher).
