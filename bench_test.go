@@ -28,6 +28,7 @@ import (
 	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/rulegen/shard"
 	"github.com/toltiers/toltiers/internal/speech"
+	"github.com/toltiers/toltiers/internal/trace"
 	"github.com/toltiers/toltiers/internal/vision"
 )
 
@@ -453,6 +454,22 @@ func BenchmarkDispatch(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatches/sec")
 	})
+	b.Run("serial-traced", func(b *testing.B) {
+		// The recorder-on twin of /serial: same tier, same requests,
+		// fresh dispatcher with the flight recorder attached at its
+		// defaults. scripts/bench_check.sh gates this within 10% of
+		// /serial and at zero allocs/op — the recording contract.
+		b.ReportAllocs()
+		td := toltiers.NewDispatcher(toltiers.NewReplayBackends(matrix),
+			toltiers.DispatchOptions{Recorder: toltiers.NewTraceRecorder(toltiers.TraceOptions{})})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := td.Do(ctx, reqs[i%len(reqs)], ticket); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatches/sec")
+	})
 	b.Run("parallel", func(b *testing.B) {
 		runParallel(b, d)
 	})
@@ -632,6 +649,47 @@ func BenchmarkDriftObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mon.ObserveOutcome(tier, &o)
+	}
+}
+
+// BenchmarkTraceObserve measures the flight recorder's Observe in
+// isolation — dispatch counter, tail-threshold feed, head sampler, and
+// (on kept spans) the ring commit. This is the overhead recording adds
+// to every dispatch once a recorder hangs on DispatchOptions.Recorder;
+// it must stay allocation-free (the alloc-regression test in
+// internal/trace pins the same property) and scripts/bench_check.sh
+// gates the ns/op.
+func BenchmarkTraceObserve(b *testing.B) {
+	rec := trace.New(trace.Options{})
+	ctx := context.Background()
+	var s trace.Span
+	var c trace.Cache
+	// Stationary latency jitter (a cheap xorshift), so tail-exemplar
+	// keeps stay at their steady-state rate instead of a ramp turning
+	// every observation into a "slow" commit.
+	x := uint64(0x9e3779b97f4a7c15)
+	jitter := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return 1_000_000 + int64(x&1023)
+	}
+	// Warm the tier's tail window so the steady state includes a live
+	// p99 threshold.
+	for i := 0; i < 256; i++ {
+		s.Reset("bench/0.05", "tenant", trace.AdmitAccepted)
+		s.LatencyNs = jitter()
+		rec.Observe(ctx, &s, &c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset("bench/0.05", "tenant", trace.AdmitAccepted)
+		s.LatencyNs = jitter()
+		l := s.Leg()
+		l.Backend = "replay:v0"
+		l.ServiceNs = s.LatencyNs
+		rec.Observe(ctx, &s, &c)
 	}
 }
 

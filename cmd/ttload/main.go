@@ -37,6 +37,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/stats"
 	"github.com/toltiers/toltiers/internal/tablewriter"
+	"github.com/toltiers/toltiers/internal/trace"
 	"github.com/toltiers/toltiers/internal/workload"
 )
 
@@ -174,6 +176,7 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", "scripted backend perturbations for in-process mode, e.g. 'backend=0,kind=latency,shape=step,start=1000,magnitude=2/backend=1,kind=accuracy,magnitude=0.5' (kinds latency|accuracy|error; shapes step|ramp|osc; logical time = invocations)")
 		driftOn     = flag.Bool("drift", false, "watch the traffic with a drift monitor (in-process: attached to the dispatcher; remote: reported from the target's GET /drift) and print detector state")
 		driftWindow = flag.Int("drift-window", 64, "dispatches per drift-detector window (in-process -drift)")
+		traceOn     = flag.Bool("trace", false, "record per-dispatch flight spans (in-process: recorder attached to the dispatcher; remote: read from the target's GET /trace/recent) and print the slowest exemplars per tier")
 
 		overload      = flag.Bool("overload", false, "overload scenario: gate in-process dispatch through an admission controller with brownout armed (remote mode: count the target's 429/503 sheds) and report graceful-degradation counters")
 		admitInflight = flag.Int("admit-max-inflight", 0, "admitted in-flight cap for -overload's in-process admission layer (0 = half of -concurrency)")
@@ -223,11 +226,12 @@ func main() {
 	var disp *dispatch.Dispatcher
 	var coal *toltiers.Coalescer
 	var mon *toltiers.DriftMonitor
+	var rec *toltiers.TraceRecorder
 	var ctrl *admit.Controller
 	corpusSize := *corpusN
 	if *target == "" {
 		var reqs []*toltiers.Request
-		disp, reqs, mon = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend, chaos, *driftOn, *driftWindow)
+		disp, reqs, mon, rec = buildReplayRuntime(*svcName, *corpusN, *sleepScale, *perBackend, chaos, *driftOn, *driftWindow, *traceOn)
 		corpusSize = len(reqs)
 		reg := mustRegistry(*svcName, *corpusN, *step)
 		if *coalesceOn {
@@ -569,6 +573,18 @@ func main() {
 			reportDrift(*st)
 		}
 	}
+	if *traceOn {
+		if rec != nil {
+			reportTrace(traceRowsFromSpans(rec.Recent(toltiers.TraceFilter{}, rec.Size())))
+		} else {
+			tr, err := client.New(*target, nil).TraceRecent(context.Background(), "", "", "", 256)
+			if err != nil {
+				log.Printf("trace exemplars: %v", err)
+			} else {
+				reportTrace(traceRowsFromWire(tr.Spans))
+			}
+		}
+	}
 	if *assertMode {
 		if err := assertRun(col, disp, coal); err != nil {
 			log.Fatalf("assert: %v", err)
@@ -759,9 +775,9 @@ func reportAdmission(st api.AdmissionStatus) {
 
 // buildReplayRuntime profiles the corpus and assembles the replay
 // dispatcher, optionally wrapping backends with scripted chaos and
-// attaching a drift monitor.
+// attaching a drift monitor and a flight recorder.
 func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBackend int,
-	chaos []dispatch.ChaosSpec, driftOn bool, driftWindow int) (*dispatch.Dispatcher, []*toltiers.Request, *toltiers.DriftMonitor) {
+	chaos []dispatch.ChaosSpec, driftOn bool, driftWindow int, traceOn bool) (*dispatch.Dispatcher, []*toltiers.Request, *toltiers.DriftMonitor, *toltiers.TraceRecorder) {
 	matrix := mustMatrix(svcName, corpusN)
 	backends := toltiers.NewReplayBackends(matrix)
 	if sleepScale > 0 {
@@ -786,8 +802,128 @@ func buildReplayRuntime(svcName string, corpusN int, sleepScale float64, perBack
 			names, toltiers.DriftBackendBaselines(matrix))
 		opts.Observer = mon
 	}
+	var rec *toltiers.TraceRecorder
+	if traceOn {
+		rec = toltiers.NewTraceRecorder(toltiers.TraceOptions{})
+		opts.Recorder = rec
+	}
 	d := toltiers.NewDispatcher(backends, opts)
-	return d, toltiers.ReplayRequests(matrix), mon
+	return d, toltiers.ReplayRequests(matrix), mon, rec
+}
+
+// traceRow is one exemplar in the -trace report, built from either an
+// in-process recorder span or the wire form of a remote one.
+type traceRow struct {
+	tier, id, kind, admit, legs string
+	latencyMS, parkMS           float64
+	window                      uint64
+}
+
+// traceExemplarsPerTier caps the -trace report at the slowest few
+// spans per tier; the full ring stays queryable over GET /trace/recent.
+const traceExemplarsPerTier = 3
+
+func traceRowsFromSpans(spans []trace.Span) []traceRow {
+	rows := make([]traceRow, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		legs := make([]string, 0, int(s.NLegs))
+		for j := 0; j < int(s.NLegs); j++ {
+			l := &s.Legs[j]
+			legs = append(legs, legString(l.Backend, float64(l.ServiceNs)/1e6, l.Hedge, l.Escalated, l.Cancelled, l.Err))
+		}
+		rows = append(rows, traceRow{
+			tier: s.Tier, id: trace.FormatID(s.ID),
+			kind: trace.KindName(s.Kind), admit: trace.AdmitName(s.Admit),
+			legs:      strings.Join(legs, " | "),
+			latencyMS: float64(s.LatencyNs) / 1e6, parkMS: float64(s.ParkNs) / 1e6,
+			window: s.Window,
+		})
+	}
+	return rows
+}
+
+func traceRowsFromWire(spans []api.TraceSpan) []traceRow {
+	rows := make([]traceRow, 0, len(spans))
+	for _, s := range spans {
+		legs := make([]string, 0, len(s.Legs))
+		for _, l := range s.Legs {
+			legs = append(legs, legString(l.Backend, l.ServiceMS, l.Hedge, l.Escalated, l.Cancelled, l.Error))
+		}
+		rows = append(rows, traceRow{
+			tier: s.Tier, id: s.ID, kind: s.Kind, admit: s.Admit,
+			legs:      strings.Join(legs, " | "),
+			latencyMS: s.LatencyMS, parkMS: s.ParkMS, window: s.Window,
+		})
+	}
+	return rows
+}
+
+func legString(backend string, serviceMS float64, hedge, escalated, cancelled bool, errStr string) string {
+	s := fmt.Sprintf("%s %.2fms", backend, serviceMS)
+	var flags []string
+	if hedge {
+		flags = append(flags, "hedge")
+	}
+	if escalated {
+		flags = append(flags, "esc")
+	}
+	if cancelled {
+		flags = append(flags, "cancelled")
+	}
+	if errStr != "" {
+		flags = append(flags, "err:"+errStr)
+	}
+	if len(flags) > 0 {
+		s += " (" + strings.Join(flags, ",") + ")"
+	}
+	return s
+}
+
+// reportTrace prints the slowest recorded exemplars per tier — head
+// samples plus the always-kept tail (errors, sheds, hedges, slow
+// outliers).
+func reportTrace(rows []traceRow) {
+	if len(rows) == 0 {
+		log.Printf("trace: recorder holds no spans (sampled out or no traffic)")
+		return
+	}
+	byTier := make(map[string][]traceRow)
+	for _, r := range rows {
+		byTier[r.tier] = append(byTier[r.tier], r)
+	}
+	keys := make([]string, 0, len(byTier))
+	for k := range byTier {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := tablewriter.New("slowest trace exemplars (per tier)",
+		"tier", "trace id", "kind", "admit", "latency (ms)", "park (ms)", "window", "legs")
+	for _, k := range keys {
+		rs := byTier[k]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].latencyMS > rs[j].latencyMS })
+		if len(rs) > traceExemplarsPerTier {
+			rs = rs[:traceExemplarsPerTier]
+		}
+		for _, r := range rs {
+			win, park, adm := "-", "-", r.admit
+			if r.window != 0 {
+				win = fmt.Sprint(r.window)
+			}
+			if r.parkMS > 0 {
+				park = fmt.Sprintf("%.3f", r.parkMS)
+			}
+			if adm == "" {
+				adm = "-"
+			}
+			t.AddStrings(r.tier, r.id, r.kind, adm,
+				fmt.Sprintf("%.3f", r.latencyMS), park, win, r.legs)
+		}
+	}
+	t.Caption = "head-sampled plus tail exemplars (errors, sheds, hedges, slow outliers always kept); fetch one by id with GET /trace/{id}"
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // reportDrift prints the drift monitor's detector state and any

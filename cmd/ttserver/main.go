@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"github.com/toltiers/toltiers"
@@ -42,6 +44,12 @@ func main() {
 		coalesceOn     = flag.Bool("coalesce", false, "coalesce concurrent POST /dispatch requests of the same tier into batch windows (zero added latency when idle, at most one window under load)")
 		coalesceWindow = flag.Duration("coalesce-window", 0, "coalescing time trigger (0 = 200µs; clamped to 100µs–500µs)")
 		coalesceMax    = flag.Int("coalesce-max", 0, "coalescing size trigger: flush a window at this many requests (0 = 64)")
+
+		traceOff    = flag.Bool("no-trace", false, "disable the per-dispatch flight recorder (GET /trace/recent, GET /trace/{id})")
+		traceSize   = flag.Int("trace-ring", 0, "flight-recorder ring capacity, rounded to a power of two (0 = 1024)")
+		traceSample = flag.Int("trace-sample", 0, "head-sampling stride: keep 1 in N dispatches; tail exemplars always kept (0 = 16)")
+		accessLog   = flag.Bool("access-log", false, "log every request as a structured line including its trace id")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live CPU and heap profiles")
 	)
 	flag.Parse()
 
@@ -68,6 +76,7 @@ func main() {
 
 	cfg := toltiers.ServerConfig{
 		Matrix:        matrix,
+		Trace:         toltiers.TraceOptions{Disabled: *traceOff, Size: *traceSize, SampleEvery: *traceSample},
 		Drift:         toltiers.DriftConfig{Enabled: *driftOn, AutoReprofile: *driftOn},
 		DriftInterval: *driftTick,
 		Admission: toltiers.AdmissionConfig{
@@ -93,8 +102,32 @@ func main() {
 	if *coalesceOn {
 		log.Printf("dispatch coalescing armed (window %v, max batch %d)", *coalesceWindow, *coalesceMax)
 	}
+	if !*traceOff {
+		log.Printf("flight recorder armed (GET /trace/recent, GET /trace/{id}, GET /metrics/prometheus)")
+	}
+
+	// Every request goes through the Instrument middleware: handler
+	// metrics (GET /metrics, prepended to GET /metrics/prometheus) and
+	// X-Toltiers-Trace minting, so recorder exemplars join to client ids
+	// and, with -access-log, to log lines.
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	handler := toltiers.InstrumentHandler(srv, toltiers.NewServerMetrics(), logger)
+	if *pprofOn {
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
 	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

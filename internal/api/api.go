@@ -440,3 +440,64 @@ type DriftStatus struct {
 	// the last trigger profiled and regenerated cleanly).
 	LastError string `json:"last_error,omitempty"`
 }
+
+// TraceLeg is one executed backend leg of a traced dispatch.
+type TraceLeg struct {
+	Backend string `json:"backend"`
+	// QueueMS is limiter queue wait; ServiceMS the backend's reported
+	// service latency.
+	QueueMS   float64 `json:"queue_ms,omitempty"`
+	ServiceMS float64 `json:"service_ms"`
+	// Hedge marks the deadline-forced hedge leg, Escalated a leg run
+	// on escalation, Cancelled a hedge leg the confident primary
+	// terminated early (billed from its plan).
+	Hedge     bool   `json:"hedge,omitempty"`
+	Escalated bool   `json:"escalated,omitempty"`
+	Cancelled bool   `json:"cancelled,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// TraceSpan is one flight-recorder span — the JSON shape of
+// GET /trace/{id} and the items of GET /trace/recent.
+type TraceSpan struct {
+	// ID is the 16-hex trace id (the X-Toltiers-Trace header value).
+	ID string `json:"id"`
+	// UnixMS is the commit wall clock.
+	UnixMS int64  `json:"unix_ms"`
+	Tier   string `json:"tier"`
+	Tenant string `json:"tenant,omitempty"`
+	// Kind is the capture reason: sampled | error | shed | deadline |
+	// degraded | hedge | slow.
+	Kind string `json:"kind"`
+	// Admit is the admission decision: admitted | downgraded |
+	// shed-rate | shed-capacity | shed-deadline.
+	Admit string `json:"admit,omitempty"`
+	// Window is the coalesce window id that flushed the dispatch
+	// (0 = not coalesced); ParkMS how long it waited in the window.
+	Window uint64  `json:"window,omitempty"`
+	ParkMS float64 `json:"park_ms,omitempty"`
+	// LatencyMS is the combined reported latency; CostUSD and IaaSUSD
+	// the billed invocation and node costs.
+	LatencyMS        float64    `json:"latency_ms"`
+	CostUSD          float64    `json:"cost_usd"`
+	IaaSUSD          float64    `json:"iaas_usd"`
+	Hedged           bool       `json:"hedged,omitempty"`
+	Escalated        bool       `json:"escalated,omitempty"`
+	Degraded         bool       `json:"degraded,omitempty"`
+	DeadlineExceeded bool       `json:"deadline_exceeded,omitempty"`
+	Error            string     `json:"error,omitempty"`
+	Legs             []TraceLeg `json:"legs,omitempty"`
+}
+
+// TraceRecent is the JSON response of GET /trace/recent.
+type TraceRecent struct {
+	Spans []TraceSpan `json:"spans"`
+	// Dispatches counts every dispatch the recorder observed (kept or
+	// sampled away); Sheds every admission shed it recorded; Committed
+	// the spans actually written to the ring, broken down per capture
+	// reason in Kinds.
+	Dispatches int64            `json:"dispatches"`
+	Sheds      int64            `json:"sheds,omitempty"`
+	Committed  int64            `json:"committed"`
+	Kinds      map[string]int64 `json:"kinds,omitempty"`
+}

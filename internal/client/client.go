@@ -16,6 +16,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // Client talks to one Tolerance Tiers service endpoint.
@@ -45,12 +46,19 @@ func (c *Client) WithTenant(id string) *Client {
 }
 
 // annotate sets the §IV-A tier annotation headers (plus the tenant).
+// A trace id riding the request context travels in the
+// X-Toltiers-Trace header, so the server's flight recorder attributes
+// the dispatch to the caller's id — the retry wrappers mint one per
+// logical call, making every attempt of a retried request one trace.
 func (c *Client) annotate(req *http.Request, tolerance float64, objective rulegen.Objective) {
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Tolerance", strconv.FormatFloat(tolerance, 'f', -1, 64))
 	req.Header.Set("Objective", string(objective))
 	if c.tenant != "" {
 		req.Header.Set("Tenant", c.tenant)
+	}
+	if id := trace.IDFromContext(req.Context()); id != 0 {
+		req.Header.Set(trace.Header, trace.FormatID(id))
 	}
 }
 
@@ -393,6 +401,72 @@ func (c *Client) SetAdmissionConfig(ctx context.Context, cfg api.AdmissionConfig
 	var out api.AdmissionStatus
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("client: decode admission status: %w", err)
+	}
+	return &out, nil
+}
+
+// TraceRecent fetches the node's most recent flight-recorder spans
+// (GET /trace/recent). tier, tenant and kind filter when non-empty
+// (kind is a capture reason: sampled | error | shed | deadline |
+// degraded | hedge | slow); n bounds the span count (0 = the server's
+// default).
+func (c *Client) TraceRecent(ctx context.Context, tier, tenant, kind string, n int) (*api.TraceRecent, error) {
+	q := url.Values{}
+	if tier != "" {
+		q.Set("tier", tier)
+	}
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	u := c.base + "/trace/recent"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: trace recent: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.TraceRecent
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode trace recent: %w", err)
+	}
+	return &out, nil
+}
+
+// Trace fetches one flight-recorder span by its 16-hex trace id — the
+// X-Toltiers-Trace value a previous response echoed (GET /trace/{id}).
+// The server answers 404 when the ring no longer holds the id (sampled
+// out or evicted).
+func (c *Client) Trace(ctx context.Context, id string) (*api.TraceSpan, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/trace/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.TraceSpan
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode trace span: %w", err)
 	}
 	return &out, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // RetryPolicy controls the *WithRetry calls. Transient failures —
@@ -140,8 +141,20 @@ func withRetry[T any](ctx context.Context, policy RetryPolicy, call func() (T, e
 	return zero, fmt.Errorf("client: %d attempts failed: %w", attempts, lastErr)
 }
 
+// ensureTrace returns ctx carrying a trace id, minting one when absent,
+// so every attempt of a retried call presents the same
+// X-Toltiers-Trace id and the server correlates them as one logical
+// request.
+func ensureTrace(ctx context.Context) context.Context {
+	if trace.IDFromContext(ctx) != 0 {
+		return ctx
+	}
+	return trace.ContextWithID(ctx, trace.NextID())
+}
+
 // ComputeWithRetry is Compute with the retry policy applied.
 func (c *Client) ComputeWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, policy RetryPolicy) (*api.ComputeResult, error) {
+	ctx = ensureTrace(ctx)
 	return withRetry(ctx, policy, func() (*api.ComputeResult, error) {
 		return c.Compute(ctx, requestID, tolerance, objective)
 	})
@@ -151,6 +164,7 @@ func (c *Client) ComputeWithRetry(ctx context.Context, requestID int, tolerance 
 // notably, a 429 token-bucket shed backs off by the server's
 // Retry-After hint before the next attempt.
 func (c *Client) DispatchWithRetry(ctx context.Context, requestID int, tolerance float64, objective rulegen.Objective, deadline time.Duration, policy RetryPolicy) (*api.DispatchResult, error) {
+	ctx = ensureTrace(ctx)
 	return withRetry(ctx, policy, func() (*api.DispatchResult, error) {
 		return c.Dispatch(ctx, requestID, tolerance, objective, deadline)
 	})

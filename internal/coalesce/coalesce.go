@@ -40,6 +40,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // Grant is a gate's admission of one flush: the ticket to dispatch
@@ -121,6 +122,11 @@ type waiter struct {
 	win  *window
 	idx  int
 	done chan result
+	// Flight-recorder attribution, stamped on join only when the
+	// dispatcher is tracing: when the caller joined the window, and the
+	// trace id its context carried.
+	joined time.Time
+	tid    uint64
 }
 
 // window is one open accumulation of same-ticket requests, pooled and
@@ -129,6 +135,7 @@ type waiter struct {
 // on a reused window is at worst an early flush, never a double one.
 type window struct {
 	c       *Coalescer
+	id      uint64
 	ticket  dispatch.Ticket
 	waiters []*waiter
 	timer   *time.Timer
@@ -137,6 +144,10 @@ type window struct {
 	reqs []*service.Request
 	outs []dispatch.Outcome
 	errs []error
+	// meta is the flight-recorder batch attribution handed to DoBatch
+	// through the flush context (window id, per-item park times and
+	// caller trace ids), rebuilt per flush from the same scratch.
+	meta trace.BatchMeta
 }
 
 // Coalescer gathers concurrent single dispatches of the same ticket
@@ -151,6 +162,9 @@ type Coalescer struct {
 
 	mu      sync.Mutex
 	windows map[dispatch.Ticket]*window
+	// winSeq mints window ids for flight-recorder attribution; window
+	// id 0 means "not coalesced", so ids start at 1.
+	winSeq atomic.Uint64
 
 	waiterPool sync.Pool
 	windowPool sync.Pool
@@ -249,6 +263,10 @@ func (c *Coalescer) Do(ctx context.Context, req *service.Request, t dispatch.Tic
 	}
 	w := c.waiterPool.Get().(*waiter)
 	w.req, w.win, w.idx = req, win, len(win.waiters)
+	if c.d.Tracing() {
+		w.joined = time.Now()
+		w.tid = trace.IDFromContext(ctx)
+	}
 	win.waiters = append(win.waiters, w)
 	var full *window
 	if len(win.waiters) >= c.opts.MaxBatch {
@@ -323,6 +341,7 @@ func (c *Coalescer) dispatchSolo(ctx context.Context, req *service.Request, t di
 // openWindowLocked starts a new window for t and arms its time trigger.
 func (c *Coalescer) openWindowLocked(t dispatch.Ticket) *window {
 	win := c.windowPool.Get().(*window)
+	win.id = c.winSeq.Add(1)
 	win.ticket = t
 	win.open = true
 	c.windows[t] = win
@@ -401,9 +420,28 @@ func (c *Coalescer) flush(win *window) {
 	// individual, and any waiter still claimed here is owed a result
 	// even if its caller has meanwhile gone (the dispatch happened and
 	// is billed, exactly like a serial dispatch completing for a client
-	// that hung up mid-flight).
+	// that hung up mid-flight). When the dispatcher is tracing, the
+	// window's attribution — its id, each item's park time, each
+	// caller's trace id — rides the flush context into DoBatch so the
+	// per-item spans say which window held them and for how long.
+	bctx := context.Background()
+	if c.d.Tracing() {
+		now := time.Now()
+		win.meta.Window = win.id
+		win.meta.Park = win.meta.Park[:0]
+		win.meta.IDs = win.meta.IDs[:0]
+		for _, w := range ws {
+			var park int64
+			if !w.joined.IsZero() {
+				park = int64(now.Sub(w.joined))
+			}
+			win.meta.Park = append(win.meta.Park, park)
+			win.meta.IDs = append(win.meta.IDs, w.tid)
+		}
+		bctx = trace.ContextWithBatch(bctx, &win.meta)
+	}
 	var berr error
-	win.outs, win.errs, berr = c.d.DoBatch(context.Background(), win.reqs, g.Ticket, win.outs, win.errs)
+	win.outs, win.errs, berr = c.d.DoBatch(bctx, win.reqs, g.Ticket, win.outs, win.errs)
 	if berr != nil {
 		for _, w := range ws {
 			w.done <- result{served: g.Served, err: berr}

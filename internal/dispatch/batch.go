@@ -6,6 +6,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // DoBatch dispatches a batch of requests through one resolved tier,
@@ -54,16 +55,36 @@ func (d *Dispatcher) DoBatch(ctx context.Context, reqs []*service.Request, t Tic
 		return outs, errs, err
 	}
 	c.leased = true
+	// Batch attribution (coalesce window id, per-item park times and
+	// caller trace ids) rides the context; it is only consulted when a
+	// recorder is armed, so the recorder-off batch path never pays the
+	// context lookup.
+	var bm *trace.BatchMeta
+	if d.rec != nil {
+		bm = trace.BatchFromContext(ctx)
+	}
 	if pri, sec, ok := d.replayLegs(p); ok {
-		for _, req := range reqs {
+		for i, req := range reqs {
+			if d.rec != nil {
+				c.beginBatchSpan(t, bm, i)
+			}
 			outs = append(outs, Outcome{})
 			errs = append(errs, c.runReplay(ctx, req, t, pri, sec, &outs[len(outs)-1]))
+			if d.rec != nil {
+				c.finishSpan(ctx, &outs[i], errs[i])
+			}
 		}
 	} else {
-		for _, req := range reqs {
+		for i, req := range reqs {
+			if d.rec != nil {
+				c.beginBatchSpan(t, bm, i)
+			}
 			o, err := c.run(ctx, req, t)
 			outs = append(outs, o)
 			errs = append(errs, err)
+			if d.rec != nil {
+				c.finishSpan(ctx, &outs[i], errs[i])
+			}
 		}
 	}
 	d.tel.commit(&c.txn)
@@ -102,6 +123,22 @@ func (d *Dispatcher) leaseBatch(ctx context.Context, p ensemble.Policy) (release
 			d.sems[hi].release()
 		}
 	}, nil
+}
+
+// beginBatchSpan resets the call's span for one batch item and applies
+// the batch attribution a coalesce flush shipped through the context.
+func (c *dispatchCall) beginBatchSpan(t Ticket, bm *trace.BatchMeta, i int) {
+	c.span.Reset(t.Tier, t.Tenant, admitCode(t))
+	if bm == nil {
+		return
+	}
+	c.span.Window = bm.Window
+	if i < len(bm.Park) {
+		c.span.ParkNs = bm.Park[i]
+	}
+	if i < len(bm.IDs) {
+		c.span.ID = bm.IDs[i]
+	}
 }
 
 // replayLegs reports whether every leg the policy can touch is an
@@ -148,6 +185,7 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 	case p.Kind == ensemble.Single:
 		replaySolo(pri, pk, pLat, pConf, o)
 		c.txn.addInvocation(p.Primary, pLat, o.InvCost, o.IaaSCost)
+		c.legReplay(pri.name, int64(pLat), false, false)
 
 	case p.Kind == ensemble.Failover && !d.shouldHedge(p, t.Budget):
 		// Sequential failover: primary first, secondary only when the
@@ -155,6 +193,7 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		if pConf >= p.Threshold {
 			replaySolo(pri, pk, pLat, pConf, o)
 			c.txn.addInvocation(p.Primary, pLat, o.InvCost, o.IaaSCost)
+			c.legReplay(pri.name, int64(pLat), false, false)
 			break
 		}
 		// The secondary's row is resolved before anything lands in the
@@ -168,10 +207,12 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 			return err
 		}
 		c.txn.addInvocation(p.Primary, pLat, pri.m.InvCost[pk], pri.m.IaaSCost[pk])
+		c.legReplay(pri.name, int64(pLat), false, false)
 		sk := sec.m.Index(srow, sec.version)
 		sLat := time.Duration(sec.m.LatencyNs[sk])
 		d.trackers[p.Secondary].observe(float64(sLat))
 		c.txn.addInvocation(p.Secondary, sLat, sec.m.InvCost[sk], sec.m.IaaSCost[sk])
+		c.legReplay(sec.name, int64(sLat), false, true)
 		c.replayEscalated(p, pri, pk, pLat, pConf, sec, sk, sLat, pLat+sLat, false, o)
 
 	default:
@@ -189,9 +230,11 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		sLat := time.Duration(sec.m.LatencyNs[sk])
 		d.trackers[p.Secondary].observe(float64(sLat))
 		c.txn.addInvocation(p.Primary, pLat, pri.m.InvCost[pk], pri.m.IaaSCost[pk])
+		c.legReplay(pri.name, int64(pLat), false, false)
 		if pConf >= p.Threshold {
 			partialIaaS := proRataIaaS(pLat, sLat, sec.m.IaaSCost[sk])
 			c.txn.addInvocation(p.Secondary, sLat, sec.m.InvCost[sk], partialIaaS)
+			c.legReplay(sec.name, int64(sLat), hedged, false)
 			// The confident primary's solo outcome, plus the hedged
 			// secondary's bill (same addition order as Do's combineHedged).
 			replaySolo(pri, pk, pLat, pConf, o)
@@ -202,6 +245,7 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 			break
 		}
 		c.txn.addInvocation(p.Secondary, sLat, sec.m.InvCost[sk], sec.m.IaaSCost[sk])
+		c.legReplay(sec.name, int64(sLat), hedged, true)
 		lat := pLat
 		if sLat > lat {
 			lat = sLat

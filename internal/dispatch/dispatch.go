@@ -37,6 +37,7 @@ import (
 	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // Options parameterizes a Dispatcher. The zero value is a sane runtime:
@@ -64,6 +65,12 @@ type Options struct {
 	// fast, allocation-free and safe for concurrent use; nil costs one
 	// predictable branch per dispatch.
 	Observer Observer
+	// Recorder, when set, receives a flight-recorder span per dispatch
+	// (leg-level latency attribution, hedge/escalation/degrade flags,
+	// admission and coalesce-window context). Span scratch lives in the
+	// pooled per-call state, so recording keeps the fast path at zero
+	// allocations; nil costs one predictable branch per dispatch.
+	Recorder *trace.Recorder
 }
 
 // Observer watches the dispatch stream in-line. ObserveOutcome is
@@ -151,10 +158,14 @@ type Outcome struct {
 // for concurrent use.
 type Dispatcher struct {
 	backends []Backend
-	sems     []semaphore
+	// names caches Backend.Name() per index so hot paths (flight
+	// recorder leg capture) skip the interface call.
+	names []string
+	sems  []semaphore
 	trackers []*latencyTracker
 	tel      *Telemetry
 	obs      Observer
+	rec      *trace.Recorder
 	hedging  bool
 	// calls pools per-dispatch scratch (telemetry transaction, hedge
 	// channel) so the steady-state path allocates nothing.
@@ -172,6 +183,7 @@ func New(backends []Backend, opts Options) *Dispatcher {
 		sems:     make([]semaphore, len(backends)),
 		trackers: make([]*latencyTracker, len(backends)),
 		obs:      opts.Observer,
+		rec:      opts.Recorder,
 		hedging:  !opts.DisableHedging,
 	}
 	names := make([]string, len(backends))
@@ -180,6 +192,7 @@ func New(backends []Backend, opts Options) *Dispatcher {
 		d.sems[i] = newSemaphore(opts.MaxConcurrentPerBackend)
 		d.trackers[i] = newLatencyTracker(q)
 	}
+	d.names = names
 	d.tel = newTelemetry(names, opts.TelemetryShards)
 	d.calls.New = func() any {
 		return &dispatchCall{d: d, secCh: make(chan hedgeLeg, 1)}
@@ -206,6 +219,14 @@ func (d *Dispatcher) TenantSnapshot(tenant string) api.TenantTelemetry {
 // nanoseconds (NaN until enough observations).
 func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
 
+// Tracing reports whether a flight recorder is armed — callers that
+// must assemble attribution (a coalesce window stamping park times)
+// check this to skip the work when nobody is recording.
+func (d *Dispatcher) Tracing() bool { return d.rec != nil }
+
+// Recorder returns the armed flight recorder (nil when tracing is off).
+func (d *Dispatcher) Recorder() *trace.Recorder { return d.rec }
+
 // Floor returns the minimum latency observed in a backend's sliding
 // window, in nanoseconds (NaN until enough observations) — the
 // empirical floor deadline-aware admission compares budgets against.
@@ -230,12 +251,22 @@ type dispatchCall struct {
 	// not, costing the fast path its zero-allocation contract. The call
 	// is already pooled, so this field is allocation-free to reuse.
 	obsOut Outcome
+	// span is the flight-recorder scratch for the in-flight dispatch
+	// (one batch item at a time for DoBatch); tcache memoizes the
+	// recorder's per-tier tail lookup. Both live here for the same
+	// reason as obsOut: pooled storage keeps recording allocation-free.
+	span   trace.Span
+	tcache trace.Cache
 }
 
 // hedgeLeg is one backend leg's answer, handed over the call's channel.
+// queueNs travels with it because leg sub-spans are recorded on the
+// calling goroutine only — the hedge goroutine must not touch the
+// shared span.
 type hedgeLeg struct {
 	resp    Response
 	started bool
+	queueNs int64
 	err     error
 }
 
@@ -247,10 +278,97 @@ func (d *Dispatcher) Do(ctx context.Context, req *service.Request, t Ticket) (Ou
 	c := d.calls.Get().(*dispatchCall)
 	c.txn.reset(t.Tier, t.Tenant)
 	c.leased = false
+	if d.rec != nil {
+		c.span.Reset(t.Tier, t.Tenant, admitCode(t))
+	}
 	o, err := c.run(ctx, req, t)
+	if d.rec != nil {
+		c.finishSpan(ctx, &o, err)
+	}
 	d.tel.commit(&c.txn)
 	d.calls.Put(c)
 	return o, err
+}
+
+// admitCode maps a ticket's admission state onto the span's admit
+// decision: the admission layer never lets a shed reach the
+// dispatcher, so a dispatched request was either accepted or browned
+// out to a cheaper tier.
+func admitCode(t Ticket) uint8 {
+	if t.Downgraded {
+		return trace.AdmitDowngraded
+	}
+	return trace.AdmitAccepted
+}
+
+// finishSpan folds the final outcome into the call's span and hands it
+// to the recorder. Only the caller-goroutine touches the span, so the
+// hedged path stays race-free by construction.
+func (c *dispatchCall) finishSpan(ctx context.Context, o *Outcome, err error) {
+	s := &c.span
+	if err != nil {
+		s.Err = err.Error()
+	} else {
+		s.LatencyNs = int64(o.Latency)
+		s.InvCost = o.InvCost
+		s.IaaSCost = o.IaaSCost
+		s.Hedged = o.Hedged
+		s.Escalated = o.Escalated
+		s.DeadlineExceeded = o.DeadlineExceeded
+	}
+	c.d.rec.Observe(ctx, s, &c.tcache)
+}
+
+// claimLeg claims the span's next leg without the claim-time clear
+// that the exported trace.Span.Leg performs: both leg writers below
+// assign every field, so zeroing first would duffzero 51 dead bytes on
+// the hottest path. Callers outside this file must use Span.Leg.
+func (c *dispatchCall) claimLeg() *trace.Leg {
+	s := &c.span
+	if s.NLegs >= trace.MaxLegs {
+		return nil
+	}
+	l := &s.Legs[s.NLegs]
+	s.NLegs++
+	return l
+}
+
+// legSpan appends one executed-leg sub-span when the recorder is
+// armed; a nil recorder costs the single branch.
+func (c *dispatchCall) legSpan(idx int, queueNs, serviceNs int64, hedge, escalated, cancelled bool, err error) {
+	if c.d.rec == nil {
+		return
+	}
+	l := c.claimLeg()
+	if l == nil {
+		return
+	}
+	l.Backend = c.d.names[idx]
+	l.QueueNs = queueNs
+	l.ServiceNs = serviceNs
+	l.Hedge, l.Escalated, l.Cancelled = hedge, escalated, cancelled
+	if err != nil {
+		l.Err = err.Error()
+	} else {
+		l.Err = ""
+	}
+}
+
+// legReplay is legSpan for the fused replay batch path, which already
+// holds the backend name and never fails a leg.
+func (c *dispatchCall) legReplay(name string, serviceNs int64, hedge, escalated bool) {
+	if c.d.rec == nil {
+		return
+	}
+	l := c.claimLeg()
+	if l == nil {
+		return
+	}
+	l.Backend = name
+	l.QueueNs = 0
+	l.ServiceNs = serviceNs
+	l.Hedge, l.Escalated, l.Cancelled = hedge, escalated, false
+	l.Err = ""
 }
 
 // run executes one request's policy and folds the result into the
@@ -330,12 +448,22 @@ func instant(b Backend) bool {
 // billing and Started accounting key off it. Billing itself is recorded
 // by the caller once final amounts (e.g. a cancelled hedge's pro-rated
 // node time) are known. A leased call (DoBatch) holds its limiter slots
-// for the whole batch and skips the per-invocation acquire.
-func (c *dispatchCall) invoke(ctx context.Context, idx int, req *service.Request) (resp Response, started bool, err error) {
+// for the whole batch and skips the per-invocation acquire. queueNs is
+// the limiter wait attributed to the leg's flight-recorder sub-span;
+// it is measured only when a recorder is armed AND the backend is
+// actually capped, so the uncapped fast path never reads the clock.
+func (c *dispatchCall) invoke(ctx context.Context, idx int, req *service.Request) (resp Response, started bool, queueNs int64, err error) {
 	d := c.d
 	if !c.leased {
-		if err := d.sems[idx].acquire(ctx); err != nil {
-			return Response{}, false, err
+		if d.rec != nil && d.sems[idx] != nil {
+			t0 := time.Now()
+			err := d.sems[idx].acquire(ctx)
+			queueNs = int64(time.Since(t0))
+			if err != nil {
+				return Response{}, false, queueNs, err
+			}
+		} else if err := d.sems[idx].acquire(ctx); err != nil {
+			return Response{}, false, 0, err
 		}
 	}
 	resp, err = d.backends[idx].Invoke(ctx, req)
@@ -343,17 +471,19 @@ func (c *dispatchCall) invoke(ctx context.Context, idx int, req *service.Request
 		d.sems[idx].release()
 	}
 	if err != nil {
-		return Response{}, true, fmt.Errorf("dispatch: backend %s: %w", d.backends[idx].Name(), err)
+		return Response{}, true, queueNs, fmt.Errorf("dispatch: backend %s: %w", d.backends[idx].Name(), err)
 	}
 	d.trackers[idx].observe(float64(resp.Result.Latency))
-	return resp, true, nil
+	return resp, true, queueNs, nil
 }
 
 // invokeLeg runs one hedge leg and hands the answer over the call's
 // channel. It is a plain function so spawning it allocates no closure.
+// It must never touch the call's span — leg sub-spans are recorded by
+// the caller goroutine from the handed-over hedgeLeg.
 func invokeLeg(c *dispatchCall, ctx context.Context, idx int, req *service.Request) {
-	r, started, err := c.invoke(ctx, idx, req)
-	c.secCh <- hedgeLeg{r, started, err}
+	r, started, q, err := c.invoke(ctx, idx, req)
+	c.secCh <- hedgeLeg{r, started, q, err}
 }
 
 // soloOutcome assembles an outcome answered by one leg's response.
@@ -394,11 +524,13 @@ func (d *Dispatcher) escalatedOutcome(p ensemble.Policy, pr, sr Response, lat ti
 }
 
 func (c *dispatchCall) doSingle(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
-	r, _, err := c.invoke(ctx, p.Primary, req)
+	r, _, q, err := c.invoke(ctx, p.Primary, req)
 	if err != nil {
+		c.legSpan(p.Primary, q, 0, false, false, false, err)
 		return Outcome{}, err
 	}
 	c.txn.addInvocation(p.Primary, r.Result.Latency, r.InvCost, r.IaaSCost)
+	c.legSpan(p.Primary, q, int64(r.Result.Latency), false, false, false, nil)
 	return c.d.soloOutcome(r, p.Primary, false, false), nil
 }
 
@@ -409,13 +541,16 @@ func (c *dispatchCall) doSingle(ctx context.Context, req *service.Request, p ens
 // result rather than failing the request.
 func (c *dispatchCall) doFailover(ctx context.Context, req *service.Request, p ensemble.Policy) (Outcome, error) {
 	d := c.d
-	pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
+	pr, pstarted, pq, perr := c.invoke(ctx, p.Primary, req)
 	if perr != nil {
-		sr, _, serr := c.invoke(ctx, p.Secondary, req)
+		c.legSpan(p.Primary, pq, 0, false, false, false, perr)
+		sr, _, sq, serr := c.invoke(ctx, p.Secondary, req)
 		if serr != nil {
+			c.legSpan(p.Secondary, sq, 0, false, true, false, serr)
 			return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, serr)
 		}
 		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		c.legSpan(p.Secondary, sq, int64(sr.Result.Latency), false, true, false, nil)
 		o := d.soloOutcome(sr, p.Secondary, true, false)
 		if pstarted {
 			o.Started = 2
@@ -423,10 +558,11 @@ func (c *dispatchCall) doFailover(ctx context.Context, req *service.Request, p e
 		return o, nil
 	}
 	c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	c.legSpan(p.Primary, pq, int64(pr.Result.Latency), false, false, false, nil)
 	if pr.Result.Confidence >= p.Threshold {
 		return d.soloOutcome(pr, p.Primary, false, false), nil
 	}
-	sr, _, serr := c.invoke(ctx, p.Secondary, req)
+	sr, _, sq, serr := c.invoke(ctx, p.Secondary, req)
 	if serr != nil {
 		if ctx.Err() != nil {
 			// The request itself was cancelled mid-escalation; propagate
@@ -434,9 +570,12 @@ func (c *dispatchCall) doFailover(ctx context.Context, req *service.Request, p e
 			return Outcome{}, serr
 		}
 		c.txn.addEscalationFailure()
+		c.span.Degraded = true
+		c.legSpan(p.Secondary, sq, 0, false, true, false, serr)
 		return d.soloOutcome(pr, p.Primary, false, false), nil
 	}
 	c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	c.legSpan(p.Secondary, sq, int64(sr.Result.Latency), false, true, false, nil)
 	return d.escalatedOutcome(p, pr, sr, pr.Result.Latency+sr.Result.Latency, false), nil
 }
 
@@ -467,9 +606,9 @@ func (c *dispatchCall) doFailover(ctx context.Context, req *service.Request, p e
 // bit-identical either way.
 func (c *dispatchCall) doHedged(ctx context.Context, req *service.Request, p ensemble.Policy, deadlineHedge bool) (Outcome, error) {
 	if instant(c.d.backends[p.Secondary]) {
-		sr, sstarted, serr := c.invoke(ctx, p.Secondary, req)
-		pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
-		return c.combineHedged(ctx, p, pr, pstarted, perr, hedgeLeg{sr, sstarted, serr}, deadlineHedge, false)
+		sr, sstarted, sq, serr := c.invoke(ctx, p.Secondary, req)
+		pr, pstarted, pq, perr := c.invoke(ctx, p.Primary, req)
+		return c.combineHedged(ctx, p, pr, pstarted, pq, perr, hedgeLeg{sr, sstarted, sq, serr}, deadlineHedge, false)
 	}
 	secCtx := ctx
 	var secCancel context.CancelFunc
@@ -480,7 +619,7 @@ func (c *dispatchCall) doHedged(ctx context.Context, req *service.Request, p ens
 		defer secCancel()
 	}
 	go invokeLeg(c, secCtx, p.Secondary, req)
-	pr, pstarted, perr := c.invoke(ctx, p.Primary, req)
+	pr, pstarted, pq, perr := c.invoke(ctx, p.Primary, req)
 	confident := perr == nil && pr.Result.Confidence >= p.Threshold
 	if deadlineHedge && confident {
 		// The primary's confident result terminates the hedge early.
@@ -489,7 +628,7 @@ func (c *dispatchCall) doHedged(ctx context.Context, req *service.Request, p ens
 	sl := <-c.secCh
 	cancelled := deadlineHedge && confident &&
 		sl.err != nil && errors.Is(sl.err, context.Canceled) && ctx.Err() == nil
-	return c.combineHedged(ctx, p, pr, pstarted, perr, sl, deadlineHedge, cancelled)
+	return c.combineHedged(ctx, p, pr, pstarted, pq, perr, sl, deadlineHedge, cancelled)
 }
 
 // proRataIaaS is the early-termination credit of a confident primary:
@@ -515,7 +654,7 @@ func proRataIaaS(pLat, sLat time.Duration, sIaaS float64) float64 {
 // outcome — shared by the goroutine path and the inline instant path.
 // cancelled marks a secondary that aborted on the hedge's own cancel
 // before producing a result.
-func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr Response, pstarted bool, perr error, sl hedgeLeg, deadlineHedge, cancelled bool) (Outcome, error) {
+func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr Response, pstarted bool, pq int64, perr error, sl hedgeLeg, deadlineHedge, cancelled bool) (Outcome, error) {
 	d := c.d
 	if cancelled {
 		// The secondary aborted on our cancel before producing a result.
@@ -524,12 +663,14 @@ func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr 
 		// time; a leg that died queued on the limiter never reached the
 		// backend and costs nothing.
 		c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		c.legSpan(p.Primary, pq, int64(pr.Result.Latency), false, false, false, nil)
 		o := d.soloOutcome(pr, p.Primary, false, true)
 		if sl.started {
 			secPlan := d.backends[p.Secondary].Plan()
 			secInv := secPlan.InvocationCost()
 			secIaaS := secPlan.IaaSCost(pr.Result.Latency)
 			c.txn.addBilled(p.Secondary, secInv, secIaaS)
+			c.legSpan(p.Secondary, sl.queueNs, int64(pr.Result.Latency), true, false, true, nil)
 			o.InvCost += secInv
 			o.IaaSCost += secIaaS
 			o.Started = 2
@@ -538,10 +679,14 @@ func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr 
 	}
 	switch {
 	case perr != nil && sl.err != nil:
+		c.legSpan(p.Primary, pq, 0, false, false, false, perr)
+		c.legSpan(p.Secondary, sl.queueNs, 0, deadlineHedge, false, false, sl.err)
 		return Outcome{}, fmt.Errorf("dispatch: primary failed (%v); secondary failed: %w", perr, sl.err)
 	case perr != nil:
 		sr := sl.resp
+		c.legSpan(p.Primary, pq, 0, false, false, false, perr)
 		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+		c.legSpan(p.Secondary, sl.queueNs, int64(sr.Result.Latency), deadlineHedge, true, false, nil)
 		o := d.soloOutcome(sr, p.Secondary, true, deadlineHedge)
 		if pstarted {
 			o.Started = 2
@@ -554,7 +699,10 @@ func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr 
 			return Outcome{}, sl.err
 		}
 		c.txn.addEscalationFailure()
+		c.span.Degraded = true
 		c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+		c.legSpan(p.Primary, pq, int64(pr.Result.Latency), false, false, false, nil)
+		c.legSpan(p.Secondary, sl.queueNs, 0, deadlineHedge, true, false, sl.err)
 		o := d.soloOutcome(pr, p.Primary, false, deadlineHedge)
 		if sl.started {
 			o.Started = 2
@@ -563,9 +711,11 @@ func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr 
 	}
 	sr := sl.resp
 	c.txn.addInvocation(p.Primary, pr.Result.Latency, pr.InvCost, pr.IaaSCost)
+	c.legSpan(p.Primary, pq, int64(pr.Result.Latency), false, false, false, nil)
 	if pr.Result.Confidence >= p.Threshold {
 		partialIaaS := proRataIaaS(pr.Result.Latency, sr.Result.Latency, sr.IaaSCost)
 		c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, partialIaaS)
+		c.legSpan(p.Secondary, sl.queueNs, int64(sr.Result.Latency), deadlineHedge, false, false, nil)
 		return Outcome{
 			Result:   pr.Result,
 			Err:      pr.Err,
@@ -578,6 +728,7 @@ func (c *dispatchCall) combineHedged(ctx context.Context, p ensemble.Policy, pr 
 		}, nil
 	}
 	c.txn.addInvocation(p.Secondary, sr.Result.Latency, sr.InvCost, sr.IaaSCost)
+	c.legSpan(p.Secondary, sl.queueNs, int64(sr.Result.Latency), deadlineHedge, true, false, nil)
 	lat := pr.Result.Latency
 	if sr.Result.Latency > lat {
 		lat = sr.Result.Latency

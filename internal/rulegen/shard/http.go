@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // HTTP transport: the same batch protocol over POST /shard/run. A
@@ -80,11 +82,17 @@ type HTTPTransport struct {
 }
 
 // Run implements Transport by POSTing the batch to the remote worker,
-// retrying transient failures.
+// retrying transient failures. Every attempt of one batch carries the
+// same X-Toltiers-Trace id (the context's when the caller set one,
+// otherwise minted here), so worker-side logs correlate retries to one
+// logical batch.
 func (t *HTTPTransport) Run(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return BatchResponse{}, fmt.Errorf("shard: encode batch: %w", err)
+	}
+	if trace.IDFromContext(ctx) == 0 {
+		ctx = trace.ContextWithID(ctx, trace.NextID())
 	}
 	attempts := t.MaxAttempts
 	if attempts < 1 {
@@ -119,6 +127,9 @@ func (t *HTTPTransport) post(ctx context.Context, body []byte) (BatchResponse, t
 		return BatchResponse{}, 0, false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if id := trace.IDFromContext(ctx); id != 0 {
+		hreq.Header.Set(trace.Header, trace.FormatID(id))
+	}
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient

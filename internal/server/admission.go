@@ -8,6 +8,7 @@ import (
 
 	"github.com/toltiers/toltiers/internal/admit"
 	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/ensemble"
 	"github.com/toltiers/toltiers/internal/rulegen"
 )
@@ -83,6 +84,7 @@ func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request, obj rulege
 		dec = s.adm.Admit(time.Now(), tenantID, rule.Tolerance, budget, floor)
 	}
 	if dec.Verdict.Shed() {
+		s.recordShed(r.Context(), dispatch.TierKey(string(obj), rule.Tolerance), tenantID, dec.Verdict)
 		writeShed(w, dec)
 		return rule, dec, false
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"time"
@@ -82,6 +83,9 @@ func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) 
 	floor := s.policyFloor(rule.Candidate.Policy)
 	dec := s.adm.AdmitBatch(time.Now(), t.Tenant, rule.Tolerance, t.Budget, floor, n)
 	if dec.Verdict.Shed() {
+		// One recorder span stands for the whole shed window (the gate
+		// rejects all n members at once; per-member ids never reach it).
+		s.recordShed(context.Background(), t.Tier, t.Tenant, dec.Verdict)
 		return coalesce.Grant{}, &shedError{dec: dec}
 	}
 	if dec.Verdict == admit.Downgrade {

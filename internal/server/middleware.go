@@ -1,25 +1,41 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"github.com/toltiers/toltiers/internal/trace"
 )
+
+// latencyBucketsMS are the handler-latency histogram's upper bounds in
+// milliseconds (the final +Inf bucket is implicit). Fixed buckets keep
+// observe to one array increment and make the exposition cumulative
+// counts, at the cost of quantiles quantized to bucket bounds — fine
+// for handler wall time, whose dynamic range these cover.
+var latencyBucketsMS = [...]float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+}
 
 // Metrics tracks serving counters, exposed at GET /metrics. All methods
 // are safe for concurrent use.
 type Metrics struct {
 	mu sync.Mutex
-	// requests counts completed requests by (path, status) pairs.
+	// requests counts completed requests by "METHOD path status" keys.
 	requests map[string]int64
 	// tierHits counts resolved tiers by "objective/tolerance".
 	tierHits map[string]int64
-	// latencySum/latencyCount aggregate handler wall time.
+	// latencySum/latencyCount aggregate handler wall time; buckets is
+	// the fixed histogram (buckets[i] counts observations at or under
+	// latencyBucketsMS[i]; the last entry is the overflow bucket).
 	latencySum   time.Duration
 	latencyCount int64
+	buckets      [len(latencyBucketsMS) + 1]int64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -29,11 +45,20 @@ func NewMetrics() *Metrics {
 
 // observe records one completed request.
 func (m *Metrics) observe(key string, d time.Duration) {
+	ms := float64(d) / 1e6
+	idx := len(latencyBucketsMS)
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			idx = i
+			break
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[key]++
 	m.latencySum += d
 	m.latencyCount++
+	m.buckets[idx]++
 }
 
 // ObserveTier records one tier resolution.
@@ -41,6 +66,30 @@ func (m *Metrics) ObserveTier(key string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.tierHits[key]++
+}
+
+// quantileLocked reports the histogram's q-quantile as the upper bound
+// of the bucket holding the q-th observation (the overflow bucket
+// answers the largest finite bound). Callers hold mu.
+func (m *Metrics) quantileLocked(q float64) float64 {
+	if m.latencyCount == 0 {
+		return 0
+	}
+	target := int64(q * float64(m.latencyCount))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range m.buckets {
+		cum += c
+		if cum >= target {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			break
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
 }
 
 // Snapshot returns a copyable view for /metrics.
@@ -59,17 +108,114 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if m.latencyCount > 0 {
 		snap.MeanHandlerLatencyMS = float64(m.latencySum) / float64(m.latencyCount) / 1e6
+		snap.P50HandlerLatencyMS = m.quantileLocked(0.50)
+		snap.P95HandlerLatencyMS = m.quantileLocked(0.95)
+		snap.P99HandlerLatencyMS = m.quantileLocked(0.99)
 	}
 	snap.Handled = m.latencyCount
 	return snap
 }
 
+// writePrometheus renders the handler-level families — request counts
+// by route/status and the latency histogram — in the text exposition
+// format. Instrument prepends this to the server's own exposition when
+// it wraps GET /metrics/prometheus.
+func (m *Metrics) writePrometheus(b *bytes.Buffer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := newPromWriter(b)
+	p.family("toltiers_handler_requests_total", "counter", "Completed HTTP requests by route and status.")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		method, path, status := splitRequestKey(k)
+		p.count("toltiers_handler_requests_total", m.requests[k],
+			"method", method, "path", path, "status", status)
+	}
+	p.family("toltiers_tier_hits_total", "counter", "Tier resolutions by tier key.")
+	tiers := make([]string, 0, len(m.tierHits))
+	for k := range m.tierHits {
+		tiers = append(tiers, k)
+	}
+	sort.Strings(tiers)
+	for _, k := range tiers {
+		p.count("toltiers_tier_hits_total", m.tierHits[k], "tier", k)
+	}
+	p.family("toltiers_handler_latency_ms", "histogram", "Handler wall time in milliseconds.")
+	var cum int64
+	for i, ub := range latencyBucketsMS {
+		cum += m.buckets[i]
+		p.count("toltiers_handler_latency_ms_bucket", cum,
+			"le", strconvFloat(ub))
+	}
+	p.count("toltiers_handler_latency_ms_bucket", m.latencyCount, "le", "+Inf")
+	p.sample("toltiers_handler_latency_ms_sum", float64(m.latencySum)/1e6)
+	p.count("toltiers_handler_latency_ms_count", m.latencyCount)
+}
+
+func strconvFloat(f float64) string {
+	s := make([]byte, 0, 8)
+	return string(appendFloatShort(s, f))
+}
+
+// appendFloatShort renders a bucket bound without trailing zeros
+// (0.25, 1, 2500) so le labels match conventional exposition style.
+func appendFloatShort(b []byte, f float64) []byte {
+	if f == float64(int64(f)) {
+		return appendInt(b, int64(f))
+	}
+	// Bounds are chosen with at most two decimals.
+	whole := int64(f)
+	frac := int64(f*100+0.5) - whole*100
+	b = appendInt(b, whole)
+	b = append(b, '.')
+	if frac%10 == 0 {
+		return appendInt(b, frac/10)
+	}
+	if frac < 10 {
+		b = append(b, '0')
+	}
+	return appendInt(b, frac)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, buf[i:]...)
+}
+
+// splitRequestKey splits a "METHOD path status" metrics key.
+func splitRequestKey(k string) (method, path, status string) {
+	first := strings.IndexByte(k, ' ')
+	last := strings.LastIndexByte(k, ' ')
+	if first < 0 || last <= first {
+		return k, "", ""
+	}
+	return k[:first], k[first+1 : last], k[last+1:]
+}
+
 // MetricsSnapshot is the JSON shape of GET /metrics.
 type MetricsSnapshot struct {
-	Handled              int64            `json:"handled"`
-	MeanHandlerLatencyMS float64          `json:"mean_handler_latency_ms"`
-	Requests             map[string]int64 `json:"requests"`
-	TierHits             map[string]int64 `json:"tier_hits"`
+	Handled              int64   `json:"handled"`
+	MeanHandlerLatencyMS float64 `json:"mean_handler_latency_ms"`
+	// P50/P95/P99 are histogram quantiles, quantized to the fixed
+	// bucket upper bounds (0 until the first request completes).
+	P50HandlerLatencyMS float64          `json:"p50_handler_latency_ms"`
+	P95HandlerLatencyMS float64          `json:"p95_handler_latency_ms"`
+	P99HandlerLatencyMS float64          `json:"p99_handler_latency_ms"`
+	Requests            map[string]int64 `json:"requests"`
+	TierHits            map[string]int64 `json:"tier_hits"`
 }
 
 // statusRecorder captures the response code for metrics/logging.
@@ -83,17 +229,52 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// Instrument wraps an HTTP handler with request metrics and optional
-// access logging, and mounts GET /metrics. logger may be nil to disable
-// logging.
-func Instrument(next http.Handler, metrics *Metrics, logger *log.Logger) http.Handler {
+// bodyWriter forwards writes but swallows status/header changes — used
+// when a response preamble has already been written and the delegate
+// handler's WriteHeader would be superfluous.
+type bodyWriter struct {
+	http.ResponseWriter
+}
+
+func (w *bodyWriter) WriteHeader(int) {}
+
+// Instrument wraps an HTTP handler with request metrics, trace-id
+// minting, and optional structured access logging. It mounts
+// GET /metrics (the JSON snapshot) and intercepts
+// GET /metrics/prometheus to prepend the handler-level families to the
+// wrapped server's exposition.
+//
+// Every request gets a trace id: the incoming X-Toltiers-Trace header's
+// when it parses, freshly minted otherwise. The id is echoed on the
+// response header and parked in the request context, where the
+// dispatcher's flight recorder picks it up — so a slow exemplar in
+// GET /trace/recent joins to the access log line and to the client that
+// sent the id. logger may be nil to disable logging; log lines carry
+// method, path, status, elapsed time, trace id, and the tier
+// annotation headers.
+func Instrument(next http.Handler, metrics *Metrics, logger *slog.Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		snap := metrics.Snapshot()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(snap)
 	})
+	mux.HandleFunc("GET /metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		var b bytes.Buffer
+		metrics.writePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(b.Bytes())
+		// The server's exposition follows in the same response body; its
+		// header writes are moot once the preamble is out.
+		next.ServeHTTP(&bodyWriter{ResponseWriter: w}, r)
+	})
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := trace.ParseID(r.Header.Get(trace.Header))
+		if !ok {
+			id = trace.NextID()
+		}
+		w.Header().Set(trace.Header, trace.FormatID(id))
+		r = r.WithContext(trace.ContextWithID(r.Context(), id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
@@ -101,9 +282,14 @@ func Instrument(next http.Handler, metrics *Metrics, logger *log.Logger) http.Ha
 		key := r.Method + " " + r.URL.Path + " " + itoa(rec.status)
 		metrics.observe(key, elapsed)
 		if logger != nil {
-			logger.Printf("%s %s -> %d (%v) tol=%q obj=%q",
-				r.Method, r.URL.Path, rec.status, elapsed,
-				r.Header.Get("Tolerance"), r.Header.Get("Objective"))
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("elapsed", elapsed),
+				slog.String("trace", trace.FormatID(id)),
+				slog.String("tol", r.Header.Get("Tolerance")),
+				slog.String("obj", r.Header.Get("Objective")))
 		}
 	}))
 	return mux

@@ -2,12 +2,16 @@ package server
 
 import (
 	"encoding/json"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 func TestInstrumentCountsRequests(t *testing.T) {
@@ -57,8 +61,8 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestInstrumentLogging(t *testing.T) {
-	var sb strings.Builder
-	logger := log.New(&sb, "", 0)
+	var sb syncBuffer
+	logger := slog.New(slog.NewTextHandler(&sb, nil))
 	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
 	ts := httptest.NewServer(Instrument(inner, NewMetrics(), logger))
 	defer ts.Close()
@@ -69,11 +73,129 @@ func TestInstrumentLogging(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if !strings.Contains(sb.String(), "GET /tiers -> 200") {
-		t.Fatalf("log line missing: %q", sb.String())
+	line := sb.String()
+	for _, want := range []string{"msg=request", "method=GET", "path=/tiers", "status=200", "tol=0.01"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q: %q", want, line)
+		}
 	}
-	if !strings.Contains(sb.String(), `tol="0.01"`) {
-		t.Fatalf("annotation missing from log: %q", sb.String())
+	// The log line's trace id must be the one echoed on the response.
+	echoed := resp.Header.Get(trace.Header)
+	if _, ok := trace.ParseID(echoed); !ok {
+		t.Fatalf("response trace header %q not a trace id", echoed)
+	}
+	if !strings.Contains(line, "trace="+echoed) {
+		t.Fatalf("log line does not join to trace %q: %q", echoed, line)
+	}
+}
+
+// TestInstrumentTraceHeader pins the id contract: a parseable incoming
+// X-Toltiers-Trace is reused (retries of one logical request correlate),
+// garbage is replaced with a fresh mint, and the id reaches the wrapped
+// handler's context.
+func TestInstrumentTraceHeader(t *testing.T) {
+	var gotCtx uint64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotCtx = trace.IDFromContext(r.Context())
+	})
+	ts := httptest.NewServer(Instrument(inner, NewMetrics(), nil))
+	defer ts.Close()
+
+	id := trace.NextID()
+	req, _ := http.NewRequest("GET", ts.URL+"/tiers", nil)
+	req.Header.Set(trace.Header, trace.FormatID(id))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.Header); got != trace.FormatID(id) {
+		t.Fatalf("echoed %q, want %q", got, trace.FormatID(id))
+	}
+	if gotCtx != id {
+		t.Fatalf("context id %x, want %x", gotCtx, id)
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/tiers", nil)
+	req.Header.Set(trace.Header, "not-a-trace-id")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted, ok := trace.ParseID(resp.Header.Get(trace.Header))
+	if !ok || minted == id {
+		t.Fatalf("garbage header not replaced with fresh id: %q", resp.Header.Get(trace.Header))
+	}
+}
+
+// TestMetricsHistogramQuantiles pins the fixed-bucket quantiles: with
+// 100 observations of 2ms and one of 200ms, p50 lands in the 2.5ms
+// bucket and p99+ in the tail.
+func TestMetricsHistogramQuantiles(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 100; i++ {
+		m.observe("GET /x 200", 2*time.Millisecond)
+	}
+	m.observe("GET /x 200", 200*time.Millisecond)
+	snap := m.Snapshot()
+	if snap.P50HandlerLatencyMS != 2.5 {
+		t.Fatalf("p50 = %v, want 2.5", snap.P50HandlerLatencyMS)
+	}
+	if snap.P95HandlerLatencyMS != 2.5 {
+		t.Fatalf("p95 = %v, want 2.5", snap.P95HandlerLatencyMS)
+	}
+	if snap.P99HandlerLatencyMS != 2.5 {
+		t.Fatalf("p99 = %v, want 2.5 (101 obs: 99th is still in the 2.5ms bucket)", snap.P99HandlerLatencyMS)
+	}
+	// Push the tail until p99 crosses into the 250ms bucket.
+	for i := 0; i < 10; i++ {
+		m.observe("GET /x 200", 200*time.Millisecond)
+	}
+	if p := m.Snapshot().P99HandlerLatencyMS; p != 250 {
+		t.Fatalf("p99 = %v, want 250", p)
+	}
+}
+
+// TestInstrumentPrometheus checks the middleware prepends its handler
+// families to whatever the wrapped handler writes for the exposition.
+func TestInstrumentPrometheus(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics/prometheus" {
+			w.Header().Set("Content-Type", "text/plain")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("inner_metric 1\n"))
+			return
+		}
+	})
+	m := NewMetrics()
+	ts := httptest.NewServer(Instrument(inner, m, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE toltiers_handler_requests_total counter",
+		`toltiers_handler_requests_total{method="GET",path="/tiers",status="200"} 1`,
+		"# TYPE toltiers_handler_latency_ms histogram",
+		`toltiers_handler_latency_ms_bucket{le="+Inf"} 1`,
+		"inner_metric 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
 	}
 }
 
@@ -111,7 +233,7 @@ func TestInstrumentConcurrentRequests(t *testing.T) {
 	})
 	m := NewMetrics()
 	var sb syncBuffer
-	logger := log.New(&sb, "", 0)
+	logger := slog.New(slog.NewTextHandler(&sb, nil))
 	ts := httptest.NewServer(Instrument(inner, m, logger))
 	defer ts.Close()
 
@@ -169,14 +291,14 @@ func TestInstrumentConcurrentRequests(t *testing.T) {
 	if snap.TierHits["response-time/0.05"] != clients*perEach {
 		t.Fatalf("tier hits = %d", snap.TierHits["response-time/0.05"])
 	}
-	// Log lines must be whole: the log.Logger serializes writes, so
-	// every line is exactly one request record.
+	// Log lines must be whole: the slog handler emits one Write per
+	// record, so every line is exactly one request record.
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
 	if int64(len(lines)) != want {
 		t.Fatalf("%d log lines, want %d", len(lines), want)
 	}
 	for _, line := range lines {
-		if !strings.Contains(line, "GET /") || !strings.Contains(line, `tol="0.05"`) {
+		if !strings.Contains(line, "method=GET") || !strings.Contains(line, "tol=0.05") {
 			t.Fatalf("malformed log line: %q", line)
 		}
 	}

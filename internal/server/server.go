@@ -32,6 +32,7 @@ import (
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/trace"
 )
 
 // Config parameterizes a serving node beyond its registry and corpus.
@@ -64,6 +65,12 @@ type Config struct {
 	// serial per-request path. The Gate field is overwritten with the
 	// node's admission gate.
 	Coalesce *coalesce.Options
+	// Trace parameterizes the per-dispatch flight recorder behind
+	// GET /trace/recent and GET /trace/{id} (zero = a 1024-slot ring
+	// sampling 1 in 16 dispatches; set Disabled to serve without one).
+	// The Dispatch.Recorder field is overwritten with the node's
+	// recorder so dispatcher spans and admission sheds land in one ring.
+	Trace trace.Options
 	// DriftInterval is the drift loop's check cadence (0 = 2s; < 0
 	// disables the loop entirely — Check is then never called).
 	DriftInterval time.Duration
@@ -98,6 +105,10 @@ type Server struct {
 	// adm gates every tier-execution handler before the dispatcher
 	// leases a backend slot (see admission.go).
 	adm *admit.Controller
+
+	// rec is the per-dispatch flight recorder (nil when Config.Trace
+	// disabled it; see trace.go for the read-side handlers).
+	rec *trace.Recorder
 
 	// coal, when configured, coalesces POST /dispatch traffic into
 	// batch windows (nil = serial per-request path; see coalesce.go).
@@ -187,6 +198,10 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 
 	dopts := cfg.Dispatch
 	dopts.Observer = s.mon
+	if !cfg.Trace.Disabled {
+		s.rec = trace.New(cfg.Trace)
+	}
+	dopts.Recorder = s.rec
 	s.disp = dispatch.New(s.backends, dopts)
 	s.adm = admit.New(cfg.Admission)
 	if cfg.Coalesce != nil {
@@ -209,6 +224,9 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	mux.HandleFunc("POST /drift/config", s.handleDriftConfig)
 	mux.HandleFunc("GET /admission", s.handleAdmission)
 	mux.HandleFunc("POST /admission/config", s.handleAdmissionConfig)
+	mux.HandleFunc("GET /trace/recent", s.handleTraceRecent)
+	mux.HandleFunc("GET /trace/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /metrics/prometheus", s.handlePrometheus)
 	s.mux = mux
 
 	s.driftInterval = cfg.DriftInterval
@@ -270,6 +288,10 @@ func (s *Server) Admission() *admit.Controller { return s.adm }
 // Coalescer exposes the node's dispatch coalescer (nil when coalescing
 // is not configured).
 func (s *Server) Coalescer() *coalesce.Coalescer { return s.coal }
+
+// Recorder exposes the node's flight recorder (nil when Config.Trace
+// disabled it).
+func (s *Server) Recorder() *trace.Recorder { return s.rec }
 
 // trainingMatrix returns the matrix backing rule generation (nil
 // disables the endpoints); a successful drift re-profile swaps it.

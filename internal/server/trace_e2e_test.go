@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/admit"
+	"github.com/toltiers/toltiers/internal/client"
+	"github.com/toltiers/toltiers/internal/coalesce"
+	"github.com/toltiers/toltiers/internal/dataset"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/trace"
+	"github.com/toltiers/toltiers/internal/vision"
+)
+
+// TestTraceE2EHedgedExemplar is the flight recorder's end-to-end
+// acceptance: a serving node with admission, coalescing, and the
+// recorder armed handles a wave of tight-deadline requests whose
+// failover tier is forced to hedge, and GET /trace/recent then shows a
+// hedged exemplar with its hedge leg, its admission decision, and the
+// coalesce window that flushed it — plus, for one request carrying a
+// caller-minted X-Toltiers-Trace id, GET /trace/{id} returns that exact
+// span.
+func TestTraceE2EHedgedExemplar(t *testing.T) {
+	ctx := context.Background()
+	c := dataset.NewVisionCorpus(dataset.VisionCorpusConfig{N: 240, Device: vision.GPU})
+	m := profile.Build(c.Service, c.Requests)
+	nv := m.NumVersions()
+
+	// Hand-built rule tables make the hedge deterministic: tier 0 runs
+	// both backends concurrently (warming both latency trackers), tier
+	// 0.05 is a failover pair whose sequential p95 sum far exceeds the
+	// wave's deadline budget.
+	mk := func(tol float64, p ensemble.Policy) rulegen.Rule {
+		return rulegen.Rule{Tolerance: tol, Objective: rulegen.MinimizeLatency, Candidate: rulegen.Candidate{Policy: p}}
+	}
+	table := rulegen.RuleTable{
+		Objective: rulegen.MinimizeLatency,
+		Best:      nv - 1,
+		Rules: []rulegen.Rule{
+			mk(0, ensemble.Policy{Kind: ensemble.Concurrent, Primary: 0, Secondary: nv - 1, Threshold: 0.5}),
+			mk(0.05, ensemble.Policy{Kind: ensemble.Failover, Primary: 0, Secondary: nv - 1, Threshold: 0.5}),
+		},
+	}
+	reg := tiers.NewRegistry(c.Service, table)
+
+	// Replay backends occupy real wall time so concurrent arrivals
+	// genuinely overlap and the coalescer forms windows (the zero-wait
+	// bypass would swallow an instant-backend wave).
+	backends := dispatch.NewReplayBackends(m)
+	for _, b := range backends {
+		b.(*dispatch.ReplayBackend).SleepScale = 1
+	}
+
+	srv := NewWithConfig(reg, c.Requests, Config{
+		Matrix:    m,
+		Backends:  backends,
+		Coalesce:  &coalesce.Options{MaxBatch: 8},
+		Admission: admit.Config{Enabled: true, MaxInFlight: 256},
+		// A huge sampling stride proves every capture below earned tail
+		// exemplar status instead of riding the head sampler.
+		Trace: trace.Options{Size: 1024, SampleEvery: 1 << 20},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(Instrument(srv, NewMetrics(), nil))
+	defer ts.Close()
+	cl := client.New(ts.URL, ts.Client())
+
+	// Warm both trackers through the concurrent tier (no deadline, so
+	// nothing hedges or sheds yet).
+	for i := 0; i < 16; i++ {
+		if _, err := cl.Dispatch(ctx, c.Requests[i%len(c.Requests)].ID, 0, rulegen.MinimizeLatency, 0); err != nil {
+			t.Fatalf("warm dispatch %d: %v", i, err)
+		}
+	}
+
+	// The wave: concurrent same-tier requests under a budget well below
+	// the failover pair's sequential latency sum, so the dispatcher
+	// hedges and the coalescer forms windows.
+	const workers = 16
+	const perWorker = 8
+	budget := 4 * time.Millisecond
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := c.Requests[(w*perWorker+i)%len(c.Requests)].ID
+				if _, err := cl.Dispatch(ctx, id, 0.05, rulegen.MinimizeLatency, budget); err != nil {
+					t.Errorf("wave dispatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// One final request carries a caller-minted trace id through the
+	// X-Toltiers-Trace header (the client SDK stamps it from the
+	// context), proving the id survives middleware → dispatcher → ring.
+	myID := trace.NextID()
+	idCtx := trace.ContextWithID(ctx, myID)
+	if _, err := cl.Dispatch(idCtx, c.Requests[0].ID, 0.05, rulegen.MinimizeLatency, budget); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := cl.TraceRecent(ctx, "", "", "", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Committed == 0 || len(tr.Spans) == 0 {
+		t.Fatalf("recorder committed nothing: %+v", tr)
+	}
+	var hedgedWindowed, mine bool
+	for _, sp := range tr.Spans {
+		if sp.ID == trace.FormatID(myID) {
+			mine = true
+		}
+		if !sp.Hedged || sp.Window == 0 {
+			continue
+		}
+		if sp.Tier != "response-time/0.05" {
+			t.Fatalf("hedged span on unexpected tier %q", sp.Tier)
+		}
+		if sp.Admit != "admitted" {
+			t.Fatalf("hedged span admit = %q, want admitted", sp.Admit)
+		}
+		var hedgeLeg bool
+		for _, l := range sp.Legs {
+			if l.Hedge {
+				hedgeLeg = true
+				if l.Backend == "" || l.ServiceMS <= 0 {
+					t.Fatalf("hedge leg not populated: %+v", l)
+				}
+			}
+		}
+		if !hedgeLeg {
+			t.Fatalf("hedged span has no hedge leg: %+v", sp)
+		}
+		hedgedWindowed = true
+	}
+	if !hedgedWindowed {
+		t.Fatalf("no hedged span with a coalesce window in %d recent spans", len(tr.Spans))
+	}
+	if !mine {
+		t.Fatalf("caller-minted trace id %s missing from /trace/recent", trace.FormatID(myID))
+	}
+
+	// GET /trace/{id} returns the caller-identified span directly.
+	sp, err := cl.Trace(ctx, trace.FormatID(myID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ID != trace.FormatID(myID) || sp.Tier != "response-time/0.05" || !sp.Hedged {
+		t.Fatalf("GET /trace/{id} = %+v", sp)
+	}
+
+	// The Prometheus surface exposes the recorder's counters alongside
+	// the handler histogram.
+	resp, err := ts.Client().Get(ts.URL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"toltiers_trace_spans_total{kind=\"hedge\"}",
+		"toltiers_trace_dispatches_total",
+		"toltiers_handler_latency_ms_bucket",
+		"toltiers_admission_state",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics/prometheus missing %s", want)
+		}
+	}
+}

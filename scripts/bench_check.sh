@@ -11,9 +11,14 @@
 # runtime (BenchmarkDispatch*), the Fig.-7 sweep (BenchmarkRuleGenerator),
 # the bootstrap kernel (BenchmarkEvaluatorTrial), the drift monitor's
 # observe path (BenchmarkDriftObserve, which must also stay at 0
-# allocs/op — see internal/drift's alloc-regression test) and the
+# allocs/op — see internal/drift's alloc-regression test), the
 # admission accept path (BenchmarkAdmit, pinned at 0 allocs/op by
-# internal/admit's alloc-regression test). Benchmarks present
+# internal/admit's alloc-regression test) and the flight recorder's
+# observe path (BenchmarkTraceObserve, 0 allocs/op pinned by
+# internal/trace's alloc test). The recorder's dispatch overhead is
+# additionally gated within the fresh run itself: serial-traced must
+# stay within TRACE_OVERHEAD_PCT of serial (same sweep, so host speed
+# cancels out). Benchmarks present
 # in the fresh run but absent from the baseline are reported as new and
 # do not fail the gate. When fresh-out.json is given, the fresh run's
 # JSON is kept there (CI uploads it as the new baseline artifact instead
@@ -53,7 +58,7 @@ status=0
 echo "bench_check: comparing against $BASELINE (threshold +${THRESHOLD}%)"
 while read -r name fresh_ns; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
+        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit|BenchmarkTraceObserve) ;;
         *) continue ;;
     esac
     base_ns="$(awk -v n="$name" '$1 == n {print $2}' /tmp/bench_base.$$)"
@@ -70,12 +75,36 @@ while read -r name fresh_ns; do
     fi
 done < /tmp/bench_fresh.$$
 
+# Recorder-overhead gate, computed within the single fresh sweep so
+# host-speed variance cancels: the traced serial dispatch must stay
+# within TRACE_OVERHEAD_PCT of the untraced one. The measured floor on
+# the two-leg concurrent replay policy is ~16-18% (one counter RMW, two
+# leg captures, span reset + finish per ~300ns dispatch — see
+# PERFORMANCE.md); 25% leaves headroom for run-to-run noise while still
+# catching a real regression in the recording fast path.
+TRACE_OVERHEAD_PCT="${TRACE_OVERHEAD_PCT:-25}"
+serial_ns="$(awk '$1 == "BenchmarkDispatch/serial" {print $2}' /tmp/bench_fresh.$$)"
+traced_ns="$(awk '$1 == "BenchmarkDispatch/serial-traced" {print $2}' /tmp/bench_fresh.$$)"
+if [[ -n "$serial_ns" && -n "$traced_ns" ]]; then
+    verdict="$(awk -v s="$serial_ns" -v t="$traced_ns" -v p="$TRACE_OVERHEAD_PCT" \
+        'BEGIN { print (t > s * (1 + p / 100)) ? "FAIL" : "ok" }')"
+    delta="$(awk -v s="$serial_ns" -v t="$traced_ns" 'BEGIN { printf "%+.1f", (t / s - 1) * 100 }')"
+    printf '  %-5s %-40s %12.1f vs %12.1f ns/op (%s%% recorder overhead, cap +%s%%)\n' \
+        "$verdict" "recorder-overhead(serial-traced/serial)" "$serial_ns" "$traced_ns" "$delta" "$TRACE_OVERHEAD_PCT"
+    if [[ "$verdict" == "FAIL" ]]; then
+        status=1
+    fi
+else
+    echo "  MISS  recorder-overhead gate: serial/serial-traced pair absent from fresh run"
+    status=1
+fi
+
 # A gated benchmark that vanished from the fresh sweep (renamed,
 # deleted, or dropped from the bench binary) is itself a gate failure —
 # otherwise losing the benchmark silently loses its protection.
 while read -r name _; do
     case "$name" in
-        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit) ;;
+        BenchmarkDispatch*|BenchmarkCoalescedDispatch*|BenchmarkRuleGenerator|BenchmarkEvaluatorTrial|BenchmarkDriftObserve|BenchmarkAdmit|BenchmarkTraceObserve) ;;
         *) continue ;;
     esac
     if ! awk -v n="$name" '$1 == n {found=1} END {exit !found}' /tmp/bench_fresh.$$; then

@@ -29,6 +29,7 @@ package toltiers
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 
 	"github.com/toltiers/toltiers/internal/admit"
@@ -45,6 +46,7 @@ import (
 	"github.com/toltiers/toltiers/internal/server"
 	"github.com/toltiers/toltiers/internal/service"
 	"github.com/toltiers/toltiers/internal/tiers"
+	"github.com/toltiers/toltiers/internal/trace"
 	"github.com/toltiers/toltiers/internal/vision"
 )
 
@@ -207,6 +209,54 @@ const (
 	AdmitShedCapacity = admit.ShedCapacity
 	AdmitShedDeadline = admit.ShedDeadline
 )
+
+// Per-dispatch flight recording (the observability layer).
+type (
+	// TraceRecorder captures one span per dispatch — admit decision,
+	// coalesce window, per-leg backend timings — in a fixed-size ring
+	// with head sampling plus always-kept tail exemplars (errors,
+	// sheds, hedges, deadline misses, beyond-p99 latencies). Hang one
+	// on DispatchOptions.Recorder; recording adds zero allocations to
+	// the steady-state dispatch path. NewHTTPServer constructs one
+	// automatically from ServerConfig.Trace and serves it at
+	// GET /trace/recent and GET /trace/{id}.
+	TraceRecorder = trace.Recorder
+	// TraceOptions parameterizes a TraceRecorder (ring size, sampling
+	// stride).
+	TraceOptions = trace.Options
+	// RecordedSpan is one dispatch's flight record.
+	RecordedSpan = trace.Span
+	// RecordedLeg is one executed backend leg of a RecordedSpan.
+	RecordedLeg = trace.Leg
+	// TraceFilter selects spans on a recorder's read side.
+	TraceFilter = trace.Filter
+	// ServerMetrics is the HTTP middleware's counter registry: request
+	// counts by route/status, tier hits, and a fixed-bucket handler
+	// latency histogram with p50/p95/p99 (GET /metrics).
+	ServerMetrics = server.Metrics
+)
+
+// TraceHeader is the HTTP header carrying a request's trace id across
+// process hops (X-Toltiers-Trace): minted by the Instrument middleware,
+// echoed on responses, propagated by the client SDK's retry wrappers
+// and the shard transport.
+const TraceHeader = trace.Header
+
+// NewTraceRecorder builds a per-dispatch flight recorder. The zero
+// TraceOptions value is a 1024-slot ring sampling 1 in 16 dispatches.
+func NewTraceRecorder(opts TraceOptions) *TraceRecorder { return trace.New(opts) }
+
+// NewServerMetrics returns an empty middleware counter registry.
+func NewServerMetrics() *ServerMetrics { return server.NewMetrics() }
+
+// InstrumentHandler wraps an HTTP handler with request metrics,
+// trace-id minting (the X-Toltiers-Trace header), and structured
+// access logging; it mounts GET /metrics and prepends handler-level
+// families to GET /metrics/prometheus. logger may be nil to disable
+// logging.
+func InstrumentHandler(next http.Handler, m *ServerMetrics, logger *slog.Logger) http.Handler {
+	return server.Instrument(next, m, logger)
+}
 
 // Drift detection (the self-healing loop).
 type (
