@@ -652,6 +652,60 @@ func BenchmarkDriftObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkCanaryDispatch measures the canary-split dispatch path: the
+// same replay dispatch with a drift monitor attached, /off with no
+// trial live (every ticket takes the regular observer path), /split
+// with a live canary trial and tickets alternating between the canary
+// and incumbent arms — the exact traffic shape of a stride-2 canary
+// slice during a heal. The split path must stay within
+// CANARY_OVERHEAD_PCT (10%) of /off in the same sweep;
+// scripts/bench_check.sh gates the pair.
+func BenchmarkCanaryDispatch(b *testing.B) {
+	corpus := toltiers.NewVisionCorpus(400)
+	matrix := toltiers.Profile(corpus.Service, corpus.Requests)
+	gcfg := toltiers.DefaultGeneratorConfig()
+	gcfg.MinTrials = 5
+	gcfg.MaxTrials = 20
+	gcfg.ThresholdPoints = 4
+	gcfg.IncludePickBest = false
+	gen := toltiers.NewRuleGenerator(matrix, nil, gcfg)
+	table := gen.Generate(toltiers.ToleranceGrid(0.10, 0.01), toltiers.MinimizeLatency)
+	rule, ok := table.Lookup(0.05)
+	if !ok {
+		b.Fatal("no 5% tier")
+	}
+	reqs := toltiers.ReplayRequests(matrix)
+	ctx := context.Background()
+	names := make([]string, matrix.NumVersions())
+	for i := range names {
+		names[i] = matrix.VersionNames[i]
+	}
+
+	run := func(b *testing.B, trial bool) {
+		b.Helper()
+		mon := toltiers.NewDriftMonitor(toltiers.DriftConfig{Enabled: true, Window: 64}, names, nil)
+		if trial {
+			mon.StartCanaryTrial(time.Now())
+		}
+		d := toltiers.NewDispatcher(toltiers.NewReplayBackends(matrix),
+			toltiers.DispatchOptions{Observer: mon})
+		ticket := toltiers.DispatchTicket{
+			Tier:   toltiers.DispatchTierKey(toltiers.MinimizeLatency, rule.Tolerance),
+			Policy: rule.Candidate.Policy,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ticket.Canary = trial && i&1 == 0
+			if _, err := d.Do(ctx, reqs[i%len(reqs)], ticket); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("split", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkTraceObserve measures the flight recorder's Observe in
 // isolation — dispatch counter, tail-threshold feed, head sampler, and
 // (on kept spans) the ring commit. This is the overhead recording adds

@@ -949,6 +949,21 @@ func reportDrift(st api.DriftStatus) {
 	for _, e := range st.Events {
 		log.Printf("drift event: %s %s value %.4g threshold %.4g", e.Stream, e.Detector, e.Value, e.Threshold)
 	}
+	if len(st.Heals) > 0 {
+		h := tablewriter.New(fmt.Sprintf("self-healing history (%d attempts)", len(st.Heals)),
+			"finished", "verdict", "duration (s)", "job", "trigger / error")
+		for _, rec := range st.Heals {
+			detail := rec.Trigger
+			if rec.Error != "" {
+				detail = rec.Error
+			}
+			h.AddStrings(time.UnixMilli(rec.UnixMS).Format("15:04:05"), rec.Verdict,
+				fmt.Sprintf("%.2f", rec.DurationMS/1e3), fmt.Sprint(rec.JobID), detail)
+		}
+		if err := h.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // corpus/profile/registry construction, cached per process run.

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +19,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/toltiers/toltiers"
 )
@@ -30,8 +35,9 @@ func main() {
 		step       = flag.Float64("step", 0.005, "tolerance grid step")
 		shards     = flag.Int("shards", 0, "candidate-grid shards for the sharded generator (0 = auto)")
 		workers    = flag.Int("workers", 0, "concurrent shard workers (0 = one per shard)")
-		driftOn    = flag.Bool("drift", false, "watch live telemetry for distribution shifts and self-heal: a confirmed shift re-profiles the backends and regenerates the rule tables in place")
+		driftOn    = flag.Bool("drift", false, "watch live telemetry for distribution shifts and self-heal: a confirmed shift re-profiles the backends, canary-trials the regenerated rule tables on a traffic slice, and promotes them only on a win")
 		driftTick  = flag.Duration("drift-interval", 0, "drift check cadence (0 = 2s)")
+		stateDir   = flag.String("state-dir", "", "directory for crash-safe state snapshots: healed rule tables, drift baselines and heal history persist atomically on promotion and shutdown, and a compatible snapshot restores on boot instead of re-profiling")
 
 		admitOn       = flag.Bool("admit", false, "enable the admission layer: per-tenant token buckets, priority admission, deadline shedding (GET /admission, POST /admission/config)")
 		admitInflight = flag.Int("admit-max-inflight", 0, "admitted in-flight dispatch cap (0 = unlimited)")
@@ -59,23 +65,61 @@ func main() {
 		os.Exit(2)
 	}
 
-	log.Printf("profiling %d requests across %d versions of %s ...", len(reqs), len(svc.Versions), svc.Domain)
-	matrix := toltiers.Profile(svc, reqs)
-
-	gcfg := toltiers.DefaultGeneratorConfig()
-	gcfg.Confidence = *confidence
-	log.Printf("generating routing rules (confidence %.3f, shards %d) ...", *confidence, *shards)
-	gen, err := toltiers.ShardedGenerate(matrix, nil, gcfg, *shards, *workers)
-	if err != nil {
-		log.Fatal(err)
+	// A compatible state snapshot restores the healed runtime — matrix,
+	// rule tables, baselines, heal history — and skips profiling and
+	// rule generation entirely. Any load failure (no snapshot yet,
+	// corruption, corpus skew) falls back to profiling from scratch: the
+	// snapshot is a cache of re-derivable work, never the source of
+	// truth.
+	var (
+		matrix  *toltiers.Matrix
+		reg     *toltiers.Registry
+		restore *toltiers.StateSnapshot
+	)
+	if *stateDir != "" {
+		path := toltiers.ServerStatePath(*stateDir)
+		snap, lerr := toltiers.LoadStateSnapshot(path)
+		if lerr == nil {
+			ids := make([]int, len(reqs))
+			for i, r := range reqs {
+				ids[i] = r.ID
+			}
+			lerr = snap.CompatibleWith(svc.Domain, svc.VersionNames(), ids)
+		}
+		switch {
+		case lerr == nil:
+			matrix = snap.Matrix
+			reg = toltiers.NewRegistry(svc, snap.Tables...)
+			restore = snap
+			log.Printf("restored state snapshot %s: %d tables, %d heals, saved %s",
+				path, len(snap.Tables), len(snap.Heals), snap.SavedAt.Format(time.RFC3339))
+		case errors.Is(lerr, os.ErrNotExist):
+			log.Printf("no state snapshot at %s; profiling from scratch", path)
+		default:
+			log.Printf("ignoring state snapshot %s: %v", path, lerr)
+		}
 	}
-	grid := toltiers.ToleranceGrid(0.10, *step)
-	reg := toltiers.NewRegistry(svc,
-		gen.Generate(grid, toltiers.MinimizeLatency),
-		gen.Generate(grid, toltiers.MinimizeCost))
+	if restore == nil {
+		log.Printf("profiling %d requests across %d versions of %s ...", len(reqs), len(svc.Versions), svc.Domain)
+		matrix = toltiers.Profile(svc, reqs)
+
+		gcfg := toltiers.DefaultGeneratorConfig()
+		gcfg.Confidence = *confidence
+		log.Printf("generating routing rules (confidence %.3f, shards %d) ...", *confidence, *shards)
+		gen, gerr := toltiers.ShardedGenerate(matrix, nil, gcfg, *shards, *workers)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		grid := toltiers.ToleranceGrid(0.10, *step)
+		reg = toltiers.NewRegistry(svc,
+			gen.Generate(grid, toltiers.MinimizeLatency),
+			gen.Generate(grid, toltiers.MinimizeCost))
+	}
 
 	cfg := toltiers.ServerConfig{
 		Matrix:        matrix,
+		StateDir:      *stateDir,
+		Restore:       restore,
 		Trace:         toltiers.TraceOptions{Disabled: *traceOff, Size: *traceSize, SampleEvery: *traceSample},
 		Drift:         toltiers.DriftConfig{Enabled: *driftOn, AutoReprofile: *driftOn},
 		DriftInterval: *driftTick,
@@ -95,6 +139,9 @@ func main() {
 	defer srv.Close()
 	if *driftOn {
 		log.Printf("drift monitor armed (GET /drift, POST /drift/config)")
+	}
+	if *stateDir != "" {
+		log.Printf("state snapshots armed: %s (written on promotion and shutdown)", toltiers.ServerStatePath(*stateDir))
 	}
 	if *admitOn || *brownoutOn {
 		log.Printf("admission layer armed (GET /admission, POST /admission/config; brownout %v)", *brownoutOn)
@@ -126,8 +173,27 @@ func main() {
 		handler = root
 		log.Printf("pprof mounted at /debug/pprof/")
 	}
+	// Graceful shutdown: SIGTERM/SIGINT drains in-flight HTTP (bounded),
+	// then srv.Close() stops the drift loop — resolving any live canary
+	// trial — and writes the final state snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
 	log.Printf("serving %s tolerance tiers on %s (POST /rules/generate regenerates in place)", svc.Domain, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("shutdown signal: draining in-flight requests ...")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		srv.Close() // stops the drift loop, snapshots final state
+		log.Printf("shutdown complete")
 	}
 }

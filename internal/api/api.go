@@ -362,6 +362,52 @@ type DriftConfig struct {
 	// CooldownMS is the minimum gap between self-healing triggers in
 	// milliseconds (default 30000).
 	CooldownMS float64 `json:"cooldown_ms,omitempty"`
+	// SeasonPeriod is the per-tier seasonal baseline period in detector
+	// windows (0 = seasonal adjustment off). When set, the monitor
+	// learns a per-phase latency profile over the first
+	// SeasonPeriod*SeasonCycles windows and subtracts it before the
+	// PH/CUSUM latency folding, so a periodic cycle (a daily load wave)
+	// is not read as drift.
+	SeasonPeriod int `json:"season_period,omitempty"`
+	// SeasonCycles is how many full periods the seasonal profile
+	// averages over before it arms (default 2).
+	SeasonCycles int `json:"season_cycles,omitempty"`
+	// CanaryFraction is the deterministic slice of traffic routed
+	// through a healed-but-unpromoted rule table, as 1/N of requests
+	// (default 8, i.e. 1/8th). 0 selects the default.
+	CanaryFraction int `json:"canary_fraction,omitempty"`
+	// CanaryMinSamples is the per-tier sample floor both arms (canary
+	// and incumbent) must reach before the verdict compares them
+	// (default 96).
+	CanaryMinSamples int `json:"canary_min_samples,omitempty"`
+	// CanaryMaxMS bounds a canary trial's duration in milliseconds
+	// (default 120000): past it the verdict is forced from whatever
+	// evidence exists.
+	CanaryMaxMS float64 `json:"canary_max_ms,omitempty"`
+	// CanaryErrSigma is the error-mean tolerance in standard errors: the
+	// canary passes a tier when its mean error stays within
+	// CanaryErrSigma combined standard errors of the incumbent's
+	// (default 3).
+	CanaryErrSigma float64 `json:"canary_err_sigma,omitempty"`
+	// CanaryLatSlack is the fractional p95 latency slack: the canary
+	// passes when its p95 stays within (1+CanaryLatSlack) of the
+	// incumbent's (default 0.25).
+	CanaryLatSlack float64 `json:"canary_lat_slack,omitempty"`
+	// CanaryDisabled reverts to the pre-canary blind promotion: a heal
+	// swaps the registry immediately, no trial.
+	CanaryDisabled bool `json:"canary_disabled,omitempty"`
+	// MaxHealRetries suspends self-healing after this many consecutive
+	// non-promoted heals (default 8); a promotion resets the count.
+	MaxHealRetries int `json:"max_heal_retries,omitempty"`
+	// HealBackoffMS is the base of the exponential backoff between
+	// consecutive failed heals in milliseconds (default = CooldownMS);
+	// the n-th consecutive failure waits HealBackoffMS * 2^(n-1),
+	// capped at 16x.
+	HealBackoffMS float64 `json:"heal_backoff_ms,omitempty"`
+	// HedgeBoostQuantile is the hedging quantile the dispatcher uses for
+	// alarmed backends while a heal is in flight (default 0.99; >= 1
+	// disables the boost).
+	HedgeBoostQuantile float64 `json:"hedge_boost_quantile,omitempty"`
 }
 
 // DriftTierStatus is one tier's detector state in GET /drift.
@@ -421,17 +467,42 @@ type DriftEvent struct {
 	Threshold float64 `json:"threshold"`
 }
 
+// DriftHeal is one completed self-healing attempt in GET /drift —
+// the heal history the canary verdict controller appends to on every
+// promotion, rejection or failure.
+type DriftHeal struct {
+	// UnixMS is the wall-clock time the heal finished.
+	UnixMS int64 `json:"unix_ms"`
+	// Trigger describes the confirmed shift that started the heal
+	// (detector and stream of the triggering drift events).
+	Trigger string `json:"trigger,omitempty"`
+	// JobID is the rule-generation job the heal ran.
+	JobID int `json:"job_id,omitempty"`
+	// Verdict is promoted | rejected | failed (the re-profile or rule
+	// generation itself died before a canary could start).
+	Verdict string `json:"verdict"`
+	// Promoted reports the healed table now serves all traffic.
+	Promoted bool `json:"promoted"`
+	// DurationMS is the wall-clock span from trigger to verdict.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Error carries the failure or rejection detail ("" on promotion).
+	Error string `json:"error,omitempty"`
+}
+
 // DriftStatus is the JSON response of GET /drift.
 type DriftStatus struct {
 	Config DriftConfig `json:"config"`
 	// State is disabled | watching | triggered (a reprofile job is in
-	// flight).
+	// flight) | canary (a healed table is serving its trial slice).
 	State    string               `json:"state"`
 	Tiers    []DriftTierStatus    `json:"tiers,omitempty"`
 	Backends []DriftBackendStatus `json:"backends,omitempty"`
 	// Events lists the most recent confirmed shifts (bounded history,
 	// newest last).
 	Events []DriftEvent `json:"events,omitempty"`
+	// Heals lists the most recent completed self-healing attempts
+	// (bounded history, newest last), each with its canary verdict.
+	Heals []DriftHeal `json:"heals,omitempty"`
 	// Reprofiles counts self-healing loops completed and applied;
 	// LastJobID is the rule-generation job the latest trigger started.
 	Reprofiles int64 `json:"reprofiles"`

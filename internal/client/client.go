@@ -302,8 +302,9 @@ func (c *Client) RulesStatus(ctx context.Context) (*api.RuleGenStatus, error) {
 }
 
 // Drift fetches the node's drift-monitor status: detector states per
-// tier and backend, confirmed shift events, and the self-healing loop's
-// progress (GET /drift).
+// tier and backend, confirmed shift events, the heal history (every
+// completed self-healing attempt with its canary verdict), and the
+// self-healing loop's progress (GET /drift).
 func (c *Client) Drift(ctx context.Context) (*api.DriftStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/drift", nil)
 	if err != nil {

@@ -257,8 +257,14 @@ func (c *dispatchCall) runReplay(ctx context.Context, req *service.Request, t Ti
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(o)
-	if d.obs != nil && !t.Downgraded {
-		d.obs.ObserveOutcome(t.Tier, o)
+	if !t.Downgraded {
+		if t.Canary {
+			if d.cobs != nil {
+				d.cobs.ObserveCanaryOutcome(t.Tier, o)
+			}
+		} else if d.obs != nil {
+			d.obs.ObserveOutcome(t.Tier, o)
+		}
 	}
 	return nil
 }

@@ -197,12 +197,12 @@ func TestParseChaos(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"",
-		"kind=latency,magnitude=1",          // missing backend
-		"backend=0,magnitude=1",             // missing kind
-		"backend=0,kind=latency",            // missing magnitude
-		"backend=0,kind=nope,magnitude=1",   // bad kind
+		"kind=latency,magnitude=1",        // missing backend
+		"backend=0,magnitude=1",           // missing kind
+		"backend=0,kind=latency",          // missing magnitude
+		"backend=0,kind=nope,magnitude=1", // bad kind
 		"backend=0,kind=error,shape=wavy,magnitude=1", // bad shape
-		"backend=0,kind=error,magnitude=-1", // negative magnitude
+		"backend=0,kind=error,magnitude=-1",           // negative magnitude
 		"backend=0,kind=error,magnitude=1,bogus=2",
 		"notkeyvalue",
 	} {

@@ -93,6 +93,22 @@ type Observer interface {
 	ObserveFailure(tier string)
 }
 
+// CanaryObserver is the optional extension an Observer implements to
+// receive the outcomes of canary-marked tickets (requests served by a
+// healed-but-unpromoted rule table) on a separate channel. When the
+// configured Observer implements it, a Ticket with Canary set reports
+// here INSTEAD of ObserveOutcome/ObserveFailure: canary traffic runs a
+// policy the incumbent table did not choose, so folding it into the
+// drift detectors would let the trial corrupt the very baselines it is
+// being judged against. When the Observer does not implement it, canary
+// outcomes are dropped entirely (never misattributed to the incumbent).
+// Same contract as Observer: fast, allocation-free, concurrent-safe,
+// outcome pointer valid only for the duration of the call.
+type CanaryObserver interface {
+	ObserveCanaryOutcome(tier string, o *Outcome)
+	ObserveCanaryFailure(tier string)
+}
+
 // Ticket carries one request's resolved tier through the dispatcher.
 type Ticket struct {
 	// Tier keys telemetry, canonically "objective/tolerance"
@@ -116,6 +132,14 @@ type Ticket struct {
 	// degraded) results to the drift detectors would let an overload
 	// episode impersonate model drift and fire a spurious re-profile.
 	Downgraded bool
+	// Canary marks a request routed through a candidate (healed but not
+	// yet promoted) rule table. The dispatch runs normally; the outcome
+	// reports to the Observer's CanaryObserver extension instead of the
+	// regular observer channel so the promotion verdict can compare
+	// canary vs incumbent telemetry without cross-contamination. Tickets
+	// are comparable, so the flag also keys coalescing: canary and
+	// incumbent traffic for the same tier never share a batch window.
+	Canary bool
 }
 
 // TierKey renders the canonical telemetry key of a tier.
@@ -160,11 +184,12 @@ type Dispatcher struct {
 	backends []Backend
 	// names caches Backend.Name() per index so hot paths (flight
 	// recorder leg capture) skip the interface call.
-	names []string
-	sems  []semaphore
+	names    []string
+	sems     []semaphore
 	trackers []*latencyTracker
 	tel      *Telemetry
 	obs      Observer
+	cobs     CanaryObserver // opts.Observer's canary extension, if any
 	rec      *trace.Recorder
 	hedging  bool
 	// calls pools per-dispatch scratch (telemetry transaction, hedge
@@ -186,6 +211,7 @@ func New(backends []Backend, opts Options) *Dispatcher {
 		rec:      opts.Recorder,
 		hedging:  !opts.DisableHedging,
 	}
+	d.cobs, _ = opts.Observer.(CanaryObserver)
 	names := make([]string, len(backends))
 	for i, b := range backends {
 		names[i] = b.Name()
@@ -218,6 +244,21 @@ func (d *Dispatcher) TenantSnapshot(tenant string) api.TenantTelemetry {
 // P95 returns the observed latency quantile estimate of one backend in
 // nanoseconds (NaN until enough observations).
 func (d *Dispatcher) P95(backend int) float64 { return d.trackers[backend].estimate() }
+
+// SetHedgeQuantile swaps one backend's hedging quantile at runtime —
+// the drift-aware hedging hook: while a heal is in flight the
+// controller raises the quantile of alarmed backends, so the hedging
+// decision consults a more pessimistic tail estimate and fires the
+// secondary earlier, defending tail latency through the vulnerable
+// window. A q outside (0, 1) restores the dispatcher's configured
+// quantile. Safe to call concurrently with dispatch; out-of-range
+// backend indexes are ignored.
+func (d *Dispatcher) SetHedgeQuantile(backend int, q float64) {
+	if backend < 0 || backend >= len(d.trackers) {
+		return
+	}
+	d.trackers[backend].setQuantile(q)
+}
 
 // Tracing reports whether a flight recorder is armed — callers that
 // must assemble attribution (a coalesce window stamping park times)
@@ -399,8 +440,14 @@ func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) 
 		// disconnect, deadline) says nothing about the backends: feeding
 		// it to a drift monitor as a failure would let routine
 		// cancellation churn impersonate a backend outage.
-		if c.d.obs != nil && ctx.Err() == nil && !t.Downgraded {
-			c.d.obs.ObserveFailure(t.Tier)
+		if ctx.Err() == nil && !t.Downgraded {
+			if t.Canary {
+				if c.d.cobs != nil {
+					c.d.cobs.ObserveCanaryFailure(t.Tier)
+				}
+			} else if c.d.obs != nil {
+				c.d.obs.ObserveFailure(t.Tier)
+			}
 		}
 		return Outcome{}, err
 	}
@@ -408,9 +455,16 @@ func (c *dispatchCall) run(ctx context.Context, req *service.Request, t Ticket) 
 		o.DeadlineExceeded = true
 	}
 	c.txn.addOutcome(&o)
-	if c.d.obs != nil && !t.Downgraded {
-		c.obsOut = o
-		c.d.obs.ObserveOutcome(t.Tier, &c.obsOut)
+	if !t.Downgraded {
+		if t.Canary {
+			if c.d.cobs != nil {
+				c.obsOut = o
+				c.d.cobs.ObserveCanaryOutcome(t.Tier, &c.obsOut)
+			}
+		} else if c.d.obs != nil {
+			c.obsOut = o
+			c.d.obs.ObserveOutcome(t.Tier, &c.obsOut)
+		}
 	}
 	return o, nil
 }

@@ -25,7 +25,11 @@ import (
 // generations; the estimate is statistical, and every slot read is a
 // torn-free atomic.
 type latencyTracker struct {
-	quantile    float64
+	// base is the construction-time quantile; quantile carries the
+	// currently active one as float bits so the drift controller can
+	// boost it (and later restore base) without stopping dispatch.
+	base        float64
+	quantile    atomic.Uint64 // float64 bits of the active quantile
 	total       atomic.Uint64 // lifetime observation count (ring cursor)
 	refreshedAt atomic.Uint64 // total at the last cache refresh (0 = never)
 	cached      atomic.Uint64 // float64 bits; NaN until trackerMinSamples
@@ -46,12 +50,27 @@ const (
 
 func newLatencyTracker(quantile float64) *latencyTracker {
 	t := &latencyTracker{
-		quantile: quantile,
-		scratch:  make([]float64, 0, trackerWindow),
+		base:    quantile,
+		scratch: make([]float64, 0, trackerWindow),
 	}
+	t.quantile.Store(math.Float64bits(quantile))
 	t.cached.Store(math.Float64bits(math.NaN()))
 	t.floorCached.Store(math.Float64bits(math.NaN()))
 	return t
+}
+
+// setQuantile swaps the active quantile — the drift controller raises
+// it for alarmed backends while a heal is in flight so tail latency is
+// defended through the vulnerable window. A q outside (0, 1) restores
+// the construction-time base. The cache is invalidated so the next
+// estimate reflects the new quantile instead of serving the old one for
+// up to trackerRefresh observations.
+func (t *latencyTracker) setQuantile(q float64) {
+	if q <= 0 || q >= 1 {
+		q = t.base
+	}
+	t.quantile.Store(math.Float64bits(q))
+	t.refreshedAt.Store(0)
 }
 
 // observe folds one latency observation (in ns) into the window: one
@@ -100,7 +119,7 @@ func (t *latencyTracker) refresh() {
 	if len(s) == 0 {
 		return
 	}
-	idx := int(t.quantile * float64(len(s)-1))
+	idx := int(math.Float64frombits(t.quantile.Load()) * float64(len(s)-1))
 	t.cached.Store(math.Float64bits(selectKth(s, idx)))
 	// The window minimum rides along for free: it is the empirical floor
 	// of the backend's recent latency, which admission control compares

@@ -42,6 +42,36 @@ type Config struct {
 	QuantileStrikes int
 	// Cooldown is the minimum gap between self-healing triggers.
 	Cooldown time.Duration
+	// SeasonPeriod is the per-tier seasonal latency baseline period in
+	// detector windows (0 = seasonal adjustment off); SeasonCycles is
+	// how many full periods the profile averages before it arms.
+	SeasonPeriod, SeasonCycles int
+	// CanaryFraction routes 1/CanaryFraction of traffic through a
+	// healed-but-unpromoted rule table.
+	CanaryFraction int
+	// CanaryMinSamples is the per-tier sample floor both arms need
+	// before the promotion verdict compares them.
+	CanaryMinSamples int
+	// CanaryMaxDuration bounds a trial; past it the verdict is forced
+	// from whatever evidence exists.
+	CanaryMaxDuration time.Duration
+	// CanaryErrSigma / CanaryLatSlack are the verdict tolerances: the
+	// canary wins a tier when its mean error stays within CanaryErrSigma
+	// combined standard errors of the incumbent's and its p95 latency
+	// within (1+CanaryLatSlack) of the incumbent's.
+	CanaryErrSigma, CanaryLatSlack float64
+	// CanaryDisabled reverts to blind promotion (no trial).
+	CanaryDisabled bool
+	// MaxHealRetries suspends self-healing after this many consecutive
+	// non-promoted heals; a promotion resets the count.
+	MaxHealRetries int
+	// HealBackoff is the base of the exponential backoff between
+	// consecutive failed heals (default Cooldown): the n-th consecutive
+	// failure waits HealBackoff * 2^(n-1), capped at 16x.
+	HealBackoff time.Duration
+	// HedgeBoost is the hedging quantile alarmed backends run at while
+	// a heal is in flight (>= 1 disables the boost).
+	HedgeBoost float64
 }
 
 // withDefaults resolves zero fields to the monitor's defaults. The
@@ -85,44 +115,93 @@ func (c Config) withDefaults() Config {
 	if c.Cooldown <= 0 {
 		c.Cooldown = 30 * time.Second
 	}
+	if c.SeasonCycles <= 0 {
+		c.SeasonCycles = 2
+	}
+	if c.CanaryFraction <= 0 {
+		c.CanaryFraction = 8
+	}
+	if c.CanaryMinSamples <= 0 {
+		c.CanaryMinSamples = 96
+	}
+	if c.CanaryMaxDuration <= 0 {
+		c.CanaryMaxDuration = 2 * time.Minute
+	}
+	if c.CanaryErrSigma <= 0 {
+		c.CanaryErrSigma = 3
+	}
+	if c.CanaryLatSlack <= 0 {
+		c.CanaryLatSlack = 0.25
+	}
+	if c.MaxHealRetries <= 0 {
+		c.MaxHealRetries = 8
+	}
+	if c.HealBackoff <= 0 {
+		c.HealBackoff = c.Cooldown
+	}
+	if c.HedgeBoost <= 0 {
+		c.HedgeBoost = 0.99
+	}
 	return c
 }
 
 // FromWire converts the HTTP configuration to a Config.
 func FromWire(w api.DriftConfig) Config {
 	return Config{
-		Enabled:         w.Enabled,
-		AutoReprofile:   w.AutoReprofile,
-		Window:          w.Window,
-		WarmupWindows:   w.WarmupWindows,
-		ErrDelta:        w.ErrDelta,
-		ErrLambda:       w.ErrLambda,
-		LatDelta:        w.LatDelta,
-		LatLambda:       w.LatLambda,
-		CusumK:          w.CusumK,
-		CusumH:          w.CusumH,
-		QuantileRatio:   w.QuantileRatio,
-		QuantileStrikes: w.QuantileStrikes,
-		Cooldown:        time.Duration(w.CooldownMS * float64(time.Millisecond)),
+		Enabled:           w.Enabled,
+		AutoReprofile:     w.AutoReprofile,
+		Window:            w.Window,
+		WarmupWindows:     w.WarmupWindows,
+		ErrDelta:          w.ErrDelta,
+		ErrLambda:         w.ErrLambda,
+		LatDelta:          w.LatDelta,
+		LatLambda:         w.LatLambda,
+		CusumK:            w.CusumK,
+		CusumH:            w.CusumH,
+		QuantileRatio:     w.QuantileRatio,
+		QuantileStrikes:   w.QuantileStrikes,
+		Cooldown:          time.Duration(w.CooldownMS * float64(time.Millisecond)),
+		SeasonPeriod:      w.SeasonPeriod,
+		SeasonCycles:      w.SeasonCycles,
+		CanaryFraction:    w.CanaryFraction,
+		CanaryMinSamples:  w.CanaryMinSamples,
+		CanaryMaxDuration: time.Duration(w.CanaryMaxMS * float64(time.Millisecond)),
+		CanaryErrSigma:    w.CanaryErrSigma,
+		CanaryLatSlack:    w.CanaryLatSlack,
+		CanaryDisabled:    w.CanaryDisabled,
+		MaxHealRetries:    w.MaxHealRetries,
+		HealBackoff:       time.Duration(w.HealBackoffMS * float64(time.Millisecond)),
+		HedgeBoost:        w.HedgeBoostQuantile,
 	}
 }
 
 // Wire converts the Config to its HTTP representation.
 func (c Config) Wire() api.DriftConfig {
 	return api.DriftConfig{
-		Enabled:         c.Enabled,
-		AutoReprofile:   c.AutoReprofile,
-		Window:          c.Window,
-		WarmupWindows:   c.WarmupWindows,
-		ErrDelta:        c.ErrDelta,
-		ErrLambda:       c.ErrLambda,
-		LatDelta:        c.LatDelta,
-		LatLambda:       c.LatLambda,
-		CusumK:          c.CusumK,
-		CusumH:          c.CusumH,
-		QuantileRatio:   c.QuantileRatio,
-		QuantileStrikes: c.QuantileStrikes,
-		CooldownMS:      float64(c.Cooldown) / float64(time.Millisecond),
+		Enabled:            c.Enabled,
+		AutoReprofile:      c.AutoReprofile,
+		Window:             c.Window,
+		WarmupWindows:      c.WarmupWindows,
+		ErrDelta:           c.ErrDelta,
+		ErrLambda:          c.ErrLambda,
+		LatDelta:           c.LatDelta,
+		LatLambda:          c.LatLambda,
+		CusumK:             c.CusumK,
+		CusumH:             c.CusumH,
+		QuantileRatio:      c.QuantileRatio,
+		QuantileStrikes:    c.QuantileStrikes,
+		CooldownMS:         float64(c.Cooldown) / float64(time.Millisecond),
+		SeasonPeriod:       c.SeasonPeriod,
+		SeasonCycles:       c.SeasonCycles,
+		CanaryFraction:     c.CanaryFraction,
+		CanaryMinSamples:   c.CanaryMinSamples,
+		CanaryMaxMS:        float64(c.CanaryMaxDuration) / float64(time.Millisecond),
+		CanaryErrSigma:     c.CanaryErrSigma,
+		CanaryLatSlack:     c.CanaryLatSlack,
+		CanaryDisabled:     c.CanaryDisabled,
+		MaxHealRetries:     c.MaxHealRetries,
+		HealBackoffMS:      float64(c.HealBackoff) / float64(time.Millisecond),
+		HedgeBoostQuantile: c.HedgeBoost,
 	}
 }
 
@@ -179,7 +258,20 @@ type tierState struct {
 	windows                  int64
 	latWindows               int64   // windows that carried at least one latency sample
 	latBase                  float64 // warmup running mean of window latency means, then frozen
+	baseSeeded               bool    // latBase restored from a snapshot; skip warmup learning
 	lastErrMean, lastLatMean float64
+
+	// Seasonal latency baseline: with seasonPeriod > 0 the tier learns a
+	// per-phase latency profile over the first seasonPeriod*seasonCycles
+	// latency windows (detectors quiet while it learns), then subtracts
+	// the phase's deviation from the cycle mean before folding — a
+	// periodic cycle cancels out, a genuine level shift survives.
+	seasonPeriod, seasonCycles int
+	seasonSum                  []float64
+	seasonCnt                  []int64
+	season                     []float64
+	seasonMean                 float64
+	seasonReady                bool
 
 	errPH, latPH PageHinkley
 	errCS, latCS CUSUM
@@ -217,14 +309,31 @@ type Monitor struct {
 	evMu        sync.Mutex
 	events      []Event
 	lastTrigger time.Time
+	// Heal lifecycle (all under evMu): the bounded heal history, the
+	// consecutive-failure count driving the retry backoff, and the
+	// in-flight heal's start time and trigger description.
+	heals        []HealRecord
+	healFailures int
+	nextHealAt   time.Time
+	healStart    time.Time
+	healTrigger  string
+
+	// trial is the live canary comparison, nil when no heal is trialing
+	// a candidate table. A single atomic pointer load keeps the
+	// steady-state observe path allocation-free.
+	trial atomic.Pointer[canaryTrial]
 
 	inFlight   atomic.Bool // a reprofile is running; suppress triggers
 	reprofiles atomic.Int64
 	lastJobID  atomic.Int64
 }
 
-// maxEvents bounds the event history (oldest dropped first).
-const maxEvents = 128
+// maxEvents bounds the event history (oldest dropped first);
+// maxHeals bounds the heal history.
+const (
+	maxEvents = 128
+	maxHeals  = 64
+)
 
 // NewMonitor builds a monitor over the given backend list.
 // baselineP95Ns supplies the profiled per-backend latency p95 the
@@ -283,6 +392,14 @@ func (m *Monitor) SetConfig(cfg Config) {
 		b.mu.Unlock()
 	}
 	m.mu.Unlock()
+	// A config push re-arms suspended self-healing: the retry backoff
+	// and consecutive-failure count exist to stop unattended storms, and
+	// an operator touching the config is exactly the attention they wait
+	// for.
+	m.evMu.Lock()
+	m.healFailures = 0
+	m.nextHealAt = time.Time{}
+	m.evMu.Unlock()
 	m.enabled.Store(cfg.Enabled)
 }
 
@@ -295,7 +412,7 @@ func (m *Monitor) Config() Config {
 
 // newTierState builds a tier's detectors from the current config.
 func (m *Monitor) newTierState(tier string, cfg Config) *tierState {
-	return &tierState{
+	ts := &tierState{
 		tier:   tier,
 		window: cfg.Window,
 		warmup: cfg.WarmupWindows,
@@ -304,6 +421,14 @@ func (m *Monitor) newTierState(tier string, cfg Config) *tierState {
 		errCS:  CUSUM{K: cfg.CusumK, H: cfg.CusumH, Warmup: cfg.WarmupWindows},
 		latCS:  CUSUM{K: cfg.CusumK, H: cfg.CusumH, Warmup: cfg.WarmupWindows},
 	}
+	if cfg.SeasonPeriod > 0 {
+		ts.seasonPeriod = cfg.SeasonPeriod
+		ts.seasonCycles = cfg.SeasonCycles
+		ts.seasonSum = make([]float64, cfg.SeasonPeriod)
+		ts.seasonCnt = make([]int64, cfg.SeasonPeriod)
+		ts.season = make([]float64, cfg.SeasonPeriod)
+	}
+	return ts
 }
 
 // tier returns the tier's state, registering it on first sight.
@@ -332,6 +457,13 @@ func (m *Monitor) ObserveOutcome(tier string, o *dispatch.Outcome) {
 	if !m.enabled.Load() {
 		return
 	}
+	if t := m.trial.Load(); t != nil {
+		// A live canary compares against exactly this traffic: the
+		// incumbent arm sees every regular outcome alongside the
+		// detectors, so the verdict judges the two tables on the same
+		// clock against the same backends.
+		t.observeIncumbent(tier, o)
+	}
 	ts := m.tier(tier)
 	ts.mu.Lock()
 	ts.requests++
@@ -357,6 +489,9 @@ func (m *Monitor) ObserveFailure(tier string) {
 	if !m.enabled.Load() {
 		return
 	}
+	if t := m.trial.Load(); t != nil {
+		t.observeIncumbentFailure(tier)
+	}
 	ts := m.tier(tier)
 	ts.mu.Lock()
 	ts.requests++
@@ -381,17 +516,49 @@ func (ts *tierState) closeWindow() {
 		// relative test for good).
 		ts.latWindows++
 		latMean := ts.winLatSum / float64(ts.winN)
-		if ts.latWindows <= int64(ts.warmup) {
+		// With a seasonal profile configured, the baseline learning span
+		// stretches to cover it: a partial-cycle mean would bake the
+		// season's phase bias into the frozen scale.
+		warm := int64(ts.warmup)
+		if sw := int64(ts.seasonPeriod) * int64(ts.seasonCycles); sw > warm {
+			warm = sw
+		}
+		if !ts.baseSeeded && ts.latWindows <= warm {
 			// Running warmup mean, frozen once alarms arm: the relative
 			// latency test needs a scale the shift itself cannot drag.
 			ts.latBase += (latMean - ts.latBase) / float64(ts.latWindows)
 		}
-		rel := 0.0
-		if ts.latBase > 0 {
-			rel = latMean/ts.latBase - 1
+		if ts.seasonPeriod > 0 && !ts.seasonReady {
+			// Learning: accumulate the per-phase profile, detectors quiet
+			// (a cycle fed raw would be exactly the false positive the
+			// profile exists to suppress).
+			phase := int((ts.latWindows - 1) % int64(ts.seasonPeriod))
+			ts.seasonSum[phase] += latMean
+			ts.seasonCnt[phase]++
+			if ts.latWindows >= int64(ts.seasonPeriod)*int64(ts.seasonCycles) {
+				total := 0.0
+				for p := range ts.season {
+					if ts.seasonCnt[p] > 0 {
+						ts.season[p] = ts.seasonSum[p] / float64(ts.seasonCnt[p])
+					}
+					total += ts.season[p]
+				}
+				ts.seasonMean = total / float64(ts.seasonPeriod)
+				ts.seasonReady = true
+			}
+		} else {
+			adj := latMean
+			if ts.seasonReady {
+				phase := int((ts.latWindows - 1) % int64(ts.seasonPeriod))
+				adj -= ts.season[phase] - ts.seasonMean
+			}
+			rel := 0.0
+			if ts.latBase > 0 {
+				rel = adj/ts.latBase - 1
+			}
+			ts.alarmed[slotLatPH] = ts.latPH.Observe(rel)
+			ts.alarmed[slotLatCusum] = ts.latCS.Observe(adj)
 		}
-		ts.alarmed[slotLatPH] = ts.latPH.Observe(rel)
-		ts.alarmed[slotLatCusum] = ts.latCS.Observe(latMean)
 		ts.lastLatMean = latMean
 	}
 	if ts.winErrN+ts.winFail > 0 {
@@ -488,7 +655,9 @@ func (m *Monitor) Check(now time.Time, p95 func(backend int) float64) (events []
 		m.events = append(m.events[:0], m.events[n-maxEvents:]...)
 	}
 	if active && cfg.AutoReprofile && !m.inFlight.Load() &&
-		(m.lastTrigger.IsZero() || now.Sub(m.lastTrigger) >= cfg.Cooldown) {
+		(m.lastTrigger.IsZero() || now.Sub(m.lastTrigger) >= cfg.Cooldown) &&
+		(m.nextHealAt.IsZero() || !now.Before(m.nextHealAt)) &&
+		m.healFailures < cfg.MaxHealRetries {
 		m.lastTrigger = now
 		trigger = true
 	}
@@ -496,12 +665,115 @@ func (m *Monitor) Check(now time.Time, p95 func(backend int) float64) (events []
 	return events, trigger
 }
 
+// HealRecord is one completed self-healing attempt — the verdict
+// history GET /drift serves and the state snapshot persists.
+type HealRecord struct {
+	// At is the wall-clock time the heal finished.
+	At time.Time
+	// Trigger describes the confirmed shift that started the heal.
+	Trigger string
+	// JobID is the rule-generation job the heal ran (0 = none started).
+	JobID int
+	// Verdict is HealPromoted, HealRejected or HealFailed.
+	Verdict string
+	// Promoted reports the healed table now serves all traffic.
+	Promoted bool
+	// Duration spans trigger to verdict.
+	Duration time.Duration
+	// Err carries the failure or rejection detail ("" on promotion).
+	Err string
+}
+
+// Heal verdicts.
+const (
+	HealPromoted = "promoted"
+	HealRejected = "rejected"
+	HealFailed   = "failed"
+)
+
 // BeginReprofile marks a self-healing loop in flight, suppressing
-// further triggers until EndReprofile. Claim it before starting the
-// heal's asynchronous work: the matching EndReprofile may run on
+// further triggers until the heal finishes. Claim it before starting
+// the heal's asynchronous work: the matching FinishHeal may run on
 // another goroutine the moment that work exists.
 func (m *Monitor) BeginReprofile() {
+	m.BeginHeal(time.Now(), "")
+}
+
+// BeginHeal is BeginReprofile with provenance: it stamps the heal's
+// start time and trigger description so the eventual HealRecord can
+// say what fired and how long the loop took.
+func (m *Monitor) BeginHeal(now time.Time, trigger string) {
+	m.evMu.Lock()
+	m.healStart = now
+	m.healTrigger = trigger
+	m.evMu.Unlock()
 	m.inFlight.Store(true)
+}
+
+// FinishHeal ends the in-flight self-healing loop with its verdict and
+// appends the HealRecord. A promotion bumps the reprofile count, resets
+// the detectors (healed traffic re-baselines instead of re-alarming on
+// the old statistics) and clears the consecutive-failure count; a
+// rejection or failure advances the exponential retry backoff — the
+// n-th consecutive non-promotion blocks the next trigger for
+// HealBackoff * 2^(n-1), capped at 16x, and MaxHealRetries consecutive
+// non-promotions suspend self-healing entirely until an operator
+// re-arms it via SetConfig. Any live canary trial is torn down.
+func (m *Monitor) FinishHeal(now time.Time, verdict, errMsg string) {
+	promoted := verdict == HealPromoted
+	if promoted {
+		m.reprofiles.Add(1)
+		m.ResetDetectors()
+	}
+	m.trial.Store(nil)
+	m.mu.RLock()
+	cfg := m.cfg
+	m.mu.RUnlock()
+	m.evMu.Lock()
+	rec := HealRecord{
+		At: now, Trigger: m.healTrigger, JobID: int(m.lastJobID.Load()),
+		Verdict: verdict, Promoted: promoted, Err: errMsg,
+	}
+	if !m.healStart.IsZero() {
+		rec.Duration = now.Sub(m.healStart)
+	}
+	m.heals = append(m.heals, rec)
+	if n := len(m.heals); n > maxHeals {
+		m.heals = append(m.heals[:0], m.heals[n-maxHeals:]...)
+	}
+	if promoted {
+		m.healFailures = 0
+		m.nextHealAt = time.Time{}
+	} else {
+		m.healFailures++
+		shift := m.healFailures - 1
+		if shift > 4 {
+			shift = 4
+		}
+		m.nextHealAt = now.Add(cfg.HealBackoff << shift)
+	}
+	m.healStart, m.healTrigger = time.Time{}, ""
+	m.evMu.Unlock()
+	m.inFlight.Store(false)
+}
+
+// Heals returns a copy of the heal history (newest last).
+func (m *Monitor) Heals() []HealRecord {
+	m.evMu.Lock()
+	defer m.evMu.Unlock()
+	return append([]HealRecord(nil), m.heals...)
+}
+
+// SeedHeals restores the heal history and applied-reprofile count from
+// a persisted snapshot (replacing whatever is recorded so far).
+func (m *Monitor) SeedHeals(heals []HealRecord, reprofiles int64) {
+	m.evMu.Lock()
+	m.heals = append(m.heals[:0], heals...)
+	if n := len(m.heals); n > maxHeals {
+		m.heals = append(m.heals[:0], m.heals[n-maxHeals:]...)
+	}
+	m.evMu.Unlock()
+	m.reprofiles.Store(reprofiles)
 }
 
 // NoteReprofileJob records the rule-generation job serving the current
@@ -512,15 +784,16 @@ func (m *Monitor) NoteReprofileJob(jobID int) {
 	m.lastJobID.Store(int64(jobID))
 }
 
-// EndReprofile marks the loop finished. applied reports the regenerated
-// tables were swapped in; the detectors then reset so the healed
-// traffic re-baselines instead of re-alarming on the old statistics.
+// EndReprofile marks the loop finished — the legacy entry point kept
+// for callers that predate canary verdicts: applied maps to a promoted
+// heal, anything else to a failed one (which advances the retry
+// backoff, exactly as a failed re-profile should).
 func (m *Monitor) EndReprofile(applied bool) {
 	if applied {
-		m.reprofiles.Add(1)
-		m.ResetDetectors()
+		m.FinishHeal(time.Now(), HealPromoted, "")
+	} else {
+		m.FinishHeal(time.Now(), HealFailed, "")
 	}
-	m.inFlight.Store(false)
 }
 
 // Reprofiles counts completed, applied self-healing loops.
@@ -585,6 +858,8 @@ func (m *Monitor) Status(p95 func(backend int) float64) api.DriftStatus {
 	switch {
 	case !m.enabled.Load():
 		st.State = "disabled"
+	case m.trial.Load() != nil:
+		st.State = "canary"
 	case m.inFlight.Load():
 		st.State = "triggered"
 	default:
@@ -640,6 +915,97 @@ func (m *Monitor) Status(p95 func(backend int) float64) api.DriftStatus {
 			Value: e.Value, Threshold: e.Threshold,
 		})
 	}
+	for _, h := range m.heals {
+		st.Heals = append(st.Heals, api.DriftHeal{
+			UnixMS: h.At.UnixMilli(), Trigger: h.Trigger, JobID: h.JobID,
+			Verdict: h.Verdict, Promoted: h.Promoted,
+			DurationMS: float64(h.Duration) / float64(time.Millisecond),
+			Error:      h.Err,
+		})
+	}
 	m.evMu.Unlock()
 	return st
+}
+
+// Baselines returns a copy of the per-backend latency baseline p95s
+// (ns) the quantile-shift tests judge against — what a state snapshot
+// persists alongside the matrix they were derived from.
+func (m *Monitor) Baselines() []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]float64(nil), m.baseline...)
+}
+
+// TierBaselines returns each observed tier's frozen warmup latency
+// baseline (ns), omitting tiers that have not formed one yet.
+func (m *Monitor) TierBaselines() map[string]float64 {
+	m.mu.RLock()
+	tiers := make([]*tierState, 0, len(m.tiers))
+	for _, ts := range m.tiers {
+		tiers = append(tiers, ts)
+	}
+	m.mu.RUnlock()
+	out := make(map[string]float64, len(tiers))
+	for _, ts := range tiers {
+		ts.mu.Lock()
+		if ts.latBase > 0 {
+			out[ts.tier] = ts.latBase
+		}
+		ts.mu.Unlock()
+	}
+	return out
+}
+
+// SeedTierBaseline restores a tier's frozen latency baseline from a
+// persisted snapshot: the tier skips warmup learning and its relative
+// latency test judges against the restored scale from the first
+// window. Seasonal profiles still learn fresh — they are cheap to
+// re-learn and phase alignment does not survive a restart.
+func (m *Monitor) SeedTierBaseline(tier string, latBaseNs float64) {
+	if latBaseNs <= 0 {
+		return
+	}
+	ts := m.tier(tier)
+	ts.mu.Lock()
+	ts.latBase = latBaseNs
+	ts.baseSeeded = true
+	ts.mu.Unlock()
+}
+
+// AlarmedBackends returns the indexes of backends whose quantile-shift
+// test is currently alarmed — the set the server boosts the hedging
+// quantile for while a heal is in flight.
+func (m *Monitor) AlarmedBackends() []int {
+	var out []int
+	for i, b := range m.backends {
+		b.mu.Lock()
+		if b.qs.Alarmed() {
+			out = append(out, i)
+		}
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// AlarmedTiers returns the tier keys with an active detector alarm.
+func (m *Monitor) AlarmedTiers() []string {
+	m.mu.RLock()
+	tiers := make([]*tierState, 0, len(m.tiers))
+	for _, ts := range m.tiers {
+		tiers = append(tiers, ts)
+	}
+	m.mu.RUnlock()
+	var out []string
+	for _, ts := range tiers {
+		ts.mu.Lock()
+		for i := 0; i < numSlots; i++ {
+			if ts.alarmed[i] {
+				out = append(out, ts.tier)
+				break
+			}
+		}
+		ts.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,146 @@
+package drift
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/costmodel"
+	"github.com/toltiers/toltiers/internal/dispatch"
+	"github.com/toltiers/toltiers/internal/service"
+)
+
+// flatBackend is a fixed-latency, fixed-error inner backend for chaos
+// wrapping: the oscillation under test comes entirely from the
+// ChaosBackend envelope, so the window means are deterministic.
+type flatBackend struct{ lat time.Duration }
+
+func (b *flatBackend) Name() string         { return "flat" }
+func (b *flatBackend) Plan() costmodel.Plan { return costmodel.Plan{} }
+func (b *flatBackend) Invoke(_ context.Context, _ *service.Request) (dispatch.Response, error) {
+	return dispatch.Response{Result: service.Result{Latency: b.lat}, Err: 0.05}, nil
+}
+
+// chaosFeed drives n invocations of the chaos backend into the monitor.
+func chaosFeed(t *testing.T, m *Monitor, tier string, n int, cb *dispatch.ChaosBackend) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, err := cb.Invoke(context.Background(), &service.Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ObserveOutcome(tier, &dispatch.Outcome{Err: resp.Err, Latency: resp.Result.Latency})
+	}
+}
+
+// chaosRun feeds windows detector windows of chaos traffic, checking the
+// monitor after every window close exactly like the drift loop does, and
+// reports whether any latency detector fired across the run. An alarm
+// that decays before the next tick is still a heal trigger in
+// production, so the sampling has to be per-window, not one check at the
+// end of the run.
+func chaosRun(t *testing.T, m *Monitor, tier string, windows, window int, cb *dispatch.ChaosBackend) bool {
+	t.Helper()
+	alarmed := false
+	for w := 0; w < windows; w++ {
+		chaosFeed(t, m, tier, window, cb)
+		events, _ := m.Check(time.Unix(int64(1000+w), 0), nil)
+		if latencyAlarmed(events) {
+			alarmed = true
+		}
+	}
+	return alarmed
+}
+
+// latencyAlarmed reports whether any latency detector event fired.
+func latencyAlarmed(events []Event) bool {
+	for _, e := range events {
+		if e.Detector == DetectorLatPH || e.Detector == DetectorLatCusum {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSeasonalBaselineSuppressesOscillation is the oscillation
+// envelope validation: a raised-cosine latency cycle (ChaosBackend
+// Oscillate) fires the latency detectors of a season-blind monitor —
+// the false-positive heal this feature exists to suppress — while a
+// monitor whose SeasonPeriod matches the cycle stays quiet on the same
+// deterministic traffic, and still catches a genuine level shift laid
+// on top of the cycle.
+func TestSeasonalBaselineSuppressesOscillation(t *testing.T) {
+	const (
+		window  = 16
+		period  = 8 // detector windows per oscillation cycle
+		baseLat = 10 * time.Millisecond
+	)
+	cfg := testMonitorConfig()
+	cfg.Window = window
+	cfg.WarmupWindows = 4
+
+	osc := dispatch.Perturbation{
+		Kind: dispatch.LatencyInflate, Shape: dispatch.Oscillate,
+		Period: window * period, Magnitude: 1.5,
+	}
+
+	// Season-blind: the cycle reads as drift somewhere along the way.
+	blind := NewMonitor(cfg, []string{"b0"}, nil)
+	cbBlind := dispatch.Chaos(&flatBackend{lat: baseLat}, osc)
+	if !chaosRun(t, blind, "response-time/0.05", 6*period, window, cbBlind) {
+		t.Fatalf("season-blind monitor stayed quiet on a %d-window oscillation", period)
+	}
+
+	// Season-aware: the same traffic, with the period configured. The
+	// profile learns over SeasonCycles full cycles (detectors quiet),
+	// then the phase deviation cancels and the adjusted stream is flat —
+	// not one tick across six cycles may alarm.
+	scfg := cfg
+	scfg.SeasonPeriod = period
+	scfg.SeasonCycles = 2
+	aware := NewMonitor(scfg, []string{"b0"}, nil)
+	cbAware := dispatch.Chaos(&flatBackend{lat: baseLat}, osc)
+	if chaosRun(t, aware, "response-time/0.05", 6*period, window, cbAware) {
+		t.Fatal("season-aware monitor false-alarmed on its own cycle")
+	}
+	ts := aware.tier("response-time/0.05")
+	ts.mu.Lock()
+	ready := ts.seasonReady
+	ts.mu.Unlock()
+	if !ready {
+		t.Fatal("seasonal profile never armed")
+	}
+
+	// A genuine level shift on top of the cycle must still fire: a step
+	// tripling the latency from here on survives the phase subtraction.
+	aware2 := NewMonitor(scfg, []string{"b0"}, nil)
+	step := osc
+	step.Shape = dispatch.Step
+	step.Start = 6 * period * window
+	step.Magnitude = 2.0
+	cbStep := dispatch.Chaos(&flatBackend{lat: baseLat}, osc, step)
+	if chaosRun(t, aware2, "response-time/0.05", 6*period, window, cbStep) {
+		t.Fatal("season-aware monitor alarmed before the step")
+	}
+	if !chaosRun(t, aware2, "response-time/0.05", 2*period, window, cbStep) {
+		t.Fatal("season-aware monitor missed a genuine level shift under the cycle")
+	}
+}
+
+// TestSeedTierBaselineSkipsWarmupLearning pins the restore path: a
+// seeded tier keeps the restored scale instead of re-learning it.
+func TestSeedTierBaselineSkipsWarmupLearning(t *testing.T) {
+	m := NewMonitor(testMonitorConfig(), []string{"b0"}, nil)
+	const seeded = 20e6 // 20ms in ns
+	m.SeedTierBaseline("response-time/0.05", seeded)
+	// Traffic at twice the seeded baseline: an unseeded tier would learn
+	// 40ms as its scale; the seeded one must keep 20ms.
+	feed(m, "response-time/0.05", 8*6, 0.05, 40*time.Millisecond)
+	ts := m.tier("response-time/0.05")
+	ts.mu.Lock()
+	base := ts.latBase
+	ts.mu.Unlock()
+	if base != seeded {
+		t.Fatalf("seeded baseline drifted: have %v, want %v", base, seeded)
+	}
+}

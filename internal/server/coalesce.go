@@ -76,7 +76,7 @@ func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) 
 		// TierKey; fail the window rather than dispatch unadmitted.
 		return coalesce.Grant{}, errBadTierKey(t.Tier)
 	}
-	rule, err := s.registry().Resolve(tol, obj)
+	rule, isCanary, err := s.resolveFor(t.Canary, tol, obj)
 	if err != nil {
 		return coalesce.Grant{}, err
 	}
@@ -91,6 +91,7 @@ func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) 
 	if dec.Verdict == admit.Downgrade {
 		if drule, rerr := s.registry().Resolve(dec.Tolerance, obj); rerr == nil && drule.Tolerance > rule.Tolerance {
 			rule = drule
+			isCanary = false // the brownout tier came from the incumbent
 		} else {
 			dec.Verdict = admit.Accept
 		}
@@ -98,6 +99,7 @@ func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) 
 	t.Tier = dispatch.TierKey(string(obj), rule.Tolerance)
 	t.Policy = rule.Candidate.Policy
 	t.Downgraded = dec.Verdict == admit.Downgrade
+	t.Canary = isCanary
 	return coalesce.Grant{
 		Ticket:  t,
 		Served:  servedRule{rule: rule, obj: obj, downgraded: t.Downgraded},
@@ -107,4 +109,6 @@ func (s *Server) coalesceGate(n int, t dispatch.Ticket) (coalesce.Grant, error) 
 
 type errBadTierKey string
 
-func (e errBadTierKey) Error() string { return "coalesce: malformed tier key " + strconv.Quote(string(e)) }
+func (e errBadTierKey) Error() string {
+	return "coalesce: malformed tier key " + strconv.Quote(string(e))
+}

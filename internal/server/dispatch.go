@@ -100,7 +100,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	rule, err := s.registry().Resolve(tol, obj)
+	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -111,7 +111,8 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 	)
 	if s.coal != nil {
 		// Coalescing path: the ticket is the coalescing key, so it
-		// carries the resolved tier as-is; admission happens per window
+		// carries the resolved tier — and its canary membership, keeping
+		// trial windows separate — as-is; admission happens per window
 		// in the coalesce gate, which also applies any brownout
 		// downgrade to the whole window (see coalesce.go).
 		ticket := dispatch.Ticket{
@@ -119,6 +120,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 			Tenant: r.Header.Get("Tenant"),
 			Policy: rule.Candidate.Policy,
 			Budget: budget,
+			Canary: isCanary,
 		}
 		var served any
 		out, served, err = s.coal.Do(r.Context(), req, ticket)
@@ -143,12 +145,16 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.adm.Done(dec)
 		downgraded = dec.Verdict == admit.Downgrade
+		if downgraded {
+			isCanary = false // downgrade re-resolved from the incumbent
+		}
 		ticket := dispatch.Ticket{
 			Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
 			Tenant:     r.Header.Get("Tenant"),
 			Policy:     rule.Candidate.Policy,
 			Budget:     budget,
 			Downgraded: downgraded,
+			Canary:     isCanary,
 		}
 		out, err = s.disp.Do(r.Context(), req, ticket)
 		if err != nil {
@@ -251,7 +257,7 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-item limit", len(body.RequestIDs), maxBatchItems)
 		return
 	}
-	rule, err := s.registry().Resolve(tol, obj)
+	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -274,12 +280,16 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.Done(dec)
+	if dec.Verdict == admit.Downgrade {
+		isCanary = false // downgrade re-resolved from the incumbent
+	}
 	ticket := dispatch.Ticket{
 		Tier:       dispatch.TierKey(string(obj), rule.Tolerance),
 		Tenant:     r.Header.Get("Tenant"),
 		Policy:     rule.Candidate.Policy,
 		Budget:     budget,
 		Downgraded: dec.Verdict == admit.Downgrade,
+		Canary:     isCanary,
 	}
 	e.outs, e.errs, err = s.disp.DoBatch(r.Context(), e.reqs, ticket, e.outs, e.errs)
 	if err != nil {

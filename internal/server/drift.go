@@ -39,7 +39,11 @@ func (s *Server) handleDriftConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	if wcfg.Window < 0 || wcfg.WarmupWindows < 0 || wcfg.QuantileStrikes < 0 ||
 		wcfg.ErrDelta < 0 || wcfg.ErrLambda < 0 || wcfg.LatDelta < 0 || wcfg.LatLambda < 0 ||
-		wcfg.CusumK < 0 || wcfg.CusumH < 0 || wcfg.QuantileRatio < 0 || wcfg.CooldownMS < 0 {
+		wcfg.CusumK < 0 || wcfg.CusumH < 0 || wcfg.QuantileRatio < 0 || wcfg.CooldownMS < 0 ||
+		wcfg.SeasonPeriod < 0 || wcfg.SeasonCycles < 0 ||
+		wcfg.CanaryFraction < 0 || wcfg.CanaryMinSamples < 0 || wcfg.CanaryMaxMS < 0 ||
+		wcfg.CanaryErrSigma < 0 || wcfg.CanaryLatSlack < 0 ||
+		wcfg.MaxHealRetries < 0 || wcfg.HealBackoffMS < 0 || wcfg.HedgeBoostQuantile < 0 {
 		httpError(w, http.StatusBadRequest, "drift config fields must be non-negative")
 		return
 	}
@@ -79,8 +83,12 @@ func (s *Server) driftLoop() {
 		case <-s.driftStop:
 			return
 		case now := <-t.C:
-			if _, trigger := s.mon.Check(now, s.disp.P95); trigger {
-				s.triggerReprofile()
+			// A live canary trial resolves before anything else: its
+			// promotion or rollback frees the in-flight heal slot the
+			// trigger check below respects.
+			s.checkCanary(now)
+			if events, trigger := s.mon.Check(now, s.disp.P95); trigger {
+				s.triggerReprofile(s.describeTrigger(events))
 			}
 		}
 	}
@@ -93,17 +101,23 @@ func (s *Server) driftLoop() {
 // on traffic the heal is about to re-baseline. Failures are recorded in
 // /drift's last_error and retried after the monitor's cooldown (the
 // detectors stay alarmed until a heal applies).
-func (s *Server) triggerReprofile() {
+func (s *Server) triggerReprofile(trigger string) {
 	// Claim the in-flight slot before the job exists: the job goroutine
-	// calls the matching EndReprofile, possibly before this function
-	// returns.
-	s.mon.BeginReprofile()
+	// calls the matching FinishHeal, possibly before this function
+	// returns. The trigger description rides into the eventual heal
+	// record.
+	s.mon.BeginHeal(time.Now(), trigger)
+	// Drift-aware hedging: while the heal runs, the backends implicated
+	// in the shift hedge at the boosted quantile — restored when the
+	// heal resolves, whichever way.
+	s.applyHedgeBoost()
 	// The profile is bounded by the server's drift context, so Close
 	// interrupts a re-profile stuck on a stalled backend.
 	fresh, err := dispatch.ProfileBackends(s.driftCtx, s.domain, s.backends, s.reqs)
 	if err != nil {
 		s.setDriftErr("reprofile: " + err.Error())
-		s.mon.EndReprofile(false)
+		s.restoreHedgeBoost()
+		s.mon.FinishHeal(time.Now(), drift.HealFailed, "reprofile: "+err.Error())
 		return
 	}
 	job, err := s.startRuleJob(s.reprofileReq, fresh, true)
@@ -114,10 +128,11 @@ func (s *Server) triggerReprofile() {
 		if !errors.Is(err, errJobRunning) {
 			s.setDriftErr("reprofile rules: " + err.Error())
 		}
-		s.mon.EndReprofile(false)
+		s.restoreHedgeBoost()
+		s.mon.FinishHeal(time.Now(), drift.HealFailed, "rules: "+err.Error())
 		return
 	}
 	// Record the job id only; the in-flight flag is the job's to clear
-	// (it may already have finished and called EndReprofile).
+	// (it may already have finished and called FinishHeal).
 	s.mon.NoteReprofileJob(job.id)
 }

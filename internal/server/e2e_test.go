@@ -71,6 +71,10 @@ func TestEndToEndDriftSelfHealing(t *testing.T) {
 			Window: 32, WarmupWindows: 4,
 			ErrDelta: 0.02, ErrLambda: 0.3,
 			Cooldown: 250 * time.Millisecond,
+			// Fast canary trial: the background dispatcher's traffic fills
+			// both arms in well under a second at these sizes.
+			CanaryFraction: 2, CanaryMinSamples: 24,
+			CanaryMaxDuration: 20 * time.Second,
 		},
 		DriftInterval: 5 * time.Millisecond,
 		Reprofile: api.RuleGenRequest{
@@ -171,6 +175,19 @@ func TestEndToEndDriftSelfHealing(t *testing.T) {
 	}
 	if !foundErrEvent {
 		t.Fatalf("no error-detector event on the degraded tier among %+v", healed.Events)
+	}
+
+	// The heal went through the canary trial and won: the history's last
+	// record is a promotion with the trigger provenance attached.
+	if len(healed.Heals) == 0 {
+		t.Fatal("no heal record after promotion")
+	}
+	rec := healed.Heals[len(healed.Heals)-1]
+	if rec.Verdict != "promoted" || !rec.Promoted || rec.Error != "" {
+		t.Fatalf("heal record after promotion: %+v", rec)
+	}
+	if rec.Trigger == "" {
+		t.Fatal("heal record lost its trigger provenance")
 	}
 
 	// The rule job that served the heal reports drift provenance and an

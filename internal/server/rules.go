@@ -210,16 +210,28 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 	cancelRequested := job.cancelled
 	s.jobMu.Unlock()
 
-	var applied bool
+	var applied, staged bool
+	var tables []rulegen.RuleTable
 	if err == nil && !cancelRequested {
 		grid := rulegen.ToleranceGrid(maxTol, step)
-		tables := make([]rulegen.RuleTable, 0, len(job.objectives))
+		tables = make([]rulegen.RuleTable, 0, len(job.objectives))
 		for _, obj := range job.objectives {
 			tables = append(tables, gen.Generate(grid, obj))
 		}
+		if job.drift && s.healTableHook != nil {
+			tables = s.healTableHook(tables)
+		}
 		if job.req.Apply {
-			s.setRegistry(newRegistryFrom(s.registry(), tables))
-			applied = true
+			if job.drift && s.canaryArmed() {
+				// A drift heal stages instead of swapping: the candidate
+				// registry serves its canary slice until the trial's
+				// verdict promotes it (job.applied flips then) or rolls
+				// it back; see canary.go.
+				staged = true
+			} else {
+				s.setRegistry(newRegistryFrom(s.registry(), tables))
+				applied = true
+			}
 		}
 	}
 
@@ -256,18 +268,30 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 
 	if fromDrift {
 		switch {
+		case staged:
+			// The heal stays in flight: the candidate now serves its
+			// canary slice, and the drift loop polls the trial's verdict.
+			s.beginCanary(job, tables, time.Now())
+			return
 		case finalApplied:
 			s.setTrainingMatrix(job.matrix)
 			// Re-anchor at the same quantile the live trackers estimate,
 			// as at construction.
 			s.mon.SetBaselines(drift.BackendBaselinesAt(job.matrix, s.hedgeQuantile))
+			s.restoreHedgeBoost()
 			s.setDriftErr("") // the last heal is clean
+			s.mon.EndReprofile(true)
+			s.saveState()
+			return
 		case finalErr != nil:
 			s.setDriftErr("reprofile rules job: " + finalErr.Error())
+			s.restoreHedgeBoost()
+			s.mon.FinishHeal(time.Now(), drift.HealFailed, "rules job: "+finalErr.Error())
 		case finalCancelled:
 			s.setDriftErr("reprofile rules job cancelled")
+			s.restoreHedgeBoost()
+			s.mon.FinishHeal(time.Now(), drift.HealFailed, "rules job cancelled")
 		}
-		s.mon.EndReprofile(finalApplied)
 	}
 }
 

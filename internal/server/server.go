@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/toltiers/toltiers/internal/admit"
@@ -30,7 +31,9 @@ import (
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
 	"github.com/toltiers/toltiers/internal/profile"
+	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/state"
 	"github.com/toltiers/toltiers/internal/tiers"
 	"github.com/toltiers/toltiers/internal/trace"
 )
@@ -80,6 +83,15 @@ type Config struct {
 	// NewWithConfig panics on an invalid request rather than letting
 	// every future heal fail at trigger time.
 	Reprofile api.RuleGenRequest
+	// StateDir, when non-empty, makes the node persist a state snapshot
+	// (matrix, rule tables, drift baselines, heal history) atomically on
+	// every promotion and on Close; see state.go. "" disables
+	// persistence.
+	StateDir string
+	// Restore seeds the drift monitor from a previously loaded snapshot
+	// (baselines, heal history); the caller builds the registry and
+	// matrix from the same snapshot. nil boots fresh.
+	Restore *state.Snapshot
 }
 
 // defaultDriftInterval is the drift loop cadence when Config leaves it
@@ -142,6 +154,21 @@ type Server struct {
 	driftErrMu    sync.Mutex
 	lastDriftErr  string
 	driftInterval time.Duration
+
+	// canary is the staged heal serving its deterministic traffic slice
+	// (nil = no trial; see canary.go); canarySeq strides anonymous
+	// traffic into the slice.
+	canary    atomic.Pointer[canaryState]
+	canarySeq atomic.Uint64
+
+	// stateDir is Config.StateDir: where promotions and Close persist
+	// the node's state snapshot ("" = persistence off; see state.go).
+	stateDir string
+
+	// healTableHook, when set (tests only), rewrites a drift job's
+	// generated tables before they stage — the seam that lets the
+	// rollback end-to-end test serve a deliberately bad candidate.
+	healTableHook func([]rulegen.RuleTable) []rulegen.RuleTable
 }
 
 // New builds the HTTP handler. The /rules endpoints answer 503 until a
@@ -187,6 +214,10 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 		baselines = drift.BackendBaselinesAt(cfg.Matrix, s.hedgeQuantile)
 	}
 	s.mon = drift.NewMonitor(cfg.Drift, names, baselines)
+	s.stateDir = cfg.StateDir
+	if cfg.Restore != nil {
+		s.restoreFrom(cfg.Restore)
+	}
 	s.reprofileReq = cfg.Reprofile
 	s.reprofileReq.Apply = true
 	if _, err := ruleGenParams(s.reprofileReq); err != nil {
@@ -260,11 +291,15 @@ func (s *Server) ensureDriftLoop() {
 
 // Close stops the drift loop, cancelling any re-profile it is running
 // (an in-flight rule-generation job keeps running; cancel it via
-// DELETE /rules/generate if needed). The HTTP handler stays usable.
+// DELETE /rules/generate if needed), tears down any live canary trial
+// (the incumbent was never displaced, so nothing needs rolling back),
+// and — with Config.StateDir set — writes a final state snapshot. The
+// HTTP handler stays usable.
 func (s *Server) Close() {
 	s.loopMu.Lock()
 	started := s.loopStarted
-	if !s.loopClosed {
+	closing := !s.loopClosed
+	if closing {
 		s.loopClosed = true
 		close(s.driftStop)
 		s.driftCancel()
@@ -273,6 +308,14 @@ func (s *Server) Close() {
 	if started {
 		<-s.driftDone
 	}
+	if !closing {
+		return
+	}
+	if cs := s.canary.Swap(nil); cs != nil {
+		s.restoreHedgeBoost()
+		s.mon.FinishHeal(time.Now(), drift.HealFailed, "shutdown during canary trial")
+	}
+	s.saveState()
 }
 
 // Dispatcher exposes the server's tier-execution runtime (load
@@ -345,7 +388,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	rule, err := s.registry().Resolve(tol, obj)
+	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -355,6 +398,11 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.Done(dec)
+	if dec.Verdict == admit.Downgrade {
+		// The brownout re-resolution came from the incumbent registry;
+		// the request leaves the trial slice.
+		isCanary = false
+	}
 	// /compute routes through the dispatcher (no deadline, no hedging),
 	// reproducing Registry.Handle's outcome while feeding telemetry.
 	ticket := dispatch.Ticket{
@@ -362,6 +410,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		Tenant:     r.Header.Get("Tenant"),
 		Policy:     rule.Candidate.Policy,
 		Downgraded: dec.Verdict == admit.Downgrade,
+		Canary:     isCanary,
 	}
 	out, err := s.disp.Do(r.Context(), req, ticket)
 	if err != nil {

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/rulegen"
+	"github.com/toltiers/toltiers/internal/state"
+)
+
+// Crash-safe persistence: with Config.StateDir set, the node writes a
+// versioned state snapshot — training matrix, active rule tables, drift
+// baselines, heal history — atomically on every promotion (canary or
+// blind) and on Close. A restarted node hands the loaded snapshot back
+// through Config.Restore (ttserver -state-dir does both), resuming from
+// its healed state with zero re-profiling. The snapshot is a cache: any
+// load failure falls back to profiling from scratch.
+
+// StatePath is the snapshot file a node with the given state directory
+// reads and writes.
+func StatePath(dir string) string { return filepath.Join(dir, stateFileName) }
+
+const stateFileName = "toltiers-state.bin"
+
+// buildSnapshot assembles the node's persistable state; nil when the
+// node has no training matrix (nothing re-derivable to cache).
+func (s *Server) buildSnapshot() *state.Snapshot {
+	m := s.trainingMatrix()
+	if m == nil {
+		return nil
+	}
+	reg := s.registry()
+	objs := reg.Objectives()
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	tables := make([]rulegen.RuleTable, 0, len(objs))
+	for _, obj := range objs {
+		if t, ok := reg.Table(obj); ok {
+			tables = append(tables, t)
+		}
+	}
+	return &state.Snapshot{
+		SavedAt:          time.Now(),
+		HedgeQuantile:    s.hedgeQuantile,
+		Reprofiles:       s.mon.Reprofiles(),
+		BackendBaselines: s.mon.Baselines(),
+		TierBaselines:    s.mon.TierBaselines(),
+		Heals:            s.mon.Heals(),
+		Matrix:           m,
+		Tables:           tables,
+	}
+}
+
+// saveState persists the snapshot atomically (temp + fsync + rename).
+// Best-effort: a failed save surfaces in /drift's last_error and the
+// node keeps serving — the snapshot is a cache, never a dependency.
+func (s *Server) saveState() {
+	if s.stateDir == "" {
+		return
+	}
+	snap := s.buildSnapshot()
+	if snap == nil {
+		return
+	}
+	if err := state.Save(StatePath(s.stateDir), snap); err != nil {
+		s.setDriftErr("state snapshot: " + err.Error())
+	}
+}
+
+// restoreFrom seeds the drift monitor from a loaded snapshot: backend
+// baselines at the snapshot's quantile, the frozen per-tier warmup
+// baselines (tiers skip warmup and judge from the first window), and
+// the heal history with its applied-reprofile count. The registry and
+// matrix are the caller's to build from the same snapshot — they are
+// constructor arguments, not monitor state.
+func (s *Server) restoreFrom(snap *state.Snapshot) {
+	if snap == nil {
+		return
+	}
+	if len(snap.BackendBaselines) == len(s.backends) {
+		s.mon.SetBaselines(snap.BackendBaselines)
+	}
+	for tier, base := range snap.TierBaselines {
+		s.mon.SeedTierBaseline(tier, base)
+	}
+	s.mon.SeedHeals(snap.Heals, snap.Reprofiles)
+}

@@ -45,6 +45,7 @@ import (
 	"github.com/toltiers/toltiers/internal/rulegen/shard"
 	"github.com/toltiers/toltiers/internal/server"
 	"github.com/toltiers/toltiers/internal/service"
+	"github.com/toltiers/toltiers/internal/state"
 	"github.com/toltiers/toltiers/internal/tiers"
 	"github.com/toltiers/toltiers/internal/trace"
 	"github.com/toltiers/toltiers/internal/vision"
@@ -484,6 +485,37 @@ func DriftBackendBaselinesAt(m *Matrix, quantile float64) []float64 {
 func ProfileBackends(ctx context.Context, domain Domain, backends []Backend, reqs []*Request) (*Matrix, error) {
 	return dispatch.ProfileBackends(ctx, domain, backends, reqs)
 }
+
+// Crash-safe state persistence (the restart-recovery layer).
+//
+// A serving node with ServerConfig.StateDir set writes a versioned,
+// checksummed snapshot of its healed runtime state — profile matrix,
+// active rule tables, drift baselines, heal history — atomically on
+// every canary promotion and on Close. A restarted process loads the
+// snapshot, verifies it against its own corpus with CompatibleWith, and
+// boots straight onto the healed tables instead of re-profiling (see
+// ttserver -state-dir).
+type (
+	// StateSnapshot is a node's persistable runtime state.
+	StateSnapshot = state.Snapshot
+	// HealRecord is one completed self-healing attempt in the snapshot's
+	// (and GET /drift's) heal history.
+	HealRecord = drift.HealRecord
+)
+
+// ServerStatePath is the snapshot file a node with the given state
+// directory reads on boot and writes on promotion and shutdown.
+func ServerStatePath(dir string) string { return server.StatePath(dir) }
+
+// LoadStateSnapshot reads and integrity-checks a snapshot written by a
+// serving node (or SaveStateSnapshot). Callers must still verify
+// CompatibleWith against their deployment before serving from it.
+func LoadStateSnapshot(path string) (*StateSnapshot, error) { return state.Load(path) }
+
+// SaveStateSnapshot writes a snapshot to path atomically (temp file,
+// fsync, rename): a reader or a crash sees the previous complete
+// snapshot or the new one, never a torn write.
+func SaveStateSnapshot(path string, s *StateSnapshot) error { return state.Save(path, s) }
 
 // NewClient returns the Go SDK for a Tolerance Tiers endpoint.
 func NewClient(base string, httpClient *http.Client) *client.Client {
