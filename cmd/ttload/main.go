@@ -53,6 +53,7 @@ import (
 )
 
 type tierSeries struct {
+	sent        int
 	wallMS      []float64
 	simulatedMS []float64
 	escalated   int
@@ -109,6 +110,15 @@ func (c *collector) sent(tenant string, n int) {
 	}
 	c.mu.Lock()
 	c.tally(tenant).sent += n
+	c.mu.Unlock()
+}
+
+// sentTier records n arrivals entering a tier's issue path — the
+// per-tier half of the ledger, kept in every mode (remote runs have no
+// named tenants, so -assert against a remote target reconciles here).
+func (c *collector) sentTier(tier string, n int) {
+	c.mu.Lock()
+	c.series(tier).sent += n
 	c.mu.Unlock()
 }
 
@@ -186,7 +196,7 @@ func main() {
 		coalesceWindow = flag.Duration("coalesce-window", 0, "coalescing time trigger (0 = 200µs; clamped to 100µs–500µs)")
 		coalesceMax    = flag.Int("coalesce-max", 0, "coalescing size trigger (0 = 64)")
 		tenants        = flag.Int("tenants", 0, "spread arrivals round-robin across this many named tenants (tenant-0..): each gets its own telemetry partition and report row (in-process mode)")
-		assertMode     = flag.Bool("assert", false, "after the run, verify the accounting reconciles — per tenant, sent = graded + failed + shed and the dispatcher's partition agrees — and exit 1 on mismatch (in-process mode)")
+		assertMode     = flag.Bool("assert", false, "after the run, verify the accounting reconciles and exit 1 on mismatch — in-process: per tenant, sent = graded + failed + shed and the dispatcher's partition agrees; remote: per tier, sent = graded + failed + shed with zero hard failures (a fleet front tier must fail over or shed, never lose)")
 	)
 	flag.Parse()
 	if *batchN < 1 {
@@ -198,8 +208,6 @@ func main() {
 			log.Fatal("-coalesce applies to in-process replay mode; point -target at a ttserver started with -coalesce instead")
 		case *tenants > 0:
 			log.Fatal("-tenants applies to in-process replay mode")
-		case *assertMode:
-			log.Fatal("-assert applies to in-process replay mode")
 		}
 	}
 	if *coalesceOn && *batchN != 1 {
@@ -274,6 +282,7 @@ func main() {
 			// partitions by the ticket's tenant — the consumer class
 			// unless -tenants assigned a named one.
 			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
+			col.sentTier(tier, 1)
 			rule, err := reg.Resolve(arr.Tolerance, arr.Objective)
 			if err != nil {
 				col.fail(tier, tenant, true)
@@ -314,6 +323,7 @@ func main() {
 		}
 		issueBatch = func(ctx context.Context, arrs []workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
+			col.sentTier(tier, len(arrs))
 			rule, err := reg.Resolve(arrs[0].Tolerance, arrs[0].Objective)
 			if err != nil {
 				for range arrs {
@@ -387,10 +397,11 @@ func main() {
 		}
 		issue = func(ctx context.Context, arr workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arr.Objective), arr.Tolerance)
+			col.sentTier(tier, 1)
 			start := time.Now()
 			res, err := cl.Dispatch(ctx, arr.RequestIndex, arr.Tolerance, arr.Objective, budget)
 			if err != nil {
-				if *overload && isShed(err) {
+				if isShed(err) {
 					col.shed(tier, tenant, 1)
 					return
 				}
@@ -403,6 +414,7 @@ func main() {
 		}
 		issueBatch = func(ctx context.Context, arrs []workload.Arrival, tenant string, col *collector) {
 			tier := dispatch.TierKey(string(arrs[0].Objective), arrs[0].Tolerance)
+			col.sentTier(tier, len(arrs))
 			ids := make([]int, len(arrs))
 			for i, arr := range arrs {
 				ids[i] = arr.RequestIndex
@@ -411,7 +423,7 @@ func main() {
 			res, err := cl.DispatchBatch(ctx, ids, arrs[0].Tolerance, arrs[0].Objective, budget)
 			wall := time.Since(start)
 			if err != nil {
-				if *overload && isShed(err) {
+				if isShed(err) {
 					col.shed(tier, tenant, len(arrs))
 					return
 				}
@@ -586,10 +598,17 @@ func main() {
 		}
 	}
 	if *assertMode {
-		if err := assertRun(col, disp, coal); err != nil {
-			log.Fatalf("assert: %v", err)
+		if *target != "" {
+			if err := assertRemote(col); err != nil {
+				log.Fatalf("assert: %v", err)
+			}
+			log.Printf("assert: remote accounting reconciles (per tier, sent = graded + failed + shed; zero dispatches lost)")
+		} else {
+			if err := assertRun(col, disp, coal); err != nil {
+				log.Fatalf("assert: %v", err)
+			}
+			log.Printf("assert: accounting reconciles (per tenant, sent = graded + failed + shed; telemetry partitions agree)")
 		}
-		log.Printf("assert: accounting reconciles (per tenant, sent = graded + failed + shed; telemetry partitions agree)")
 	}
 }
 
@@ -622,6 +641,33 @@ func reportTenants(col *collector, d *dispatch.Dispatcher) {
 	if err := t.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// assertRemote verifies a remote run's ledger per requested tier:
+// every sent arrival lands in exactly one bucket (sent = graded +
+// failed + shed), and no dispatch failed outright. Sheds are the
+// target's explicit 429/503 answers — an accounted outcome — but a
+// hard failure means a request vanished into the fleet, which a
+// failover-correct front tier must never allow.
+func assertRemote(col *collector) error {
+	var sentTotal, failedTotal int
+	for tier, ts := range col.tiers {
+		got := len(ts.wallMS) + ts.failures + ts.shed
+		if ts.sent != got {
+			return fmt.Errorf("%s: sent %d != graded %d + failed %d + shed %d",
+				tier, ts.sent, len(ts.wallMS), ts.failures, ts.shed)
+		}
+		sentTotal += ts.sent
+		failedTotal += ts.failures
+	}
+	if sentTotal == 0 {
+		return errors.New("no arrivals were sent")
+	}
+	if failedTotal > 0 {
+		return fmt.Errorf("%d of %d dispatches failed outright (a lossless fleet must fail over or shed, never lose)",
+			failedTotal, sentTotal)
+	}
+	return nil
 }
 
 // assertRun verifies the run's ledger: every arrival is accounted

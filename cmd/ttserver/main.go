@@ -51,6 +51,9 @@ func main() {
 		coalesceWindow = flag.Duration("coalesce-window", 0, "coalescing time trigger (0 = 200µs; clamped to 100µs–500µs)")
 		coalesceMax    = flag.Int("coalesce-max", 0, "coalescing size trigger: flush a window at this many requests (0 = 64)")
 
+		fleetOn    = flag.Bool("fleet", false, "serve as a multi-node front tier: ttworker nodes register over HTTP (POST /fleet/register), bootstrap from GET /fleet/snapshot, and dispatch traffic routes across them with tenant-affine consistent routing and transparent failover (GET /fleet reports the fleet)")
+		fleetLease = flag.Duration("fleet-lease", 0, "worker liveness lease; a worker missing heartbeats this long leaves rotation (0 = 3s)")
+
 		traceOff    = flag.Bool("no-trace", false, "disable the per-dispatch flight recorder (GET /trace/recent, GET /trace/{id})")
 		traceSize   = flag.Int("trace-ring", 0, "flight-recorder ring capacity, rounded to a power of two (0 = 1024)")
 		traceSample = flag.Int("trace-sample", 0, "head-sampling stride: keep 1 in N dispatches; tail exemplars always kept (0 = 16)")
@@ -135,6 +138,9 @@ func main() {
 	if *coalesceOn {
 		cfg.Coalesce = &toltiers.CoalesceOptions{Window: *coalesceWindow, MaxBatch: *coalesceMax}
 	}
+	if *fleetOn {
+		cfg.Fleet = &toltiers.FleetOptions{Lease: *fleetLease, Logf: log.Printf}
+	}
 	srv := toltiers.NewHTTPServer(reg, reqs, cfg)
 	defer srv.Close()
 	if *driftOn {
@@ -148,6 +154,9 @@ func main() {
 	}
 	if *coalesceOn {
 		log.Printf("dispatch coalescing armed (window %v, max batch %d)", *coalesceWindow, *coalesceMax)
+	}
+	if *fleetOn {
+		log.Printf("fleet front tier armed: workers join via POST /fleet/register, status at GET /fleet")
 	}
 	if !*traceOff {
 		log.Printf("flight recorder armed (GET /trace/recent, GET /trace/{id}, GET /metrics/prometheus)")

@@ -1,0 +1,158 @@
+// Command ttworker is a fleet serving node. It joins a ttserver front
+// tier started with -fleet, bootstraps itself entirely over HTTP — the
+// front tier ships its profile matrix and promoted rule tables through
+// GET /fleet/snapshot, so the worker needs no corpus and runs no
+// profiling — and serves the dispatch wire surface the front tier
+// routes to. Membership is lease-based: the worker heartbeats, the
+// front tier de-registers it when heartbeats stop, and a worker that
+// falls behind the fleet's rule-table version fence re-pulls the
+// snapshot. Rolling table pushes land on POST /fleet/table.
+//
+//	ttserver -fleet -addr :8080 &
+//	ttworker -join http://localhost:8080 -addr :9001 &
+//	ttworker -join http://localhost:8080 -addr :9002 &
+//	curl -s http://localhost:8080/fleet | jq .workers
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/toltiers/toltiers"
+)
+
+func main() {
+	var (
+		join       = flag.String("join", "", "front tier base URL to join (required), e.g. http://localhost:8080")
+		addr       = flag.String("addr", ":9090", "listen address for dispatch traffic")
+		advertise  = flag.String("advertise", "", "base URL the front tier should dispatch to (default: http://<host>:<port> derived from -addr)")
+		name       = flag.String("name", "", "worker name leased with the front tier (default: worker-<pid>)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "lease renewal cadence; keep well under the front tier's -fleet-lease")
+		sleepScale = flag.Float64("sleep-scale", 0, "make replay invocations occupy wall-clock time (profiled latency x scale) so routed load exercises real queueing; 0 = instant replay")
+		maxPerBE   = flag.Int("max-per-backend", 0, "in-flight invocation cap per backend version (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *join == "" {
+		fmt.Fprintln(os.Stderr, "ttworker: -join is required (a ttserver started with -fleet)")
+		os.Exit(2)
+	}
+	workerName := *name
+	if workerName == "" {
+		workerName = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Bootstrap: pull the matrix + rule tables from the front tier,
+	// retrying while it comes up. The snapshot is the whole model — the
+	// worker profiles nothing.
+	var snap *toltiers.StateSnapshot
+	for {
+		var err error
+		snap, err = toltiers.PullFleetSnapshot(ctx, nil, *join)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted before bootstrap completed: %v", err)
+		}
+		log.Printf("bootstrap: %v (retrying in 1s)", err)
+		select {
+		case <-ctx.Done():
+			log.Fatal("interrupted before bootstrap completed")
+		case <-time.After(time.Second):
+		}
+	}
+	srv, err := toltiers.NewWorkerFromSnapshot(snap, toltiers.WorkerOptions{
+		SleepScale: *sleepScale,
+		Dispatch:   toltiers.DispatchOptions{MaxConcurrentPerBackend: *maxPerBE},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("bootstrapped from %s: table v%d, %d profiled requests", *join, srv.TableVersion(), snap.Matrix.NumRequests())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = advertiseFor(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("worker %s serving on %s (advertised as %s)", workerName, ln.Addr(), adv)
+
+	// Membership: register, heartbeat, resync when the front tier's
+	// version fence moves past us (its register/heartbeat responses say
+	// so; rolling pushes normally keep us current without a resync).
+	agent := &toltiers.FleetAgent{
+		Join: *join, Name: workerName, Advertise: adv,
+		Heartbeat: *heartbeat,
+		Version:   srv.TableVersion,
+		Resync: func(ctx context.Context, fleetVersion int64) error {
+			fresh, err := toltiers.PullFleetSnapshot(ctx, nil, *join)
+			if err != nil {
+				return err
+			}
+			if err := srv.InstallSnapshot(fresh); err != nil {
+				return err
+			}
+			log.Printf("resynced to table v%d", srv.TableVersion())
+			return nil
+		},
+		Logf: log.Printf,
+	}
+	agentDone := make(chan struct{})
+	go func() { defer close(agentDone); _ = agent.Run(ctx) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("shutdown signal: deregistering and draining ...")
+		<-agentDone
+		// Deregister first so the front tier stops routing here, then
+		// drain what is already in flight.
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		agent.Deregister(dctx)
+		if err := hs.Shutdown(dctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		log.Printf("shutdown complete")
+	}
+}
+
+// advertiseFor derives a dialable base URL from the bound listen
+// address: an unspecified host (":9090", "[::]:9090") advertises
+// localhost — multi-host deployments should pass -advertise explicitly.
+func advertiseFor(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	if strings.Contains(host, ":") {
+		host = "[" + host + "]"
+	}
+	return "http://" + host + ":" + port
+}

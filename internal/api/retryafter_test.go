@@ -1,0 +1,63 @@
+package api
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfterSeconds(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"-3", 0},
+		{"1", time.Second},
+		{"120", 2 * time.Minute},
+		{"garbage", 0},
+		{"1.5", 0}, // RFC 9110 delay-seconds is an integer
+	}
+	for _, c := range cases {
+		if got := ParseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseRetryAfterHTTPDate pins the RFC 9110 HTTP-date form, which
+// the old per-package integer-only parsers silently dropped as 0.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	in := now.Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	got := ParseRetryAfter(in, now)
+	if got != 90*time.Second {
+		t.Fatalf("ParseRetryAfter(%q) = %v, want 90s", in, got)
+	}
+	// A date in the past means "retry now", not a negative sleep.
+	past := now.Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got := ParseRetryAfter(past, now); got != 0 {
+		t.Fatalf("past HTTP-date parsed to %v, want 0", got)
+	}
+	// The obsolete asctime form must also parse (http.ParseTime does).
+	asc := now.Add(30 * time.Second).UTC().Format(time.ANSIC)
+	if got := ParseRetryAfter(asc, now); got != 30*time.Second {
+		t.Fatalf("asctime form parsed to %v, want 30s", got)
+	}
+}
+
+func TestRetryAfterHintPrecedence(t *testing.T) {
+	now := time.Now()
+	h := http.Header{}
+	h.Set("Retry-After", "7")
+	h.Set("X-Toltiers-Retry-After-MS", "250")
+	if got := RetryAfterHint(h, now); got != 250*time.Millisecond {
+		t.Fatalf("hint = %v, want the millisecond extension to win", got)
+	}
+	h.Del("X-Toltiers-Retry-After-MS")
+	if got := RetryAfterHint(h, now); got != 7*time.Second {
+		t.Fatalf("hint = %v, want 7s from Retry-After", got)
+	}
+}

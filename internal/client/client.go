@@ -354,6 +354,30 @@ func (c *Client) SetDriftConfig(ctx context.Context, cfg api.DriftConfig) (*api.
 	return &out, nil
 }
 
+// Fleet fetches the front tier's fleet status: the fenced table
+// version, the live workers with their health/latency accounting, the
+// latest rolling table push, and the autoscale hint (GET /fleet).
+// Single-node servers and workers answer 404.
+func (c *Client) Fleet(ctx context.Context) (*api.FleetStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/fleet", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out api.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode fleet status: %w", err)
+	}
+	return &out, nil
+}
+
 // Admission fetches the node's admission-layer status: configuration,
 // brownout state, the in-flight gauge, and per-tenant
 // accept/shed/downgrade counters (GET /admission).
@@ -520,6 +544,11 @@ func decodeError(resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	// Drain whatever the diagnostic read left so keep-alive can reuse
+	// the connection — a retried call that re-dials on every attempt
+	// multiplies load exactly when the server is shedding. Bounded: a
+	// body still streaming past the cap is cheaper to abandon.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	if err := json.Unmarshal(data, &payload); err != nil || payload.Error == "" {
 		payload.Error = string(data)
 	}
@@ -532,17 +561,9 @@ func decodeError(resp *http.Response) error {
 
 // retryAfterHint parses the server's backoff hint: the
 // millisecond-precision X-Toltiers-Retry-After-MS when present, the
-// standard whole-second Retry-After otherwise.
+// standard Retry-After — integer seconds or the RFC 9110 HTTP-date
+// form — otherwise (api.RetryAfterHint is the shared parser the shard
+// transport also uses).
 func retryAfterHint(h http.Header) time.Duration {
-	if ms := h.Get("X-Toltiers-Retry-After-MS"); ms != "" {
-		if v, err := strconv.ParseFloat(ms, 64); err == nil && v > 0 {
-			return time.Duration(v * float64(time.Millisecond))
-		}
-	}
-	if s := h.Get("Retry-After"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			return time.Duration(v) * time.Second
-		}
-	}
-	return 0
+	return api.RetryAfterHint(h, time.Now())
 }

@@ -61,9 +61,19 @@ func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// maxRetryAfterHonor bounds how long a server Retry-After hint can
+// stretch one sleep. The hint deliberately overrides MaxBackoff — the
+// cap shapes the client's own jitter, while the hint is the server
+// saying how long it needs; truncating it to the cap would send the
+// whole client fleet back early, in sync, at an overloaded node — but
+// an absurd or hostile hint must not park a caller for hours, hence
+// this explicit ceiling.
+const maxRetryAfterHonor = 5 * time.Minute
+
 // next draws the decorrelated-jitter delay following prev, stretched to
 // at least the server's Retry-After hint when the last error carried
-// one.
+// one. MaxBackoff caps only the jittered draw; the hint is honored
+// above it, up to maxRetryAfterHonor.
 func (p RetryPolicy) next(prev time.Duration, lastErr error) time.Duration {
 	capd := p.MaxBackoff
 	if capd <= 0 {
@@ -85,10 +95,13 @@ func (p RetryPolicy) next(prev time.Duration, lastErr error) time.Duration {
 		}
 	}
 	var apiErr *APIError
-	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > d {
-		d = apiErr.RetryAfter
-		if d > capd {
-			d = capd
+	if errors.As(lastErr, &apiErr) {
+		hint := apiErr.RetryAfter
+		if hint > maxRetryAfterHonor {
+			hint = maxRetryAfterHonor
+		}
+		if hint > d {
+			d = hint
 		}
 	}
 	return d

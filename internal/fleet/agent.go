@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/toltiers/toltiers/internal/api"
+	"github.com/toltiers/toltiers/internal/state"
+)
+
+// Agent is the worker side of fleet membership: it registers with the
+// front tier, renews its lease on a heartbeat cadence, re-registers
+// when the front tier forgets it (lease lapse, eviction, front-tier
+// restart), and invokes Resync whenever the fence says the worker's
+// tables are behind the fleet.
+type Agent struct {
+	// Join is the front tier's base URL; Name the lease identity;
+	// Advertise the base URL the router dispatches to.
+	Join      string
+	Name      string
+	Advertise string
+	// Heartbeat is the renewal cadence (0 = 1s; keep it well under the
+	// front tier's lease).
+	Heartbeat time.Duration
+	// Client is the control-plane HTTP client (nil = 10s timeout).
+	Client *http.Client
+	// Version reports the table version the worker currently serves.
+	Version func() int64
+	// Resync pulls the snapshot and installs it; invoked when register
+	// says Resync or when heartbeats persistently disagree on version.
+	Resync func(ctx context.Context, fleetVersion int64) error
+	// Logf, when set, receives membership events.
+	Logf func(format string, args ...any)
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+func (a *Agent) version() int64 {
+	if a.Version != nil {
+		return a.Version()
+	}
+	return 0
+}
+
+// versionMismatchTolerance is how many consecutive heartbeats may
+// disagree with the fleet fence before the agent resyncs on its own.
+// The rolling push normally converges the worker first; this is the
+// anti-entropy net for a worker the rollout missed (e.g. it was being
+// evicted and re-registered in the same instant).
+const versionMismatchTolerance = 3
+
+// Run drives the membership loop until ctx is done. It blocks through
+// an initial register (retrying with backoff while the front tier is
+// unreachable) and then heartbeats forever; transient heartbeat
+// failures are retried on the next tick, relying on the lease to
+// resolve true partitions.
+func (a *Agent) Run(ctx context.Context) error {
+	hb := a.Heartbeat
+	if hb <= 0 {
+		hb = time.Second
+	}
+	if err := a.registerUntil(ctx); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	mismatches := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		resp, err := a.heartbeat(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			a.logf("fleet agent: heartbeat failed: %v", err)
+			continue
+		}
+		if !resp.Known {
+			a.logf("fleet agent: front tier forgot lease for %s; re-registering", a.Name)
+			if err := a.registerUntil(ctx); err != nil {
+				return err
+			}
+			mismatches = 0
+			continue
+		}
+		if resp.TableVersion != a.version() {
+			mismatches++
+			if mismatches >= versionMismatchTolerance {
+				a.resync(ctx, resp.TableVersion)
+				mismatches = 0
+			}
+		} else {
+			mismatches = 0
+		}
+	}
+}
+
+// registerUntil retries registration with linear backoff until it
+// succeeds or ctx dies, then resyncs if the grant says to.
+func (a *Agent) registerUntil(ctx context.Context) error {
+	delay := 100 * time.Millisecond
+	for {
+		resp, err := a.register(ctx)
+		if err == nil {
+			if resp.Resync {
+				a.resync(ctx, resp.TableVersion)
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.logf("fleet agent: register failed: %v (retrying in %v)", err, delay)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 2*time.Second {
+			delay *= 2
+		}
+	}
+}
+
+func (a *Agent) resync(ctx context.Context, fleetVersion int64) {
+	if a.Resync == nil {
+		return
+	}
+	a.logf("fleet agent: resyncing tables to fleet v%d (local v%d)", fleetVersion, a.version())
+	if err := a.Resync(ctx, fleetVersion); err != nil {
+		a.logf("fleet agent: resync failed: %v", err)
+	}
+}
+
+func (a *Agent) register(ctx context.Context) (api.FleetRegisterResponse, error) {
+	var resp api.FleetRegisterResponse
+	err := a.post(ctx, "/fleet/register", api.FleetRegisterRequest{
+		Name: a.Name, BaseURL: a.Advertise, TableVersion: a.version(),
+	}, &resp)
+	return resp, err
+}
+
+func (a *Agent) heartbeat(ctx context.Context) (api.FleetHeartbeatResponse, error) {
+	var resp api.FleetHeartbeatResponse
+	err := a.post(ctx, "/fleet/heartbeat", api.FleetHeartbeatRequest{
+		Name: a.Name, TableVersion: a.version(),
+	}, &resp)
+	return resp, err
+}
+
+// Deregister removes the worker from rotation (graceful shutdown). A
+// failure is non-fatal: the lease expires on its own.
+func (a *Agent) Deregister(ctx context.Context) {
+	if err := a.post(ctx, "/fleet/deregister", api.FleetHeartbeatRequest{Name: a.Name}, nil); err != nil {
+		a.logf("fleet agent: deregister failed (lease will expire): %v", err)
+	}
+}
+
+func (a *Agent) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(a.Join, "/")+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		drainBody(resp.Body)
+		return fmt.Errorf("%s returned %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out); err != nil {
+			return fmt.Errorf("decoding %s response: %w", path, err)
+		}
+	}
+	drainBody(resp.Body)
+	return nil
+}
+
+// PullSnapshot fetches the front tier's state snapshot — profile matrix
+// plus promoted rule tables, in the internal/state section format — for
+// worker bootstrap and resync. No corpus or profiling run is needed on
+// the worker: the matrix is the model.
+func PullSnapshot(ctx context.Context, client *http.Client, join string) (*state.Snapshot, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(join, "/")+"/fleet/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		drainBody(resp.Body)
+		return nil, fmt.Errorf("/fleet/snapshot returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading fleet snapshot: %w", err)
+	}
+	snap, err := state.Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("decoding fleet snapshot: %w", err)
+	}
+	return snap, nil
+}

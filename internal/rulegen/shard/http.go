@@ -8,9 +8,9 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
-	"strconv"
 	"time"
 
+	"github.com/toltiers/toltiers/internal/api"
 	"github.com/toltiers/toltiers/internal/trace"
 )
 
@@ -141,14 +141,10 @@ func (t *HTTPTransport) post(ctx context.Context, body []byte) (BatchResponse, t
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		drainBody(hresp.Body)
 		transient := hresp.StatusCode >= http.StatusInternalServerError ||
 			hresp.StatusCode == http.StatusTooManyRequests
-		var retryAfter time.Duration
-		if s := hresp.Header.Get("Retry-After"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				retryAfter = time.Duration(v) * time.Second
-			}
-		}
+		retryAfter := api.ParseRetryAfter(hresp.Header.Get("Retry-After"), time.Now())
 		return BatchResponse{}, retryAfter, transient,
 			fmt.Errorf("shard: worker %s: status %d: %s", t.Base, hresp.StatusCode, bytes.TrimSpace(msg))
 	}
@@ -156,11 +152,33 @@ func (t *HTTPTransport) post(ctx context.Context, body []byte) (BatchResponse, t
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
 		return BatchResponse{}, 0, true, fmt.Errorf("shard: decode batch response: %w", err)
 	}
+	drainBody(hresp.Body)
 	return resp, 0, false, nil
 }
 
+// drainBody discards what remains of a response body so the underlying
+// connection is reusable by keep-alive. Without it every error response
+// larger than the diagnostic read left unread bytes, the transport
+// closed the connection, and each retry re-dialed — exactly when the
+// worker was overloaded. The drain is bounded: a response still
+// streaming past the cap is cheaper to abandon (one closed connection)
+// than to swallow.
+func drainBody(r io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r, 1<<20))
+}
+
+// maxRetryAfterHonor bounds how long a worker's Retry-After hint can
+// stretch one sleep. The hint deliberately overrides MaxBackoff — the
+// cap shapes our own jitter, while the hint is the worker saying how
+// long it needs, and truncating it to the cap just hammers an
+// overloaded worker early — but an absurd or hostile hint must not park
+// the coordinator for hours, hence this explicit ceiling.
+const maxRetryAfterHonor = 5 * time.Minute
+
 // next draws the decorrelated-jitter delay following prev, stretched to
-// at least the worker's Retry-After hint.
+// at least the worker's Retry-After hint. MaxBackoff caps only the
+// jittered draw; the hint is honored above it, up to
+// maxRetryAfterHonor.
 func (t *HTTPTransport) next(prev, retryAfter time.Duration) time.Duration {
 	base := t.BaseBackoff
 	if base <= 0 {
@@ -179,11 +197,14 @@ func (t *HTTPTransport) next(prev, retryAfter time.Duration) time.Duration {
 		hi = base
 	}
 	d := base + time.Duration(r()*float64(hi-base))
-	if retryAfter > d {
-		d = retryAfter
-	}
 	if d > capd {
 		d = capd
+	}
+	if retryAfter > maxRetryAfterHonor {
+		retryAfter = maxRetryAfterHonor
+	}
+	if retryAfter > d {
+		d = retryAfter
 	}
 	return d
 }

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNextHonorsRetryAfterOverCap pins the hint-vs-cap ordering: the
+// doc contract is "stretched to at least the worker's Retry-After", so
+// a hint larger than MaxBackoff must win (the old code capped after
+// stretching, silently truncating the hint to MaxBackoff and hammering
+// the overloaded worker early).
+func TestNextHonorsRetryAfterOverCap(t *testing.T) {
+	tr := &HTTPTransport{MaxBackoff: 100 * time.Millisecond, Rand: func() float64 { return 0 }}
+	if d := tr.next(0, 30*time.Second); d != 30*time.Second {
+		t.Fatalf("next with 30s hint = %v, want the hint honored over the 100ms cap", d)
+	}
+	// Without a hint the jittered draw still respects the cap.
+	tr2 := &HTTPTransport{MaxBackoff: 100 * time.Millisecond, Rand: func() float64 { return 1 }}
+	if d := tr2.next(time.Hour, 0); d != 100*time.Millisecond {
+		t.Fatalf("capless draw = %v, want capped at 100ms", d)
+	}
+	// The hint itself is bounded by the documented ceiling.
+	if d := tr.next(0, time.Hour); d != maxRetryAfterHonor {
+		t.Fatalf("1h hint = %v, want clamped to %v", d, maxRetryAfterHonor)
+	}
+}
+
+// TestPostParsesHTTPDateRetryAfter pins the RFC 9110 HTTP-date form of
+// Retry-After, which the old integer-seconds-only parse dropped as 0.
+func TestPostParsesHTTPDateRetryAfter(t *testing.T) {
+	at := time.Now().Add(60 * time.Second)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", at.UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	tr := &HTTPTransport{Base: ts.URL, Client: ts.Client()}
+	_, retryAfter, transient, err := tr.post(context.Background(), []byte(`{}`))
+	if err == nil || !transient {
+		t.Fatalf("want a transient 503 error, got transient=%v err=%v", transient, err)
+	}
+	if retryAfter < 55*time.Second || retryAfter > 60*time.Second {
+		t.Fatalf("HTTP-date Retry-After parsed to %v, want ~60s", retryAfter)
+	}
+}
+
+// TestErrorBodyDrainedForKeepAlive pins the drain: a retried worker
+// error whose body exceeds the 4096-byte diagnostic read must still
+// leave the connection reusable — every attempt re-dialing under load
+// was the bug.
+func TestErrorBodyDrainedForKeepAlive(t *testing.T) {
+	big := strings.Repeat("x", 64<<10)
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(big))
+	}))
+	var dials atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+	tr := &HTTPTransport{
+		Base: ts.URL, Client: ts.Client(),
+		MaxAttempts: 3, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond,
+	}
+	if _, err := tr.Run(context.Background(), BatchRequest{}); err == nil {
+		t.Fatal("want the retries to exhaust against a 500-only worker")
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("3 attempts used %d connections, want 1 (drained keep-alive reuse)", n)
+	}
+}

@@ -54,18 +54,22 @@ func (s *Server) inCanarySlice(cs *canaryState, tenant string) bool {
 // slice resolve against the candidate registry and come back marked
 // canary. A candidate that cannot serve the annotation (objective or
 // tolerance outside the healed tables) falls back to the incumbent
-// rather than failing traffic over a trial.
-func (s *Server) resolveRule(tol float64, obj rulegen.Objective, tenant string) (rulegen.Rule, bool, error) {
+// rather than failing traffic over a trial. The third return is the
+// fleet version fence the rule resolved under (0 for canary-resolved
+// requests: trial tables carry no fence until promoted).
+func (s *Server) resolveRule(tol float64, obj rulegen.Objective, tenant string) (rulegen.Rule, bool, int64, error) {
 	cs := s.canary.Load()
 	if cs == nil || !s.inCanarySlice(cs, tenant) {
-		rule, err := s.registry().Resolve(tol, obj)
-		return rule, false, err
+		reg, ver := s.registryAndVersion()
+		rule, err := reg.Resolve(tol, obj)
+		return rule, false, ver, err
 	}
 	if rule, err := cs.reg.Resolve(tol, obj); err == nil {
-		return rule, true, nil
+		return rule, true, 0, nil
 	}
-	rule, err := s.registry().Resolve(tol, obj)
-	return rule, false, err
+	reg, ver := s.registryAndVersion()
+	rule, err := reg.Resolve(tol, obj)
+	return rule, false, ver, err
 }
 
 // resolveFor re-resolves a ticket whose canary membership was already
@@ -133,7 +137,7 @@ func (s *Server) checkCanary(now time.Time) {
 // heal record — and a state snapshot, so the healed state survives a
 // crash from this moment on.
 func (s *Server) promoteCanary(cs *canaryState, now time.Time) {
-	s.setRegistry(cs.reg)
+	s.installPromoted(cs.reg)
 	s.canary.Store(nil)
 	s.jobMu.Lock()
 	cs.job.applied = true

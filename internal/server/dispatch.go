@@ -82,6 +82,12 @@ func parseBudget(w http.ResponseWriter, deadlineMS float64) (time.Duration, bool
 }
 
 func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	// Front tier: route to the worker fleet before local admission —
+	// the fleet is the capacity; the local path is the fallback when no
+	// worker can serve.
+	if s.pool != nil && s.proxyDispatch(w, r, "/dispatch") {
+		return
+	}
 	tol, obj, ok := parseAnnotation(w, r)
 	if !ok {
 		return
@@ -100,7 +106,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
+	rule, isCanary, tableVer, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -175,6 +181,7 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
 	w.Header().Set("X-Toltiers-Backend", out.Backend)
 	w.Header().Set("X-Toltiers-Latency-MS", strconv.FormatFloat(resp.LatencyMS, 'f', 3, 64))
+	w.Header().Set("X-Toltiers-Table-Version", strconv.FormatInt(tableVer, 10))
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
@@ -236,6 +243,9 @@ var batchEncoders = sync.Pool{New: func() any {
 }}
 
 func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
+	if s.pool != nil && s.proxyDispatch(w, r, "/dispatch/batch") {
+		return
+	}
 	tol, obj, ok := parseAnnotation(w, r)
 	if !ok {
 		return
@@ -257,7 +267,12 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch of %d exceeds the %d-item limit", len(body.RequestIDs), maxBatchItems)
 		return
 	}
-	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
+	// One resolve serves the whole batch: the rule and the version fence
+	// come from a single read under regMu, so a concurrent promotion can
+	// never produce a mixed-version batch — requests before the swap
+	// serve the old (tables, version) pair in full, requests after it
+	// the new one.
+	rule, isCanary, tableVer, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -325,5 +340,6 @@ func (s *Server) handleDispatchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Toltiers-Policy", rule.Candidate.Policy.String())
+	w.Header().Set("X-Toltiers-Table-Version", strconv.FormatInt(tableVer, 10))
 	_, _ = w.Write(e.buf.Bytes())
 }

@@ -229,7 +229,7 @@ func (s *Server) runRuleJob(ctx context.Context, job *ruleJob, gcfg rulegen.Conf
 				// it back; see canary.go.
 				staged = true
 			} else {
-				s.setRegistry(newRegistryFrom(s.registry(), tables))
+				s.installPromoted(newRegistryFrom(s.registry(), tables))
 				applied = true
 			}
 		}

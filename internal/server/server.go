@@ -30,6 +30,7 @@ import (
 	"github.com/toltiers/toltiers/internal/coalesce"
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
+	"github.com/toltiers/toltiers/internal/fleet"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/service"
@@ -92,6 +93,15 @@ type Config struct {
 	// (baselines, heal history); the caller builds the registry and
 	// matrix from the same snapshot. nil boots fresh.
 	Restore *state.Snapshot
+	// Fleet, when non-nil, makes this node a front tier: the fleet
+	// control-plane endpoints (/fleet/register, /fleet/heartbeat,
+	// /fleet/deregister, GET /fleet, GET /fleet/snapshot) are mounted,
+	// dispatch traffic is routed across registered ttworker nodes with
+	// tenant-affine consistent routing and transparent failover (the
+	// node serves locally only when no worker can), and every table
+	// promotion rolls to the workers one at a time behind a version
+	// fence. See internal/fleet.
+	Fleet *fleet.Options
 }
 
 // defaultDriftInterval is the drift loop cadence when Config leaves it
@@ -100,11 +110,20 @@ const defaultDriftInterval = 2 * time.Second
 
 // Server serves one registry over a request corpus.
 type Server struct {
-	regMu sync.RWMutex
-	reg   *tiers.Registry
-	reqs  []*service.Request
-	byID  map[int]*service.Request
-	mux   *http.ServeMux
+	// regMu guards the serving registry and its fleet version fence:
+	// every promotion swaps both together, so a resolve observes one
+	// consistent (tables, version) pair and a batch can never mix
+	// versions — it resolves exactly once.
+	regMu    sync.RWMutex
+	reg      *tiers.Registry
+	tableVer int64
+	reqs     []*service.Request
+	byID     map[int]*service.Request
+	mux      *http.ServeMux
+
+	// pool is the fleet control plane when this node is a front tier
+	// (Config.Fleet); nil on workers and single-node servers.
+	pool *fleet.Pool
 
 	// disp is the online tier-execution runtime: /compute and /dispatch
 	// both route through it, so live telemetry covers all traffic. The
@@ -217,6 +236,11 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	s.stateDir = cfg.StateDir
 	if cfg.Restore != nil {
 		s.restoreFrom(cfg.Restore)
+		s.tableVer = cfg.Restore.TableVersion
+	}
+	if cfg.Fleet != nil {
+		s.pool = fleet.NewPool(*cfg.Fleet)
+		s.pool.SetVersion(s.tableVer)
 	}
 	s.reprofileReq = cfg.Reprofile
 	s.reprofileReq.Apply = true
@@ -258,6 +282,17 @@ func NewWithConfig(reg *tiers.Registry, reqs []*service.Request, cfg Config) *Se
 	mux.HandleFunc("GET /trace/recent", s.handleTraceRecent)
 	mux.HandleFunc("GET /trace/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /metrics/prometheus", s.handlePrometheus)
+	// Every node accepts fenced table pushes (the rolling update's
+	// worker-side half); the rest of the fleet control plane mounts only
+	// on a front tier.
+	mux.HandleFunc("POST /fleet/table", s.handleFleetTable)
+	if s.pool != nil {
+		mux.HandleFunc("POST /fleet/register", s.handleFleetRegister)
+		mux.HandleFunc("POST /fleet/heartbeat", s.handleFleetHeartbeat)
+		mux.HandleFunc("POST /fleet/deregister", s.handleFleetDeregister)
+		mux.HandleFunc("GET /fleet", s.handleFleetStatus)
+		mux.HandleFunc("GET /fleet/snapshot", s.handleFleetSnapshot)
+	}
 	s.mux = mux
 
 	s.driftInterval = cfg.DriftInterval
@@ -315,6 +350,9 @@ func (s *Server) Close() {
 		s.restoreHedgeBoost()
 		s.mon.FinishHeal(time.Now(), drift.HealFailed, "shutdown during canary trial")
 	}
+	if s.pool != nil {
+		s.pool.Close()
+	}
 	s.saveState()
 }
 
@@ -364,6 +402,55 @@ func (s *Server) setRegistry(reg *tiers.Registry) {
 	s.regMu.Unlock()
 }
 
+// registryAndVersion returns the serving registry together with the
+// fleet version fence it was installed under — one consistent pair.
+func (s *Server) registryAndVersion() (*tiers.Registry, int64) {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.reg, s.tableVer
+}
+
+// TableVersion reports the rule-table version fence this node serves
+// (0 until a first promotion or fleet sync).
+func (s *Server) TableVersion() int64 {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.tableVer
+}
+
+// Fleet exposes the front tier's worker pool (nil unless Config.Fleet
+// made this node a front tier).
+func (s *Server) Fleet() *fleet.Pool { return s.pool }
+
+// installPromoted makes reg the serving registry under a new version
+// fence. With a fleet pool attached, the fence comes from the pool's
+// Promote — which starts the rolling push to workers before the front
+// tier itself swaps, so a worker joining mid-promotion already sees the
+// new version and resyncs — otherwise the version increments locally
+// (the single-node case keeps the dispatch header meaningful). Every
+// promotion path (manual apply, drift heal, canary win) funnels through
+// here; plain setRegistry is for construction-time plumbing only.
+func (s *Server) installPromoted(reg *tiers.Registry) {
+	var ver int64
+	if s.pool != nil {
+		v, err := s.pool.Promote(tablesOf(reg))
+		if err != nil {
+			// An unencodable table set cannot ship to workers; serve it
+			// locally under a locally-bumped fence and surface the error.
+			s.setDriftErr("fleet promote: " + err.Error())
+		} else {
+			ver = v
+		}
+	}
+	s.regMu.Lock()
+	if ver == 0 {
+		ver = s.tableVer + 1
+	}
+	s.reg = reg
+	s.tableVer = ver
+	s.regMu.Unlock()
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -388,7 +475,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "request_id %d not in corpus", body.RequestID)
 		return
 	}
-	rule, isCanary, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
+	rule, isCanary, _, err := s.resolveRule(tol, obj, r.Header.Get("Tenant"))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return

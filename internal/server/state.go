@@ -2,10 +2,8 @@ package server
 
 import (
 	"path/filepath"
-	"sort"
 	"time"
 
-	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/state"
 )
 
@@ -30,15 +28,7 @@ func (s *Server) buildSnapshot() *state.Snapshot {
 	if m == nil {
 		return nil
 	}
-	reg := s.registry()
-	objs := reg.Objectives()
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
-	tables := make([]rulegen.RuleTable, 0, len(objs))
-	for _, obj := range objs {
-		if t, ok := reg.Table(obj); ok {
-			tables = append(tables, t)
-		}
-	}
+	reg, tableVer := s.registryAndVersion()
 	return &state.Snapshot{
 		SavedAt:          time.Now(),
 		HedgeQuantile:    s.hedgeQuantile,
@@ -47,7 +37,8 @@ func (s *Server) buildSnapshot() *state.Snapshot {
 		TierBaselines:    s.mon.TierBaselines(),
 		Heals:            s.mon.Heals(),
 		Matrix:           m,
-		Tables:           tables,
+		Tables:           tablesOf(reg),
+		TableVersion:     tableVer,
 	}
 }
 

@@ -63,6 +63,11 @@ type Snapshot struct {
 	Matrix *profile.Matrix
 	// Tables are the active rule tables, one per objective.
 	Tables []rulegen.RuleTable
+	// TableVersion is the fleet's rule-table version fence at save
+	// time (0 on single-node snapshots). Workers bootstrapping from a
+	// shipped snapshot adopt it, so a fresh join already serves the
+	// fenced version and needs no catch-up push.
+	TableVersion int64
 }
 
 // header is the snapshot's first line.
@@ -86,6 +91,7 @@ type metaJSON struct {
 	TierBaselines    map[string]float64 `json:"tier_baselines,omitempty"`
 	Heals            []healJSON         `json:"heals,omitempty"`
 	Tables           int                `json:"tables"`
+	TableVersion     int64              `json:"table_version,omitempty"`
 }
 
 // healJSON mirrors drift.HealRecord with restart-stable fields.
@@ -120,6 +126,7 @@ func Write(w io.Writer, s *Snapshot) error {
 		BackendBaselines: s.BackendBaselines,
 		TierBaselines:    s.TierBaselines,
 		Tables:           len(s.Tables),
+		TableVersion:     s.TableVersion,
 	}
 	for _, h := range s.Heals {
 		meta.Heals = append(meta.Heals, healJSON{
@@ -253,6 +260,7 @@ func Read(data []byte) (*Snapshot, error) {
 		TierBaselines:    meta.TierBaselines,
 		Matrix:           m,
 		Tables:           tables,
+		TableVersion:     meta.TableVersion,
 	}
 	for _, hj := range meta.Heals {
 		s.Heals = append(s.Heals, drift.HealRecord{

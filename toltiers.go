@@ -40,6 +40,7 @@ import (
 	"github.com/toltiers/toltiers/internal/dispatch"
 	"github.com/toltiers/toltiers/internal/drift"
 	"github.com/toltiers/toltiers/internal/ensemble"
+	"github.com/toltiers/toltiers/internal/fleet"
 	"github.com/toltiers/toltiers/internal/profile"
 	"github.com/toltiers/toltiers/internal/rulegen"
 	"github.com/toltiers/toltiers/internal/rulegen/shard"
@@ -413,6 +414,46 @@ type HTTPServer interface {
 // re-profiling.
 func NewHTTPServer(reg *Registry, reqs []*Request, cfg ServerConfig) HTTPServer {
 	return server.NewWithConfig(reg, reqs, cfg)
+}
+
+// Multi-node serving fleet (the front tier / ttworker split).
+type (
+	// FleetOptions parameterizes a front tier's worker pool: liveness
+	// lease, failover attempts, and the autoscale hint's targets. Hang
+	// one on ServerConfig.Fleet to make the node a front tier — workers
+	// built with cmd/ttworker join it over HTTP, bootstrap from its
+	// snapshot endpoint, and serve its routed dispatch traffic.
+	FleetOptions = fleet.Options
+	// FleetPool is the front tier's fleet state: registry, router
+	// accounting, rolling table pushes (Server.Fleet exposes it).
+	FleetPool = fleet.Pool
+	// FleetAgent is the worker-side membership loop: register,
+	// heartbeat, resync on version-fence mismatch.
+	FleetAgent = fleet.Agent
+	// FleetStatus is GET /fleet's wire shape.
+	FleetStatus = api.FleetStatus
+	// WorkerOptions parameterizes a serving node assembled from a
+	// shipped fleet snapshot.
+	WorkerOptions = server.WorkerOptions
+	// WorkerServer is the concrete serving node type (NewWorkerServer,
+	// and the value behind NewHTTPServer's interface), exposing the
+	// fleet accessors HTTPServer hides.
+	WorkerServer = server.Server
+)
+
+// NewWorkerFromSnapshot assembles a serving node from a front tier's
+// shipped state snapshot: replay backends over the profile matrix, the
+// shipped rule tables, and the snapshot's table version as its fence.
+// cmd/ttworker pulls the snapshot with PullFleetSnapshot and serves the
+// result.
+func NewWorkerFromSnapshot(snap *StateSnapshot, opts WorkerOptions) (*WorkerServer, error) {
+	return server.NewWorkerFromSnapshot(snap, opts)
+}
+
+// PullFleetSnapshot fetches a front tier's state snapshot over HTTP
+// (GET /fleet/snapshot) for worker bootstrap. client may be nil.
+func PullFleetSnapshot(ctx context.Context, client *http.Client, frontURL string) (*StateSnapshot, error) {
+	return fleet.PullSnapshot(ctx, client, frontURL)
 }
 
 // NewAdmissionController builds the admission-and-overload layer.
